@@ -1,0 +1,130 @@
+// Command fibc compresses and inspects a FIB: it reads the text
+// format from a file (or stdin), prints the paper's compressibility
+// metrics (N, δ, H0, I, E), builds both compressors and reports their
+// sizes, and can verify forwarding equivalence between them.
+//
+//	fibgen -profile access(v) | fibc -verify
+//	fibc -lambda 11 my.fib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fibcomp/internal/bounds"
+	"fibcomp/internal/fib"
+	"fibcomp/internal/lctrie"
+	"fibcomp/internal/ortc"
+	"fibcomp/internal/pdag"
+	"fibcomp/internal/trie"
+	"fibcomp/internal/xbw"
+)
+
+func main() {
+	var (
+		lambda = flag.Int("lambda", 11, "leaf-push barrier λ (-1 = entropy-optimal, eq. (3))")
+		verify = flag.Bool("verify", false, "cross-check all engines on random addresses")
+		probes = flag.Int("probes", 100000, "number of verification lookups")
+		seed   = flag.Int64("seed", 1, "verification seed")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	t, err := fib.Read(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	tr := trie.FromTable(t)
+	lp := tr.LeafPush()
+	s := lp.LeafStats()
+	fmt.Printf("FIB:            N=%d prefixes, δ=%d next-hops, default route: %v\n",
+		t.N(), s.Delta, t.HasDefaultRoute())
+	fmt.Printf("normal form:    t=%d nodes, n=%d leaves, depth=%d\n", s.Nodes, s.Leaves, s.MaxDepth)
+	fmt.Printf("entropy:        H0=%.3f bits/label (level-conditioned H_lvl=%.3f)\n",
+		s.H0, lp.LevelEntropy())
+	fmt.Printf("bounds:         I=%.1f KB (2n+n·lgδ), E=%.1f KB (2n+n·H0)\n",
+		s.InfoBound/8/1024, s.Entropy/8/1024)
+	fmt.Printf("tabular size:   %.1f KB ((W+lgδ)·N)\n", float64(t.SizeBitsTabular())/8/1024)
+
+	if *lambda < 0 {
+		*lambda = bounds.LambdaEntropy(s.Leaves, s.H0)
+		fmt.Printf("barrier:        λ=%d (entropy-optimal, eq. (3))\n", *lambda)
+	}
+
+	x, err := xbw.New(t)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("XBW-b:          %.1f KB (%.2f bits/prefix, %.2f× E)\n",
+		float64(x.SizeBytes())/1024, float64(x.SizeBits())/float64(t.N()),
+		float64(x.SizeBits())/s.Entropy)
+
+	d, err := pdag.Build(t, *lambda)
+	if err != nil {
+		fatal(err)
+	}
+	ds := d.Stats()
+	fmt.Printf("prefix DAG:     λ=%d, %d up + %d folded interior + %d leaves\n",
+		*lambda, ds.UpNodes, ds.FoldedInterior, ds.FoldedLeaves)
+	fmt.Printf("                model %.1f KB, ν=%.2f\n",
+		float64(d.ModelBytes())/1024, float64(d.ModelBytes())*8/s.Entropy)
+	if blob, err := d.Serialize(); err == nil {
+		fmt.Printf("                serialized %.1f KB\n", float64(blob.SizeBytes())/1024)
+	}
+
+	agg := ortc.Compress(t)
+	fmt.Printf("ORTC:           %d entries (%.1f%% of input)\n",
+		agg.N(), 100*float64(agg.N())/float64(max(1, t.N())))
+
+	if *verify {
+		lc, err := lctrie.Build(t, 0.5, 16)
+		if err != nil {
+			fatal(err)
+		}
+		blob, serr := d.Serialize()
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *probes; i++ {
+			addr := rng.Uint32()
+			want := tr.Lookup(addr)
+			if x.Lookup(addr) != want {
+				fatal(fmt.Errorf("verify: XBW-b disagrees at %08x", addr))
+			}
+			if d.Lookup(addr) != want {
+				fatal(fmt.Errorf("verify: prefix DAG disagrees at %08x", addr))
+			}
+			if serr == nil && blob.Lookup(addr) != want {
+				fatal(fmt.Errorf("verify: serialized DAG disagrees at %08x", addr))
+			}
+			if lc.Lookup(addr) != want {
+				fatal(fmt.Errorf("verify: LC-trie disagrees at %08x", addr))
+			}
+			if ortc.Lookup(agg, addr) != want {
+				fatal(fmt.Errorf("verify: ORTC output disagrees at %08x", addr))
+			}
+		}
+		fmt.Printf("verify:         %d lookups, all engines agree\n", *probes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fibc: %v\n", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+// Command fibgen generates synthetic FIBs in the library's text format
+// ("a.b.c.d/len label" lines): either a named Table 1 profile or a
+// custom split FIB.
+//
+//	fibgen -profile taz > taz.fib
+//	fibgen -n 600000 -delta 5 -h0 1.06 > fib_600k.fib
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fibcomp/internal/gen"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "", "Table 1 profile name (taz, hbone, access(d), ...)")
+		list    = flag.Bool("list", false, "list available profiles")
+		n       = flag.Int("n", 100000, "custom FIB: number of prefixes")
+		delta   = flag.Int("delta", 4, "custom FIB: number of next-hops")
+		h0      = flag.Float64("h0", 1.0, "custom FIB: target next-hop entropy")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range gen.Table1Profiles {
+			fmt.Printf("%-12s N=%-8d δ=%-4d H0=%.2f default=%v\n",
+				p.Name, p.N, p.Delta, p.H0, p.Default)
+		}
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if *profile != "" {
+		p, err := gen.ProfileByName(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := p.Generate(rng)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Write(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	dist, err := gen.SkewedDist(*delta, *h0)
+	if err != nil {
+		fatal(err)
+	}
+	t, err := gen.SplitFIB(rng, *n, dist)
+	if err != nil {
+		fatal(err)
+	}
+	if err := t.Write(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fibgen: %v\n", err)
+	os.Exit(1)
+}

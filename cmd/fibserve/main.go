@@ -1,0 +1,93 @@
+// Command fibserve serves longest-prefix-match lookups over UDP from
+// a compressed FIB. It reads a FIB in the text format, folds it into
+// a prefix DAG, serializes it, and answers batched lookup datagrams
+// (4-byte big-endian addresses in, 4-byte labels out).
+//
+//	fibgen -profile access(v) > t.fib
+//	fibserve -listen 127.0.0.1:7000 t.fib &
+//	fibserve -query 10.0.0.1 -server 127.0.0.1:7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/lookupd"
+	"fibcomp/internal/pdag"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7000", "UDP address to serve on")
+		lambda = flag.Int("lambda", 11, "leaf-push barrier")
+		query  = flag.String("query", "", "client mode: address to look up")
+		server = flag.String("server", "127.0.0.1:7000", "client mode: server address")
+	)
+	flag.Parse()
+
+	if *query != "" {
+		addr, err := fib.ParseAddr(*query)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := lookupd.Dial(*server)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		label, err := c.Lookup(addr)
+		if err != nil {
+			fatal(err)
+		}
+		if label == fib.NoLabel {
+			fmt.Printf("%s: no route\n", *query)
+			os.Exit(2)
+		}
+		fmt.Printf("%s -> next-hop %d\n", *query, label)
+		return
+	}
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	t, err := fib.Read(in)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := pdag.Build(t, *lambda)
+	if err != nil {
+		fatal(err)
+	}
+	var engine lookupd.Lookuper = d
+	if blob, err := d.Serialize(); err == nil {
+		engine = blob // serve the immutable line-card form when it fits
+	}
+	s, err := lookupd.Listen(*listen, engine)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB, serving on %s\n",
+		t.N(), float64(d.ModelBytes())/1024, s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("fibserve: %d requests, %d lookups, %d errors\n",
+		s.Requests.Load(), s.Lookups.Load(), s.Errors.Load())
+	s.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fibserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package fibcomp_test
+
+import (
+	"fmt"
+
+	fibcomp "fibcomp"
+)
+
+// Compress a FIB into a prefix DAG, look up addresses and apply a
+// live update — the core workflow of the library.
+func Example() {
+	table := fibcomp.MustParse(
+		"0.0.0.0/0 1",
+		"10.0.0.0/8 2",
+		"10.1.0.0/16 3",
+	)
+	dag, err := fibcomp.Compress(table, fibcomp.DefaultBarrier)
+	if err != nil {
+		panic(err)
+	}
+	addr, _ := fibcomp.ParseAddr("10.1.2.3")
+	fmt.Println(dag.Lookup(addr))
+	dag.Set(addr&0xFFFF0000, 16, 4)
+	fmt.Println(dag.Lookup(addr))
+	// Output:
+	// 3
+	// 4
+}
+
+// Measure a FIB's compressibility with the paper's entropy metrics.
+func ExampleMetrics() {
+	table := fibcomp.MustParse(
+		"0.0.0.0/0 2",
+		"0.0.0.0/1 3",
+		"0.0.0.0/2 3",
+		"32.0.0.0/3 2",
+		"64.0.0.0/2 2",
+		"96.0.0.0/3 1",
+	)
+	m := fibcomp.Metrics(table)
+	fmt.Printf("n=%d leaves, δ=%d, H0=%.3f\n", m.Leaves, m.Delta, m.H0)
+	fmt.Printf("I=%.0f bits, E=%.1f bits\n", m.InfoBound, m.Entropy)
+	// Output:
+	// n=5 leaves, δ=3, H0=1.371
+	// I=20 bits, E=16.9 bits
+}
+
+// ORTC aggregation shrinks the sample FIB of the paper's Fig 1 from
+// six entries to three without changing any forwarding decision.
+func ExampleAggregate() {
+	table := fibcomp.MustParse(
+		"0.0.0.0/0 2",
+		"0.0.0.0/1 3",
+		"0.0.0.0/2 3",
+		"32.0.0.0/3 2",
+		"64.0.0.0/2 2",
+		"96.0.0.0/3 1",
+	)
+	agg := fibcomp.Aggregate(table)
+	agg.Sort()
+	for _, e := range agg.Entries {
+		fmt.Println(e)
+	}
+	// Output:
+	// 0.0.0.0/0 -> 2
+	// 0.0.0.0/3 -> 3
+	// 96.0.0.0/3 -> 1
+}
+
+// Trie-folding doubles as a compressed string self-index (Fig 4).
+func ExampleCompressString() {
+	// "bananaba" over the alphabet a=0, b=1, n=2.
+	s := []uint32{1, 0, 2, 0, 2, 0, 1, 0}
+	d, err := fibcomp.CompressString(s, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.Access(2)) // the third character, 'n'
+	fmt.Println(d.Nodes())   // folded size vs 15 nodes uncompressed
+	// Output:
+	// 2
+	// 8
+}

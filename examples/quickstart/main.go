@@ -1,0 +1,64 @@
+// Quickstart: build a FIB, compress it both ways, look up addresses,
+// and apply live updates — the 60-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fibcomp "fibcomp"
+)
+
+func main() {
+	// A small FIB: default route plus a few customer prefixes.
+	table := fibcomp.MustParse(
+		"0.0.0.0/0 1",      // default → upstream
+		"10.0.0.0/8 2",     // corporate
+		"10.1.0.0/16 3",    // datacenter
+		"192.168.0.0/16 2", // campus
+	)
+
+	// The paper's compressibility metrics (§2).
+	m := fibcomp.Metrics(table)
+	fmt.Printf("FIB: %d prefixes, δ=%d next-hops, H0=%.3f\n", table.N(), m.Delta, m.H0)
+	fmt.Printf("information-theoretic limit I = %.0f bits, FIB entropy E = %.0f bits\n",
+		m.InfoBound, m.Entropy)
+
+	// Trie-folding prefix DAG (§4): compressed, updatable, O(W) lookup.
+	dag, err := fibcomp.Compress(table, fibcomp.DefaultBarrier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lookup := func(s string) {
+		addr, err := fibcomp.ParseAddr(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15s → next-hop %d\n", s, dag.Lookup(addr))
+	}
+	fmt.Println("prefix DAG lookups:")
+	lookup("10.1.2.3") // → 3 (most specific wins)
+	lookup("10.2.0.1") // → 2
+	lookup("8.8.8.8")  // → 1 (default)
+
+	// Live update: move the datacenter to a new next-hop.
+	addr, _ := fibcomp.ParseAddr("10.1.0.0")
+	if err := dag.Set(addr, 16, 4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after update 10.1.0.0/16 → 4:")
+	lookup("10.1.2.3") // → 4
+
+	// XBW-b (§3): the succinct static representation.
+	x, err := fibcomp.CompressXBW(table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XBW-b: %d bits for %d leaves (entropy bound E = %.0f bits)\n",
+		x.SizeBits(), x.Leaves(), m.Entropy)
+
+	// ORTC aggregation (the classic baseline): fewer rows, same
+	// forwarding behaviour.
+	agg := fibcomp.Aggregate(table)
+	fmt.Printf("ORTC: %d entries instead of %d\n", agg.N(), table.N())
+}

@@ -1,0 +1,70 @@
+// Stringindex: trie-folding as a general-purpose compressed string
+// self-index (§4.2, Fig 4). The example stores the paper's "bananaba"
+// string and then a megabyte-scale low-entropy log-like string in a
+// prefix DAG, recovers characters by key lookup, rewrites symbols in
+// place, and reports the compression achieved — demonstrating that
+// the prefix DAG is a dynamic entropy-compressed string index, which
+// the paper notes is the first *pointer machine* of this kind.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	fibcomp "fibcomp"
+	"fibcomp/internal/bounds"
+	"fibcomp/internal/gen"
+)
+
+func main() {
+	// Fig 4: "bananaba" over Σ = {a, b, n}.
+	alphabet := map[byte]uint32{'a': 0, 'b': 1, 'n': 2}
+	letters := []byte{'a', 'b', 'n'}
+	text := "bananaba"
+	sym := make([]uint32, len(text))
+	for i := range text {
+		sym[i] = alphabet[text[i]]
+	}
+	d, err := fibcomp.CompressString(sym, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%q compressed to %d DAG nodes (complete trie: %d)\n",
+		text, d.Nodes(), 2*len(text)-1)
+	// The paper's example: the third character via the key 2 = 010₂.
+	fmt.Printf("access(2) = %q\n", letters[d.Access(2)])
+	recovered := make([]byte, len(text))
+	for i := range recovered {
+		recovered[i] = letters[d.Access(i)]
+	}
+	fmt.Printf("recovered: %q\n", recovered)
+
+	// A low-entropy string at scale: 2^20 symbols, 97% 'a'.
+	rng := rand.New(rand.NewSource(9))
+	n := 1 << 20
+	big := gen.BernoulliString(rng, n, 0.97)
+	h0 := gen.Entropy([]float64{0.97, 0.03})
+	lambda := bounds.LambdaEntropy(n, h0)
+	bd, err := fibcomp.CompressString(big, lambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bits := float64(bd.ModelBytes()) * 8
+	fmt.Printf("\n2^20 Bernoulli(0.97) symbols: H0 = %.3f bits/sym\n", h0)
+	fmt.Printf("DAG (λ=%d): %.1f KB = %.3f bits/sym (raw: 1 bit/sym, entropy: %.3f)\n",
+		lambda, bits/8/1024, bits/float64(n), h0)
+
+	// Dynamic: rewrite symbols in place and read them back.
+	for i := 0; i < 1000; i++ {
+		pos := rng.Intn(n)
+		v := uint32(rng.Intn(2))
+		if err := bd.SetSymbol(pos, v); err != nil {
+			log.Fatal(err)
+		}
+		if bd.Access(pos) != v {
+			log.Fatalf("read-back mismatch at %d", pos)
+		}
+	}
+	fmt.Println("1000 in-place symbol rewrites verified")
+}

@@ -1,0 +1,171 @@
+package fibcomp_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	fibcomp "fibcomp"
+	"fibcomp/internal/gen"
+	"fibcomp/internal/mdag"
+	"fibcomp/internal/patricia"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	tb := fibcomp.MustParse(
+		"0.0.0.0/0 1",
+		"10.0.0.0/8 2",
+		"10.1.0.0/16 3",
+	)
+	d, err := fibcomp.Compress(tb, fibcomp.DefaultBarrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := fibcomp.ParseAddr("10.1.2.3")
+	if d.Lookup(addr) != 3 {
+		t.Fatal("LPM broken")
+	}
+	if err := d.Set(addr&0xFFFF0000, 16, 4); err != nil {
+		t.Fatal(err)
+	}
+	if d.Lookup(addr) != 4 {
+		t.Fatal("update not visible")
+	}
+	x, err := fibcomp.CompressXBW(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Lookup(addr) != 3 {
+		t.Fatal("XBW LPM broken")
+	}
+}
+
+func TestAllEnginesAgree(t *testing.T) {
+	// Integration: every representation in the library must agree with
+	// the linear-scan oracle on random FIBs.
+	rng := rand.New(rand.NewSource(1))
+	tb, err := gen.SplitFIB(rng, 3000, []float64{0.7, 0.2, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fibcomp.Compress(tb, fibcomp.DefaultBarrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := fibcomp.CompressXBW(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := fibcomp.BuildLCTrie(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := fibcomp.Aggregate(tb)
+	if agg.N() > tb.N() {
+		t.Fatal("aggregation grew the table")
+	}
+	for probe := 0; probe < 5000; probe++ {
+		addr := rng.Uint32()
+		want := tb.LookupLinear(addr)
+		if d.Lookup(addr) != want {
+			t.Fatalf("pdag disagrees at %x", addr)
+		}
+		if blob.Lookup(addr) != want {
+			t.Fatalf("blob disagrees at %x", addr)
+		}
+		if x.Lookup(addr) != want {
+			t.Fatalf("xbw disagrees at %x", addr)
+		}
+		if lc.Lookup(addr) != want {
+			t.Fatalf("lctrie disagrees at %x", addr)
+		}
+		if agg.LookupLinear(addr) != want {
+			t.Fatalf("ortc output disagrees at %x", addr)
+		}
+	}
+}
+
+func TestMetricsAndBarrier(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb, _ := gen.SplitFIB(rng, 50000, []float64{0.8, 0.1, 0.06, 0.04})
+	s := fibcomp.Metrics(tb)
+	if s.Leaves == 0 || s.H0 <= 0 || s.Entropy >= s.InfoBound+1 {
+		t.Fatalf("implausible metrics %+v", s)
+	}
+	lambda := fibcomp.AutoBarrier(tb)
+	if lambda < 5 || lambda > 20 {
+		t.Fatalf("auto barrier %d implausible for 50 K prefixes", lambda)
+	}
+	// Compression at the auto barrier must beat the plain trie (λ=W).
+	auto, err := fibcomp.Compress(tb, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := fibcomp.Compress(tb, fibcomp.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.ModelBytes() >= plain.ModelBytes() {
+		t.Fatalf("auto λ=%d (%d B) should beat λ=32 (%d B)",
+			lambda, auto.ModelBytes(), plain.ModelBytes())
+	}
+}
+
+func TestReadTable(t *testing.T) {
+	tb, err := fibcomp.ReadTable(strings.NewReader("10.0.0.0/8 1\n"))
+	if err != nil || tb.N() != 1 {
+		t.Fatalf("ReadTable: %v %d", err, tb.N())
+	}
+}
+
+func TestStringIndexFacade(t *testing.T) {
+	s := []uint32{1, 0, 2, 0, 2, 0, 1, 0}
+	d, err := fibcomp.CompressString(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s {
+		if d.Access(i) != v {
+			t.Fatalf("Access(%d) != %d", i, v)
+		}
+	}
+}
+
+func TestBaselinesAgree(t *testing.T) {
+	// The historical baselines must agree with the oracle too, and
+	// their memory models must bracket the compressed structures:
+	// patricia (24 B/node) ≫ pDAG model; multibit DAG correct at all
+	// strides.
+	rng := rand.New(rand.NewSource(9))
+	tb, err := gen.SplitFIB(rng, 4000, []float64{0.8, 0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := patricia.Build(tb)
+	m, err := mdag.Build(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fibcomp.Compress(tb, fibcomp.DefaultBarrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 4000; probe++ {
+		addr := rng.Uint32()
+		want := tb.LookupLinear(addr)
+		if pt.Lookup(addr) != want {
+			t.Fatalf("patricia disagrees at %x", addr)
+		}
+		if m.Lookup(addr) != want {
+			t.Fatalf("mdag disagrees at %x", addr)
+		}
+	}
+	if pt.ModelBytes() <= d.ModelBytes() {
+		t.Fatalf("patricia %d B should dwarf the folded DAG %d B",
+			pt.ModelBytes(), d.ModelBytes())
+	}
+}

@@ -1,0 +1,197 @@
+// Package bitvec provides bit vectors with constant-time rank and select
+// support, in two flavours: a plain (uncompressed) vector with a
+// Jacobson-style sampled directory, and an RRR compressed vector that
+// stores the bits in entropy-bounded space (Raman, Raman, Rao,
+// SODA 2002) while still answering access/rank/select queries without
+// decompressing. Both are used by the XBW-b FIB transform.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Builder accumulates bits for either vector kind.
+type Builder struct {
+	words []uint64
+	n     int
+}
+
+// NewBuilder returns a Builder with capacity hint n bits.
+func NewBuilder(n int) *Builder {
+	return &Builder{words: make([]uint64, 0, (n+63)/64)}
+}
+
+// Append adds one bit to the end of the sequence.
+func (b *Builder) Append(bit bool) {
+	if b.n%64 == 0 {
+		b.words = append(b.words, 0)
+	}
+	if bit {
+		b.words[b.n/64] |= 1 << uint(b.n%64)
+	}
+	b.n++
+}
+
+// AppendN adds the low n bits of v, least significant first.
+func (b *Builder) AppendN(v uint64, n int) {
+	for i := 0; i < n; i++ {
+		b.Append(v&(1<<uint(i)) != 0)
+	}
+}
+
+// Len reports the number of bits appended so far.
+func (b *Builder) Len() int { return b.n }
+
+// Bit reports the i-th appended bit.
+func (b *Builder) Bit(i int) bool {
+	return b.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+const (
+	superBits = 512 // bits per rank superblock (8 words)
+)
+
+// Vector is an uncompressed bit vector with o(n)-bit rank/select
+// directories. Rank runs in O(1); select in O(log n) by binary search
+// over the directory followed by a word scan.
+type Vector struct {
+	words []uint64
+	n     int
+	// super[i] = number of ones in bits [0, i*superBits).
+	super []uint64
+	ones  int
+}
+
+// Build freezes the builder into a plain Vector.
+func (b *Builder) Build() *Vector {
+	v := &Vector{words: b.words, n: b.n}
+	nSuper := (b.n+superBits-1)/superBits + 1
+	v.super = make([]uint64, nSuper)
+	var acc uint64
+	for i := 0; i < nSuper; i++ {
+		v.super[i] = acc
+		for w := i * 8; w < (i+1)*8 && w < len(v.words); w++ {
+			acc += uint64(bits.OnesCount64(v.words[w]))
+		}
+	}
+	v.ones = int(acc)
+	return v
+}
+
+// FromBits builds a Vector from a bool slice; convenient in tests.
+func FromBits(bs []bool) *Vector {
+	b := NewBuilder(len(bs))
+	for _, x := range bs {
+		b.Append(x)
+	}
+	return b.Build()
+}
+
+// Len reports the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Ones reports the total number of set bits.
+func (v *Vector) Ones() int { return v.ones }
+
+// Zeros reports the total number of clear bits.
+func (v *Vector) Zeros() int { return v.n - v.ones }
+
+// Bit reports the value of bit i (0-based).
+func (v *Vector) Bit(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: Bit(%d) out of range [0,%d)", i, v.n))
+	}
+	return v.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Rank1 returns the number of ones in bits [0, i). i may equal Len.
+func (v *Vector) Rank1(i int) int {
+	if i < 0 || i > v.n {
+		panic(fmt.Sprintf("bitvec: Rank1(%d) out of range [0,%d]", i, v.n))
+	}
+	r := v.super[i/superBits]
+	for w := (i / superBits) * 8; w < i/64; w++ {
+		r += uint64(bits.OnesCount64(v.words[w]))
+	}
+	if i%64 != 0 {
+		r += uint64(bits.OnesCount64(v.words[i/64] & (1<<uint(i%64) - 1)))
+	}
+	return int(r)
+}
+
+// Rank0 returns the number of zeros in bits [0, i).
+func (v *Vector) Rank0(i int) int { return i - v.Rank1(i) }
+
+// Select1 returns the position of the k-th one (k is 1-based).
+// It returns -1 if there are fewer than k ones.
+func (v *Vector) Select1(k int) int {
+	if k <= 0 || k > v.ones {
+		return -1
+	}
+	// Binary search the superblock directory for the last block with
+	// super[i] < k.
+	lo, hi := 0, len(v.super)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if v.super[mid] < uint64(k) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := uint64(k) - v.super[lo]
+	for w := lo * 8; w < len(v.words); w++ {
+		c := uint64(bits.OnesCount64(v.words[w]))
+		if c >= rem {
+			return w*64 + selectInWord(v.words[w], int(rem))
+		}
+		rem -= c
+	}
+	return -1
+}
+
+// Select0 returns the position of the k-th zero (1-based), or -1.
+func (v *Vector) Select0(k int) int {
+	if k <= 0 || k > v.n-v.ones {
+		return -1
+	}
+	lo, hi := 0, len(v.super)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		zeros := uint64(mid*superBits) - v.super[mid]
+		if zeros < uint64(k) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := uint64(k) - (uint64(lo*superBits) - v.super[lo])
+	for w := lo * 8; w < len(v.words); w++ {
+		word := ^v.words[w]
+		if w == len(v.words)-1 && v.n%64 != 0 {
+			word &= 1<<uint(v.n%64) - 1
+		}
+		c := uint64(bits.OnesCount64(word))
+		if c >= rem {
+			return w*64 + selectInWord(word, int(rem))
+		}
+		rem -= c
+	}
+	return -1
+}
+
+// selectInWord returns the position (0-63) of the k-th set bit of w,
+// k 1-based; w must contain at least k ones.
+func selectInWord(w uint64, k int) int {
+	for i := 0; i < k-1; i++ {
+		w &= w - 1 // clear lowest set bit
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// SizeBits reports the total storage of the vector including its
+// rank directory, in bits.
+func (v *Vector) SizeBits() int {
+	return len(v.words)*64 + len(v.super)*64
+}

@@ -1,0 +1,263 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naive is a reference implementation against which both vector kinds
+// are checked.
+type naive []bool
+
+func (n naive) rank1(i int) int {
+	r := 0
+	for j := 0; j < i; j++ {
+		if n[j] {
+			r++
+		}
+	}
+	return r
+}
+
+func (n naive) select1(k int) int {
+	for i, b := range n {
+		if b {
+			k--
+			if k == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func (n naive) select0(k int) int {
+	for i, b := range n {
+		if !b {
+			k--
+			if k == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func randomBits(rng *rand.Rand, n int, p float64) []bool {
+	bs := make([]bool, n)
+	for i := range bs {
+		bs[i] = rng.Float64() < p
+	}
+	return bs
+}
+
+func buildBoth(bs []bool) (*Vector, *RRR) {
+	b := NewBuilder(len(bs))
+	for _, x := range bs {
+		b.Append(x)
+	}
+	b2 := NewBuilder(len(bs))
+	for _, x := range bs {
+		b2.Append(x)
+	}
+	return b.Build(), b2.BuildRRR()
+}
+
+func TestVectorEmpty(t *testing.T) {
+	v, r := buildBoth(nil)
+	if v.Len() != 0 || r.Len() != 0 {
+		t.Fatalf("empty lengths: %d %d", v.Len(), r.Len())
+	}
+	if v.Rank1(0) != 0 || r.Rank1(0) != 0 {
+		t.Fatal("rank on empty should be 0")
+	}
+	if v.Select1(1) != -1 || r.Select1(1) != -1 {
+		t.Fatal("select on empty should be -1")
+	}
+}
+
+func TestVectorSingleBit(t *testing.T) {
+	for _, bit := range []bool{false, true} {
+		v, r := buildBoth([]bool{bit})
+		if v.Bit(0) != bit || r.Bit(0) != bit {
+			t.Fatalf("bit=%v: access mismatch", bit)
+		}
+		want := 0
+		if bit {
+			want = 1
+		}
+		if v.Rank1(1) != want || r.Rank1(1) != want {
+			t.Fatalf("bit=%v: rank mismatch", bit)
+		}
+	}
+}
+
+func TestVectorAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 15, 16, 63, 64, 65, 100, 511, 512, 513, 1000, 4096} {
+		for _, p := range []float64{0.01, 0.5, 0.99} {
+			bs := randomBits(rng, n, p)
+			ref := naive(bs)
+			v, r := buildBoth(bs)
+
+			if v.Ones() != ref.rank1(n) || r.Ones() != ref.rank1(n) {
+				t.Fatalf("n=%d p=%v: Ones mismatch", n, p)
+			}
+			for i := 0; i <= n; i++ {
+				if got := v.Rank1(i); got != ref.rank1(i) {
+					t.Fatalf("n=%d p=%v: Vector.Rank1(%d)=%d want %d", n, p, i, got, ref.rank1(i))
+				}
+				if got := r.Rank1(i); got != ref.rank1(i) {
+					t.Fatalf("n=%d p=%v: RRR.Rank1(%d)=%d want %d", n, p, i, got, ref.rank1(i))
+				}
+			}
+			for i := 0; i < n; i++ {
+				if v.Bit(i) != bs[i] || r.Bit(i) != bs[i] {
+					t.Fatalf("n=%d p=%v: Bit(%d) mismatch", n, p, i)
+				}
+			}
+			for k := 1; k <= n; k++ {
+				if got := v.Select1(k); got != ref.select1(k) {
+					t.Fatalf("n=%d p=%v: Vector.Select1(%d)=%d want %d", n, p, k, got, ref.select1(k))
+				}
+				if got := r.Select1(k); got != ref.select1(k) {
+					t.Fatalf("n=%d p=%v: RRR.Select1(%d)=%d want %d", n, p, k, got, ref.select1(k))
+				}
+				if got := v.Select0(k); got != ref.select0(k) {
+					t.Fatalf("n=%d p=%v: Vector.Select0(%d)=%d want %d", n, p, k, got, ref.select0(k))
+				}
+				if got := r.Select0(k); got != ref.select0(k) {
+					t.Fatalf("n=%d p=%v: RRR.Select0(%d)=%d want %d", n, p, k, got, ref.select0(k))
+				}
+			}
+		}
+	}
+}
+
+func TestRankSelectInverse(t *testing.T) {
+	// Property: Rank1(Select1(k)) == k-1 and Bit(Select1(k)) == true.
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		rng := rand.New(rand.NewSource(seed))
+		bs := randomBits(rng, n, 0.3)
+		v, r := buildBoth(bs)
+		for k := 1; k <= v.Ones(); k++ {
+			p := v.Select1(k)
+			if !v.Bit(p) || v.Rank1(p) != k-1 {
+				return false
+			}
+			p = r.Select1(k)
+			if !r.Bit(p) || r.Rank1(p) != k-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bs := randomBits(rng, 777, 0.5)
+		v, r := buildBoth(bs)
+		for i := 1; i <= len(bs); i++ {
+			dv := v.Rank1(i) - v.Rank1(i-1)
+			dr := r.Rank1(i) - r.Rank1(i-1)
+			if dv < 0 || dv > 1 || dv != dr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRRRCompresssesSkewed(t *testing.T) {
+	// A very sparse vector must compress well below its plain size.
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(7))
+	bs := randomBits(rng, n, 0.01)
+	v, r := buildBoth(bs)
+	if r.SizeBits() >= v.SizeBits() {
+		t.Fatalf("RRR %d bits should beat plain %d bits on sparse input",
+			r.SizeBits(), v.SizeBits())
+	}
+	// Entropy of Bernoulli(0.01) is ~0.081 bits; RRR with b=15 and the
+	// sampled directory should stay under 0.5 bits/bit here.
+	if got := float64(r.SizeBits()) / float64(n); got > 0.5 {
+		t.Fatalf("RRR %0.3f bits/bit, want < 0.5", got)
+	}
+}
+
+func TestAppendN(t *testing.T) {
+	b := NewBuilder(0)
+	b.AppendN(0b1011, 4)
+	b.AppendN(0, 3)
+	v := b.Build()
+	want := []bool{true, true, false, true, false, false, false}
+	if v.Len() != len(want) {
+		t.Fatalf("len=%d want %d", v.Len(), len(want))
+	}
+	for i, w := range want {
+		if v.Bit(i) != w {
+			t.Fatalf("bit %d = %v want %v", i, v.Bit(i), w)
+		}
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	// Every 15-bit pattern must survive encode/decode.
+	for p := uint64(0); p < 1<<rrrBlock; p += 7 { // stride to keep it fast
+		c := 0
+		for i := 0; i < rrrBlock; i++ {
+			if p&(1<<uint(i)) != 0 {
+				c++
+			}
+		}
+		off := encodeOffset(p, c)
+		if off >= binom[rrrBlock][c] {
+			t.Fatalf("offset %d out of range for class %d", off, c)
+		}
+		if got := decodeOffset(off, c); got != p {
+			t.Fatalf("round trip %b -> %d -> %b", p, off, got)
+		}
+	}
+}
+
+func TestSelectOutOfRange(t *testing.T) {
+	v, r := buildBoth([]bool{true, false, true})
+	for _, k := range []int{-1, 0, 3, 100} {
+		if v.Select1(k) != -1 || r.Select1(k) != -1 {
+			t.Fatalf("Select1(%d) should be -1", k)
+		}
+	}
+	if v.Select0(2) != -1 || r.Select0(2) != -1 {
+		t.Fatal("Select0(2) should be -1 with a single zero")
+	}
+}
+
+func BenchmarkVectorRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bs := randomBits(rng, 1<<20, 0.5)
+	v, _ := buildBoth(bs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Rank1(int(rng.Int31n(1 << 20)))
+	}
+}
+
+func BenchmarkRRRRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bs := randomBits(rng, 1<<20, 0.5)
+	_, r := buildBoth(bs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Rank1(int(rng.Int31n(1 << 20)))
+	}
+}

@@ -1,0 +1,44 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSuperblockBoundary guards a regression: when the block count is
+// an exact multiple of the superblock size (e.g. n = 480 or 960 bits
+// with 15-bit blocks and 32-block superblocks), the sentinel
+// superblock sample must still be initialized, or select's binary
+// search walks past the data and reports -1.
+func TestSuperblockBoundary(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		for _, n := range []int{465, 466, 479, 480, 481, 959, 960, 961, 1920} {
+			rng := rand.New(rand.NewSource(seed))
+			bs := make([]bool, n)
+			ones := 0
+			for i := range bs {
+				bs[i] = rng.Float64() < 0.3
+				if bs[i] {
+					ones++
+				}
+			}
+			v, r := buildBoth(bs)
+			for k := 1; k <= ones; k++ {
+				if p := r.Select1(k); p < 0 || !r.Bit(p) || r.Rank1(p) != k-1 {
+					t.Fatalf("RRR Select1 seed=%d n=%d k=%d: p=%d", seed, n, k, p)
+				}
+				if p := v.Select1(k); p < 0 || !v.Bit(p) || v.Rank1(p) != k-1 {
+					t.Fatalf("Vector Select1 seed=%d n=%d k=%d: p=%d", seed, n, k, p)
+				}
+			}
+			for k := 1; k <= n-ones; k++ {
+				if p := r.Select0(k); p < 0 || r.Bit(p) || r.Rank0(p) != k-1 {
+					t.Fatalf("RRR Select0 seed=%d n=%d k=%d: p=%d", seed, n, k, p)
+				}
+				if p := v.Select0(k); p < 0 || v.Bit(p) || v.Rank0(p) != k-1 {
+					t.Fatalf("Vector Select0 seed=%d n=%d k=%d: p=%d", seed, n, k, p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// RRR block geometry. Block size 15 keeps the class field at 4 bits and
+// lets offsets be ranked with 64-bit arithmetic; a superblock groups 32
+// blocks so the sampled directories stay o(n).
+const (
+	rrrBlock      = 15
+	rrrClassBits  = 4
+	rrrSuperBlock = 32
+)
+
+// binom[n][k] for n,k <= rrrBlock.
+var binom [rrrBlock + 1][rrrBlock + 1]uint64
+
+func init() {
+	for n := 0; n <= rrrBlock; n++ {
+		binom[n][0] = 1
+		for k := 1; k <= n; k++ {
+			binom[n][k] = binom[n-1][k-1] + binom[n-1][k]
+		}
+	}
+}
+
+// offsetBits[c] = number of bits needed for the offset of a block of
+// class c, i.e. ceil(log2 C(15, c)).
+var offsetBits [rrrBlock + 1]int
+
+func init() {
+	for c := 0; c <= rrrBlock; c++ {
+		offsetBits[c] = bits.Len64(binom[rrrBlock][c] - 1)
+	}
+}
+
+// RRR is a compressed bit vector supporting Access, Rank and Select on
+// the compressed form. Each 15-bit block is stored as a 4-bit class
+// (its popcount) plus a variable-width offset identifying the block
+// among all 15-bit words of that popcount; per-superblock samples give
+// cumulative ranks and offset-stream positions.
+type RRR struct {
+	n       int
+	ones    int
+	classes []uint64 // packed 4-bit classes
+	offsets []uint64 // packed variable-width offsets
+	offLen  int      // bits used in offsets
+	// Superblock samples, one per rrrSuperBlock blocks:
+	superRank []uint32 // ones before the superblock
+	superOff  []uint32 // offset-stream bit position of the superblock
+}
+
+// encodeOffset ranks pattern (low rrrBlock bits, c of them set) among
+// all rrrBlock-bit patterns with exactly c ones, in lexicographic
+// order of the bit string read LSB-first.
+func encodeOffset(pattern uint64, c int) uint64 {
+	var off uint64
+	for i := 0; i < rrrBlock && c > 0; i++ {
+		if pattern&(1<<uint(i)) != 0 {
+			// Skip all patterns that have a 0 here.
+			off += binom[rrrBlock-i-1][c]
+			c--
+		}
+	}
+	return off
+}
+
+// decodeOffset inverts encodeOffset.
+func decodeOffset(off uint64, c int) uint64 {
+	var pattern uint64
+	for i := 0; i < rrrBlock && c > 0; i++ {
+		zeroCount := binom[rrrBlock-i-1][c]
+		if off >= zeroCount {
+			pattern |= 1 << uint(i)
+			off -= zeroCount
+			c--
+		}
+	}
+	return pattern
+}
+
+// BuildRRR freezes the builder into an RRR compressed vector.
+func (b *Builder) BuildRRR() *RRR {
+	r := &RRR{n: b.n}
+	nBlocks := (b.n + rrrBlock - 1) / rrrBlock
+	r.classes = make([]uint64, (nBlocks*rrrClassBits+63)/64)
+	nSuper := nBlocks/rrrSuperBlock + 1
+	r.superRank = make([]uint32, nSuper)
+	r.superOff = make([]uint32, nSuper)
+
+	rank := 0
+	for blk := 0; blk < nBlocks; blk++ {
+		if blk%rrrSuperBlock == 0 {
+			r.superRank[blk/rrrSuperBlock] = uint32(rank)
+			r.superOff[blk/rrrSuperBlock] = uint32(r.offLen)
+		}
+		pattern := b.blockBits(blk)
+		c := bits.OnesCount64(pattern)
+		rank += c
+		r.setClass(blk, c)
+		r.appendOffset(encodeOffset(pattern, c), offsetBits[c])
+	}
+	// When nBlocks is an exact multiple of the superblock size, the
+	// final (sentinel) sample is never reached by the loop above; the
+	// select binary search needs it to hold the totals.
+	for sb := (nBlocks + rrrSuperBlock - 1) / rrrSuperBlock; sb < nSuper; sb++ {
+		r.superRank[sb] = uint32(rank)
+		r.superOff[sb] = uint32(r.offLen)
+	}
+	r.ones = rank
+	return r
+}
+
+// blockBits extracts block blk (rrrBlock bits) from the builder.
+func (b *Builder) blockBits(blk int) uint64 {
+	start := blk * rrrBlock
+	end := start + rrrBlock
+	if end > b.n {
+		end = b.n
+	}
+	var p uint64
+	for i := start; i < end; i++ {
+		if b.Bit(i) {
+			p |= 1 << uint(i-start)
+		}
+	}
+	return p
+}
+
+func (r *RRR) setClass(blk, c int) {
+	pos := blk * rrrClassBits
+	r.classes[pos/64] |= uint64(c) << uint(pos%64)
+	// rrrClassBits=4 always fits within one word since 64%4==0.
+}
+
+func (r *RRR) class(blk int) int {
+	pos := blk * rrrClassBits
+	return int(r.classes[pos/64] >> uint(pos%64) & 0xF)
+}
+
+func (r *RRR) appendOffset(off uint64, width int) {
+	if width == 0 {
+		return
+	}
+	for r.offLen+width > len(r.offsets)*64 {
+		r.offsets = append(r.offsets, 0)
+	}
+	pos := r.offLen
+	r.offsets[pos/64] |= off << uint(pos%64)
+	if pos%64+width > 64 {
+		r.offsets[pos/64+1] |= off >> uint(64-pos%64)
+	}
+	r.offLen += width
+}
+
+func (r *RRR) readOffset(pos, width int) uint64 {
+	if width == 0 {
+		return 0
+	}
+	v := r.offsets[pos/64] >> uint(pos%64)
+	if pos%64+width > 64 {
+		v |= r.offsets[pos/64+1] << uint(64-pos%64)
+	}
+	return v & (1<<uint(width) - 1)
+}
+
+// Len reports the number of bits stored.
+func (r *RRR) Len() int { return r.n }
+
+// Ones reports the total number of set bits.
+func (r *RRR) Ones() int { return r.ones }
+
+// blockAt decodes block blk, also returning the rank before it.
+func (r *RRR) blockAt(blk int) (pattern uint64, rankBefore int) {
+	sb := blk / rrrSuperBlock
+	rank := int(r.superRank[sb])
+	pos := int(r.superOff[sb])
+	for i := sb * rrrSuperBlock; i < blk; i++ {
+		c := r.class(i)
+		rank += c
+		pos += offsetBits[c]
+	}
+	c := r.class(blk)
+	return decodeOffset(r.readOffset(pos, offsetBits[c]), c), rank
+}
+
+// Bit reports the value of bit i.
+func (r *RRR) Bit(i int) bool {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("bitvec: RRR.Bit(%d) out of range [0,%d)", i, r.n))
+	}
+	pattern, _ := r.blockAt(i / rrrBlock)
+	return pattern&(1<<uint(i%rrrBlock)) != 0
+}
+
+// Rank1 returns the number of ones in bits [0, i).
+func (r *RRR) Rank1(i int) int {
+	if i < 0 || i > r.n {
+		panic(fmt.Sprintf("bitvec: RRR.Rank1(%d) out of range [0,%d]", i, r.n))
+	}
+	if i == 0 {
+		return 0
+	}
+	blk := i / rrrBlock
+	if blk*rrrBlock == i {
+		blk--
+	}
+	pattern, rank := r.blockAt(blk)
+	within := i - blk*rrrBlock
+	return rank + bits.OnesCount64(pattern&(1<<uint(within)-1))
+}
+
+// Rank0 returns the number of zeros in bits [0, i).
+func (r *RRR) Rank0(i int) int { return i - r.Rank1(i) }
+
+// Select1 returns the position of the k-th one (1-based), or -1.
+func (r *RRR) Select1(k int) int {
+	if k <= 0 || k > r.ones {
+		return -1
+	}
+	// Binary search superblocks, then scan blocks.
+	lo, hi := 0, len(r.superRank)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(r.superRank[mid]) < k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rank := int(r.superRank[lo])
+	pos := int(r.superOff[lo])
+	nBlocks := (r.n + rrrBlock - 1) / rrrBlock
+	for blk := lo * rrrSuperBlock; blk < nBlocks; blk++ {
+		c := r.class(blk)
+		if rank+c >= k {
+			pattern := decodeOffset(r.readOffset(pos, offsetBits[c]), c)
+			return blk*rrrBlock + selectInWord(pattern, k-rank)
+		}
+		rank += c
+		pos += offsetBits[c]
+	}
+	return -1
+}
+
+// Select0 returns the position of the k-th zero (1-based), or -1.
+func (r *RRR) Select0(k int) int {
+	if k <= 0 || k > r.n-r.ones {
+		return -1
+	}
+	lo, hi := 0, len(r.superRank)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		zeros := mid*rrrSuperBlock*rrrBlock - int(r.superRank[mid])
+		if zeros < k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	zeros := lo * rrrSuperBlock * rrrBlock
+	zeros -= int(r.superRank[lo])
+	pos := int(r.superOff[lo])
+	nBlocks := (r.n + rrrBlock - 1) / rrrBlock
+	for blk := lo * rrrSuperBlock; blk < nBlocks; blk++ {
+		c := r.class(blk)
+		blockLen := rrrBlock
+		if (blk+1)*rrrBlock > r.n {
+			blockLen = r.n - blk*rrrBlock
+		}
+		z := blockLen - c
+		if zeros+z >= k {
+			pattern := decodeOffset(r.readOffset(pos, offsetBits[c]), c)
+			inv := ^pattern & (1<<uint(blockLen) - 1)
+			return blk*rrrBlock + selectInWord(inv, k-zeros)
+		}
+		zeros += z
+		pos += offsetBits[c]
+	}
+	return -1
+}
+
+// SizeBits reports the total compressed storage, including sampled
+// directories, in bits. This is the quantity the paper's Lemma 2/3
+// bounds (t + o(t) bits for S_I).
+func (r *RRR) SizeBits() int {
+	nBlocks := (r.n + rrrBlock - 1) / rrrBlock
+	return nBlocks*rrrClassBits + r.offLen +
+		len(r.superRank)*32 + len(r.superOff)*32
+}

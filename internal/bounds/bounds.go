@@ -1,0 +1,107 @@
+// Package bounds provides the analytical machinery of §4.2–§4.3: the
+// Lambert W-function, the optimal leaf-push barrier settings of
+// equations (2) and (3), and the storage-size bounds of Theorems 1
+// and 2 against which the measured prefix-DAG sizes are compared.
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// LambertW evaluates the principal branch W0 of the Lambert
+// W-function (z = W·e^W) for z ≥ 0, by Halley iteration. Accuracy is
+// ~1e-12 over the range used here.
+func LambertW(z float64) (float64, error) {
+	if z < 0 {
+		return 0, fmt.Errorf("bounds: LambertW defined here for z ≥ 0, got %v", z)
+	}
+	if z == 0 {
+		return 0, nil
+	}
+	// Initial guess: log-based for large z, series for small.
+	var w float64
+	if z > math.E {
+		l1 := math.Log(z)
+		l2 := math.Log(l1)
+		w = l1 - l2 + l2/l1
+	} else {
+		w = z / math.E // crude but convergent under Halley
+	}
+	for i := 0; i < 100; i++ {
+		ew := math.Exp(w)
+		f := w*ew - z
+		// Halley step.
+		denom := ew*(w+1) - (w+2)*f/(2*w+2)
+		dw := f / denom
+		w -= dw
+		if math.Abs(dw) < 1e-13*(1+math.Abs(w)) {
+			return w, nil
+		}
+	}
+	return w, nil
+}
+
+// LambdaInfoBound computes the barrier of eq. (2),
+// λ = ⌊W(n ln δ)/ln 2⌋, used by Theorem 1 to store a string of length
+// n over an alphabet of size δ in at most 4·lg(δ)·n + o(n) bits.
+func LambdaInfoBound(n int, delta int) int {
+	if n <= 0 || delta <= 1 {
+		return 0
+	}
+	w, _ := LambertW(float64(n) * math.Log(float64(delta)))
+	return int(math.Floor(w / math.Ln2))
+}
+
+// LambdaEntropy computes the barrier of eq. (3),
+// λ = ⌊W(n·H0·ln 2)/ln 2⌋, the setting under which Theorem 2 bounds
+// the expected DAG size and Theorem 3 bounds update cost by
+// O(W(1 + 1/H0)).
+func LambdaEntropy(n int, h0 float64) int {
+	if n <= 0 || h0 <= 0 {
+		return 0
+	}
+	w, _ := LambertW(float64(n) * h0 * math.Ln2)
+	return int(math.Floor(w / math.Ln2))
+}
+
+// Theorem1Bits is the compact-size bound of Theorem 1: 4·lg(δ)·n bits
+// (the o(n) term is omitted).
+func Theorem1Bits(n, delta int) float64 {
+	return 4 * ceilLog2f(delta) * float64(n)
+}
+
+// Theorem2Bits is the entropy-size bound of Theorem 2:
+// (6 + 2·lg(1/H0) + 2·lg lg δ)·H0·n bits (o(n) omitted). It is only
+// meaningful for 0 < H0 ≤ lg δ.
+func Theorem2Bits(n int, h0 float64, delta int) float64 {
+	if h0 <= 0 {
+		return 0
+	}
+	lgDelta := ceilLog2f(delta)
+	if lgDelta < 1 {
+		lgDelta = 1
+	}
+	c := 6 + 2*math.Log2(1/h0) + 2*math.Log2(lgDelta)
+	return c * h0 * float64(n)
+}
+
+// UpdateCostNodes is the Theorem 3 bound on nodes visited per update,
+// W(1 + 1/H0), with the barrier set by eq. (3).
+func UpdateCostNodes(w int, h0 float64) float64 {
+	if h0 <= 0 {
+		return math.Inf(1)
+	}
+	return float64(w) * (1 + 1/h0)
+}
+
+func ceilLog2f(x int) float64 {
+	if x <= 1 {
+		return 0
+	}
+	b := 0
+	for v := x - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return float64(b)
+}

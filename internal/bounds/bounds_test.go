@@ -1,0 +1,139 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertWKnownValues(t *testing.T) {
+	cases := []struct {
+		z, want float64
+	}{
+		{0, 0},
+		{math.E, 1},
+		{1, 0.5671432904097838},
+		{2 * math.E * math.E, 2},
+		{10, 1.7455280027406994},
+	}
+	for _, c := range cases {
+		got, err := LambertW(c.z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Fatalf("W(%v) = %v want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestLambertWNegative(t *testing.T) {
+	if _, err := LambertW(-1); err == nil {
+		t.Fatal("negative argument should error")
+	}
+}
+
+func TestLambertWIdentity(t *testing.T) {
+	// Property: W(z)·e^W(z) == z.
+	f := func(raw uint32) bool {
+		z := float64(raw%1000000)/100 + 0.001
+		w, err := LambertW(z)
+		if err != nil {
+			return false
+		}
+		return math.Abs(w*math.Exp(w)-z) < 1e-8*(1+z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambdaSettings(t *testing.T) {
+	// For the string model of §5.1 (n = 2^17, δ = 2): eq. (2) gives
+	// λ = ⌊W(2^17·ln 2)/ln 2⌋. W(90852.... ) ≈ ln(90852)-ln ln(90852)
+	// ≈ 11.4-2.4 ≈ 9-10, so λ should land near 13-14... verify the
+	// identity-based inverse instead: 2^λ·λ·ln2 ≤ n·lnδ < grows.
+	n, delta := 1<<17, 2
+	lambda := LambdaInfoBound(n, delta)
+	if lambda < 5 || lambda > 20 {
+		t.Fatalf("λ = %d implausible for n=2^17", lambda)
+	}
+	// Check the defining property of eq. (4): κ·2^κ = n·lg δ with
+	// λ = ⌊κ⌋, so λ·2^λ ≤ n·lg δ and (λ+1)·2^(λ+1) > n·lg δ.
+	target := float64(n) * 1 // lg 2 = 1
+	if float64(lambda)*math.Pow(2, float64(lambda)) > target {
+		t.Fatalf("λ=%d: λ·2^λ exceeds n·lgδ", lambda)
+	}
+	if float64(lambda+1)*math.Pow(2, float64(lambda+1)) <= target {
+		t.Fatalf("λ=%d not maximal", lambda)
+	}
+}
+
+func TestLambdaEntropyMatchesInfoAtMaxEntropy(t *testing.T) {
+	// Footnote of §4.3: eq. (3) transforms into eq. (2) at maximum
+	// entropy H0 = lg δ.
+	n := 1 << 20
+	for _, delta := range []int{2, 4, 16} {
+		h0 := math.Log2(float64(delta))
+		a := LambdaEntropy(n, h0)
+		b := LambdaInfoBound(n, delta)
+		if a != b {
+			t.Fatalf("δ=%d: λ_entropy=%d != λ_info=%d at max entropy", delta, a, b)
+		}
+	}
+}
+
+func TestLambdaMonotone(t *testing.T) {
+	// Larger tables and larger entropy both push the barrier deeper.
+	prev := 0
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 18, 1 << 22} {
+		l := LambdaEntropy(n, 1.0)
+		if l < prev {
+			t.Fatalf("λ not monotone in n: %d then %d", prev, l)
+		}
+		prev = l
+	}
+	if LambdaEntropy(1<<20, 0.1) > LambdaEntropy(1<<20, 2.0) {
+		t.Fatal("λ not monotone in H0")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if LambdaInfoBound(0, 4) != 0 || LambdaInfoBound(100, 1) != 0 {
+		t.Fatal("degenerate λ_info")
+	}
+	if LambdaEntropy(100, 0) != 0 {
+		t.Fatal("degenerate λ_entropy")
+	}
+	if Theorem2Bits(100, 0, 4) != 0 {
+		t.Fatal("degenerate Thm2")
+	}
+}
+
+func TestTheoremBoundsOrdering(t *testing.T) {
+	// At reasonable entropy, Theorem 2's bound sits below Theorem 1's
+	// (that is the point of entropy compression); at extremely small
+	// H0 the 2·lg(1/H0) error term can dominate.
+	n := 1 << 20
+	delta := 256
+	h0 := 1.0 // low-entropy regime, typical of real FIBs (Table 1)
+	if Theorem2Bits(n, h0, delta) >= Theorem1Bits(n, delta) {
+		t.Fatalf("Thm2 %.0f should be < Thm1 %.0f at H0=1, δ=256",
+			Theorem2Bits(n, h0, delta), Theorem1Bits(n, delta))
+	}
+	// The low-entropy spike of Figs 6–7.
+	perSymLow := Theorem2Bits(n, 0.01, delta) / (0.01 * float64(n))
+	perSymMid := Theorem2Bits(n, 1.0, delta) / (1.0 * float64(n))
+	if perSymLow <= perSymMid {
+		t.Fatal("expected the compression-efficiency spike at tiny H0")
+	}
+}
+
+func TestUpdateCost(t *testing.T) {
+	if c := UpdateCostNodes(32, 1.0); c != 64 {
+		t.Fatalf("W(1+1/1) = %v want 64", c)
+	}
+	if !math.IsInf(UpdateCostNodes(32, 0), 1) {
+		t.Fatal("H0=0 should be unbounded")
+	}
+}

@@ -1,0 +1,137 @@
+// Package cachesim simulates a CPU cache hierarchy (set-associative,
+// LRU, write-allocate) so the evaluation can reproduce the
+// cache-misses-per-packet column of Table 2 without hardware
+// performance counters. The default hierarchy mirrors the paper's
+// testbed: a 2.50 GHz Core i5 with 32 KB 8-way L1D, 256 KB 8-way L2
+// and 3 MB 12-way L3.
+package cachesim
+
+import "fmt"
+
+// Level models one cache level.
+type Level struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+
+	sets     int
+	tags     [][]uint64 // tags[set][way]
+	age      [][]uint64 // LRU stamps
+	clock    uint64
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewLevel builds a cache level; sizes must be consistent
+// (size = sets × ways × line).
+func NewLevel(name string, size, ways, line int) (*Level, error) {
+	if size <= 0 || ways <= 0 || line <= 0 {
+		return nil, fmt.Errorf("cachesim: non-positive geometry")
+	}
+	sets := size / (ways * line)
+	if sets == 0 || sets*ways*line != size {
+		return nil, fmt.Errorf("cachesim: %s geometry %d/%d/%d does not tile", name, size, ways, line)
+	}
+	l := &Level{Name: name, SizeBytes: size, Ways: ways, LineBytes: line, sets: sets}
+	l.tags = make([][]uint64, sets)
+	l.age = make([][]uint64, sets)
+	for i := range l.tags {
+		l.tags[i] = make([]uint64, ways)
+		l.age[i] = make([]uint64, ways)
+		for w := range l.tags[i] {
+			l.tags[i][w] = ^uint64(0) // invalid
+		}
+	}
+	return l, nil
+}
+
+// access touches addr, returning true on hit; on miss the line is
+// filled with LRU replacement.
+func (l *Level) access(addr uint64) bool {
+	l.Accesses++
+	l.clock++
+	line := addr / uint64(l.LineBytes)
+	set := int(line % uint64(l.sets))
+	tag := line / uint64(l.sets)
+	ways := l.tags[set]
+	for w, t := range ways {
+		if t == tag {
+			l.age[set][w] = l.clock
+			return true
+		}
+	}
+	l.Misses++
+	victim, oldest := 0, l.age[set][0]
+	for w := 1; w < l.Ways; w++ {
+		if l.age[set][w] < oldest {
+			victim, oldest = w, l.age[set][w]
+		}
+	}
+	l.tags[set][victim] = tag
+	l.age[set][victim] = l.clock
+	return false
+}
+
+// Hierarchy is an inclusive multi-level cache backed by DRAM.
+type Hierarchy struct {
+	Levels []*Level
+	// Latencies in CPU cycles: per level on hit, and for DRAM.
+	HitCycles  []int
+	MemCycles  int
+	TotalRefs  uint64
+	TotalCycle uint64
+}
+
+// NewCorei5 builds the paper's testbed hierarchy: 32 KB/8-way L1D
+// (4 cycles), 256 KB/8-way L2 (12 cycles), 3 MB/12-way L3 (36 cycles),
+// DRAM ≈ 180 cycles, 64-byte lines.
+func NewCorei5() *Hierarchy {
+	l1, _ := NewLevel("L1d", 32<<10, 8, 64)
+	l2, _ := NewLevel("L2", 256<<10, 8, 64)
+	l3, _ := NewLevel("L3", 3<<20, 12, 64)
+	return &Hierarchy{
+		Levels:    []*Level{l1, l2, l3},
+		HitCycles: []int{4, 12, 36},
+		MemCycles: 180,
+	}
+}
+
+// Access touches a byte address and returns the simulated cycles.
+func (h *Hierarchy) Access(addr uint64) int {
+	h.TotalRefs++
+	for i, l := range h.Levels {
+		if l.access(addr) {
+			c := h.HitCycles[i]
+			h.TotalCycle += uint64(c)
+			return c
+		}
+	}
+	h.TotalCycle += uint64(h.MemCycles)
+	return h.MemCycles
+}
+
+// LLCMisses reports misses at the last level — the "cache miss"
+// counter perf(1) reads in §5.3.
+func (h *Hierarchy) LLCMisses() uint64 {
+	if len(h.Levels) == 0 {
+		return 0
+	}
+	return h.Levels[len(h.Levels)-1].Misses
+}
+
+// Reset clears counters but keeps cache contents (for warm-up phases).
+func (h *Hierarchy) Reset() {
+	for _, l := range h.Levels {
+		l.Accesses, l.Misses = 0, 0
+	}
+	h.TotalRefs, h.TotalCycle = 0, 0
+}
+
+// MissesPerRef reports overall LLC misses per reference.
+func (h *Hierarchy) MissesPerRef() float64 {
+	if h.TotalRefs == 0 {
+		return 0
+	}
+	return float64(h.LLCMisses()) / float64(h.TotalRefs)
+}

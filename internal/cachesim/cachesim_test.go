@@ -1,0 +1,113 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := NewLevel("x", 0, 8, 64); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewLevel("x", 1000, 8, 64); err == nil {
+		t.Fatal("non-tiling geometry accepted")
+	}
+	l, err := NewLevel("x", 32<<10, 8, 64)
+	if err != nil || l.sets != 64 {
+		t.Fatalf("sets = %d err=%v", l.sets, err)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	l, _ := NewLevel("x", 4096, 4, 64)
+	if l.access(0) {
+		t.Fatal("cold access must miss")
+	}
+	if !l.access(0) || !l.access(63) {
+		t.Fatal("same line must hit")
+	}
+	if l.access(64) {
+		t.Fatal("next line must miss")
+	}
+	if l.Misses != 2 || l.Accesses != 4 {
+		t.Fatalf("counters misses=%d accesses=%d", l.Misses, l.Accesses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 2 sets, 64 B lines: size = 256.
+	l, _ := NewLevel("x", 256, 2, 64)
+	// Three lines mapping to set 0: line numbers 0, 2, 4 (even).
+	a, b, c := uint64(0), uint64(2*64), uint64(4*64)
+	l.access(a)
+	l.access(b)
+	l.access(a) // a most recent; b is LRU
+	l.access(c) // evicts b
+	if !l.access(a) {
+		t.Fatal("a should still be resident")
+	}
+	if l.access(b) {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestWorkingSetFitsVsThrashes(t *testing.T) {
+	h := NewCorei5()
+	rng := rand.New(rand.NewSource(1))
+	// Working set of 128 KB: fits in L3 (and mostly L2) → after warm-up
+	// nearly zero LLC misses.
+	for i := 0; i < 200000; i++ {
+		h.Access(uint64(rng.Intn(128 << 10)))
+	}
+	h.Reset()
+	for i := 0; i < 200000; i++ {
+		h.Access(uint64(rng.Intn(128 << 10)))
+	}
+	small := h.MissesPerRef()
+
+	h2 := NewCorei5()
+	// Working set of 64 MB: thrashes every level.
+	for i := 0; i < 200000; i++ {
+		h2.Access(uint64(rng.Intn(64 << 20)))
+	}
+	h2.Reset()
+	for i := 0; i < 200000; i++ {
+		h2.Access(uint64(rng.Intn(64 << 20)))
+	}
+	big := h2.MissesPerRef()
+
+	if small > 0.01 {
+		t.Fatalf("128 KB working set misses %.4f/ref, want ≈0", small)
+	}
+	if big < 0.5 {
+		t.Fatalf("64 MB working set misses %.4f/ref, want ≈1", big)
+	}
+}
+
+func TestCyclesAccounting(t *testing.T) {
+	h := NewCorei5()
+	c1 := h.Access(0) // cold: DRAM
+	if c1 != h.MemCycles {
+		t.Fatalf("cold access cost %d, want %d", c1, h.MemCycles)
+	}
+	c2 := h.Access(0) // L1 hit
+	if c2 != h.HitCycles[0] {
+		t.Fatalf("hot access cost %d, want %d", c2, h.HitCycles[0])
+	}
+	if h.TotalCycle != uint64(c1+c2) || h.TotalRefs != 2 {
+		t.Fatal("cycle totals wrong")
+	}
+}
+
+func TestInclusionFillsAllLevels(t *testing.T) {
+	h := NewCorei5()
+	h.Access(12345)
+	// Evict from L1 by sweeping 64 KB; L2/L3 must still hold the line.
+	for i := 0; i < 64<<10; i += 64 {
+		h.Access(uint64(1<<20 + i))
+	}
+	cost := h.Access(12345)
+	if cost >= h.MemCycles {
+		t.Fatal("line lost from the whole hierarchy after an L1 sweep")
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/gen"
+	"fibcomp/internal/mdag"
+	"fibcomp/internal/ortc"
+	"fibcomp/internal/pdag"
+	"fibcomp/internal/trie"
+	"fibcomp/internal/xbw"
+)
+
+// AblationRow quantifies one design variant against the paper's
+// choices on the same FIB instance.
+type AblationRow struct {
+	Variant  string
+	SizeKB   float64
+	NsLookup float64 // ns per lookup, 0 when not measured
+	Note     string
+}
+
+// RunAblation examines the design choices DESIGN.md calls out, on the
+// taz instance:
+//
+//   - the leaf-push barrier (λ=11) versus full folding (λ=0) and no
+//     folding (λ=W);
+//   - label-aware folding (Definition 1) versus structure-only
+//     merging à la Shape graphs, which needs an external next-hop
+//     table keyed by leaf position;
+//   - composing with ORTC aggregation before folding (§6 argues
+//     trie-folding is complementary to table-minimization);
+//   - multibit prefix DAGs (the §7 extension) at strides 2–8;
+//   - RRR versus plain bitvectors for the XBW-b structure string.
+func RunAblation(cfg Config, w io.Writer) ([]AblationRow, error) {
+	t, _, err := cfg.generate("taz")
+	if err != nil {
+		return nil, err
+	}
+	s := leafStats(t)
+	keys := gen.UniformAddrs(rand.New(rand.NewSource(cfg.Seed+9)), 1<<13)
+	minDur := 100 * time.Millisecond
+	var rows []AblationRow
+	add := func(r AblationRow) {
+		rows = append(rows, r)
+	}
+
+	// Barrier sweep anchors.
+	for _, lambda := range []int{0, 11, fib.W} {
+		d, err := pdag.Build(t, lambda)
+		if err != nil {
+			return nil, err
+		}
+		look := d.Lookup
+		add(AblationRow{
+			Variant:  fmt.Sprintf("pDAG λ=%d", lambda),
+			SizeKB:   float64(d.ModelBytes()) / 1024,
+			NsLookup: throughput(look, keys, minDur),
+			Note:     "paper's scheme",
+		})
+	}
+
+	// Structure-only folding (Shape-graph style): merge sub-tries by
+	// shape alone; the labels then need an external table with one
+	// entry per leaf position (modelled at lg n + lg δ bits each),
+	// which is exactly the "giant hash" §6 criticizes.
+	lp := trie.FromTable(t).LeafPush()
+	shapeInterior, shapeLeaves := foldShapeOnly(lp)
+	hashBits := float64(s.Leaves) * float64(ceilLog2(s.Leaves)+ceilLog2(s.Delta+1))
+	ptr := ceilLog2(shapeInterior + shapeLeaves + 1)
+	structBits := float64(shapeInterior*2*ptr + shapeLeaves)
+	add(AblationRow{
+		Variant: "shape-only fold",
+		SizeKB:  (structBits + hashBits) / 8 / 1024,
+		Note:    "structure DAG tiny, external label hash dominates",
+	})
+
+	// ORTC then fold: aggregation first shrinks the table, folding
+	// compresses what remains.
+	agg := ortc.Compress(t)
+	da, err := pdag.Build(agg, 11)
+	if err != nil {
+		return nil, err
+	}
+	add(AblationRow{
+		Variant:  "ORTC → pDAG λ=11",
+		SizeKB:   float64(da.ModelBytes()) / 1024,
+		NsLookup: throughput(da.Lookup, keys, minDur),
+		Note:     "aggregation composes with folding",
+	})
+
+	// Multibit DAGs (§7 future work).
+	for _, stride := range []int{2, 4, 8} {
+		m, err := mdag.Build(t, stride)
+		if err != nil {
+			return nil, err
+		}
+		add(AblationRow{
+			Variant:  fmt.Sprintf("multibit s=%d", stride),
+			SizeKB:   float64(m.ModelBytes()) / 1024,
+			NsLookup: throughput(m.Lookup, keys, minDur),
+			Note:     "W/s accesses per lookup",
+		})
+	}
+
+	// XBW-b structure-string encoding.
+	for _, compress := range []bool{true, false} {
+		x, err := xbw.FromTrieOptions(lp, compress)
+		if err != nil {
+			return nil, err
+		}
+		name, note := "XBW-b RRR S_I", "paper's encoding"
+		if !compress {
+			name, note = "XBW-b plain S_I", "larger, faster rank"
+		}
+		add(AblationRow{
+			Variant:  name,
+			SizeKB:   float64(x.SizeBytes()) / 1024,
+			NsLookup: throughput(x.Lookup, keys, minDur),
+			Note:     note,
+		})
+	}
+
+	fprintf(w, "Ablations on taz (scale %.3g): E = %.1f KB\n", cfg.Scale, kb(s.Entropy))
+	fprintf(w, "%-18s %10s %12s   %s\n", "variant", "size[KB]", "ns/lookup", "note")
+	for _, r := range rows {
+		fprintf(w, "%-18s %10.1f %12.1f   %s\n", r.Variant, r.SizeKB, r.NsLookup, r.Note)
+	}
+	return rows, nil
+}
+
+// foldShapeOnly merges sub-tries of the leaf-pushed trie by shape,
+// ignoring labels, and reports the DAG node counts.
+func foldShapeOnly(lp *trie.Trie) (interior, leaves int) {
+	type key [2]uint64
+	sub := map[key]uint64{}
+	var next uint64
+	var fold func(n *trie.Node) uint64
+	fold = func(n *trie.Node) uint64 {
+		if n.IsLeaf() {
+			return 0 // all leaves are shape-identical
+		}
+		k := key{fold(n.Left) + 1, fold(n.Right) + 1}
+		if id, ok := sub[k]; ok {
+			return id
+		}
+		next++
+		sub[k] = next
+		return next
+	}
+	fold(lp.Root)
+	return len(sub), 1
+}
+
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	b := 0
+	for v := x - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}

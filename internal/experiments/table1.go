@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"io"
+
+	"fibcomp/internal/pdag"
+	"fibcomp/internal/xbw"
+)
+
+// Table1Row is one line of Table 1: compressibility and compressed
+// sizes of a FIB instance.
+type Table1Row struct {
+	Name    string
+	N       int     // prefixes
+	Delta   int     // next-hops (distinct leaf labels)
+	H0      float64 // leaf-label entropy
+	IKB     float64 // information-theoretic limit, KB
+	EKB     float64 // FIB entropy, KB
+	XBWKB   float64 // XBW-b compressed size, KB
+	PDAGKB  float64 // prefix DAG model size (§4.2 memory model, λ=11), KB
+	Nu      float64 // compression efficiency ν = pDAG bits / E
+	EtaXBW  float64 // bits/prefix, XBW-b
+	EtaPDAG float64 // bits/prefix, prefix DAG
+}
+
+// RunTable1 regenerates Table 1 over the given profiles (nil = all).
+func RunTable1(cfg Config, names []string, w io.Writer) ([]Table1Row, error) {
+	if names == nil {
+		for _, p := range profilesInOrder() {
+			names = append(names, p)
+		}
+	}
+	fprintf(w, "Table 1: FIB compression (scale %.3g)\n", cfg.Scale)
+	fprintf(w, "%-12s %9s %5s %6s %8s %8s %8s %8s %6s %7s %8s\n",
+		"FIB", "N", "δ", "H0", "I[KB]", "E[KB]", "XBW[KB]", "pDAG[KB]", "ν", "ηXBW", "ηpDAG")
+	var rows []Table1Row
+	for _, name := range names {
+		t, _, err := cfg.generate(name)
+		if err != nil {
+			return nil, err
+		}
+		s := leafStats(t)
+		x, err := xbw.New(t)
+		if err != nil {
+			return nil, err
+		}
+		d, err := pdag.Build(t, 11)
+		if err != nil {
+			return nil, err
+		}
+		pdagBytes := d.ModelBytes() // §4.2 memory model, λ=11
+		row := Table1Row{
+			Name:    name,
+			N:       t.N(),
+			Delta:   s.Delta,
+			H0:      s.H0,
+			IKB:     kb(s.InfoBound),
+			EKB:     kb(s.Entropy),
+			XBWKB:   kb(float64(x.SizeBits())),
+			PDAGKB:  float64(pdagBytes) / 1024,
+			Nu:      float64(pdagBytes) * 8 / s.Entropy,
+			EtaXBW:  float64(x.SizeBits()) / float64(t.N()),
+			EtaPDAG: float64(pdagBytes) * 8 / float64(t.N()),
+		}
+		rows = append(rows, row)
+		fprintf(w, "%-12s %9d %5d %6.2f %8.1f %8.1f %8.1f %8.1f %6.2f %7.2f %8.2f\n",
+			row.Name, row.N, row.Delta, row.H0, row.IKB, row.EKB,
+			row.XBWKB, row.PDAGKB, row.Nu, row.EtaXBW, row.EtaPDAG)
+	}
+	return rows, nil
+}
+
+func profilesInOrder() []string {
+	return []string{
+		"taz", "hbone", "access(d)", "access(v)", "mobile",
+		"as1221", "as4637", "as6447", "as6730",
+		"fib_600k", "fib_1m",
+	}
+}

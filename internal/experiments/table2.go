@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"fibcomp/internal/cachesim"
+	"fibcomp/internal/gen"
+	"fibcomp/internal/hwsim"
+	"fibcomp/internal/lctrie"
+	"fibcomp/internal/pdag"
+	"fibcomp/internal/xbw"
+)
+
+// Table2Row is one engine of Table 2, measured on both uniform-random
+// addresses and a locality-heavy trace.
+type Table2Row struct {
+	Engine    string
+	SizeKB    float64
+	AvgDepth  float64
+	MaxDepth  int
+	MLpsRand  float64 // million lookups/sec, random keys
+	MLpsTrace float64
+	CycRand   float64 // CPU (or FPGA) cycles per lookup
+	CycTrace  float64
+	MissRand  float64 // simulated LLC cache misses per packet
+	MissTrace float64
+}
+
+// RunTable2 regenerates Table 2 on the taz instance: XBW-b, the
+// serialized prefix DAG (λ=11), the LC-trie stand-in for fib_trie, and
+// the FPGA cycle model.
+func RunTable2(cfg Config, w io.Writer) ([]Table2Row, error) {
+	t, _, err := cfg.generate("taz")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	const keyCount = 1 << 14
+	randKeys := gen.UniformAddrs(rng, keyCount)
+	traceKeys := gen.ZipfTrace(rng, keyCount, keyCount/4, 1.2)
+	// Disjoint warm-up streams for the cache simulation: random keys
+	// never repeat (fresh stream), while the trace reuses its popular
+	// destinations — that asymmetry is precisely what Table 2 shows.
+	warmRand := gen.UniformAddrs(rng, keyCount)
+	warmTrace := traceKeys[:keyCount/2]
+	measTrace := traceKeys[keyCount/2:]
+	minDur := 150 * time.Millisecond
+
+	x, err := xbw.New(t)
+	if err != nil {
+		return nil, err
+	}
+	d, err := pdag.Build(t, 11)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := d.Serialize()
+	if err != nil {
+		return nil, err
+	}
+	lc, err := lctrie.Build(t, 0.5, 16)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Table2Row
+
+	// XBW-b: software only; the succinct primitives dominate, so no
+	// cache simulation is attempted (its working set fits cache; the
+	// paper reports ~0.016 misses/packet).
+	xr := Table2Row{Engine: "XBW-b", SizeKB: float64(x.SizeBytes()) / 1024}
+	xr.CycRand = throughput(x.Lookup, randKeys, minDur) * CPUGHz
+	xr.CycTrace = throughput(x.Lookup, traceKeys, minDur) * CPUGHz
+	xr.MLpsRand = 1e3 / (xr.CycRand / CPUGHz)
+	xr.MLpsTrace = 1e3 / (xr.CycTrace / CPUGHz)
+	rows = append(rows, xr)
+
+	// Prefix DAG on the serialized blob.
+	pr := Table2Row{Engine: "pDAG", SizeKB: float64(blob.SizeBytes()) / 1024}
+	pr.AvgDepth, pr.MaxDepth = depthStats(func(a uint32) int {
+		_, dep := blob.LookupDepth(a)
+		return dep
+	}, randKeys)
+	pr.CycRand = throughput(blob.Lookup, randKeys, minDur) * CPUGHz
+	pr.CycTrace = throughput(blob.Lookup, traceKeys, minDur) * CPUGHz
+	pr.MLpsRand = 1e3 / (pr.CycRand / CPUGHz)
+	pr.MLpsTrace = 1e3 / (pr.CycTrace / CPUGHz)
+	pr.MissRand = simulateMisses(func(a uint32, visit func(int)) { blob.LookupTrace(a, visit) }, warmRand, randKeys)
+	pr.MissTrace = simulateMisses(func(a uint32, visit func(int)) { blob.LookupTrace(a, visit) }, warmTrace, measTrace)
+	rows = append(rows, pr)
+
+	// fib_trie stand-in.
+	fr := Table2Row{Engine: "fib_trie", SizeKB: float64(lc.ModelBytes()) / 1024}
+	fr.AvgDepth, fr.MaxDepth = depthStats(func(a uint32) int {
+		_, dep := lc.LookupDepth(a)
+		return dep
+	}, randKeys)
+	fr.CycRand = throughput(lc.Lookup, randKeys, minDur) * CPUGHz
+	fr.CycTrace = throughput(lc.Lookup, traceKeys, minDur) * CPUGHz
+	fr.MLpsRand = 1e3 / (fr.CycRand / CPUGHz)
+	fr.MLpsTrace = 1e3 / (fr.CycTrace / CPUGHz)
+	fr.MissRand = simulateMisses(func(a uint32, visit func(int)) { lc.LookupTrace(a, visit) }, warmRand, randKeys)
+	fr.MissTrace = simulateMisses(func(a uint32, visit func(int)) { lc.LookupTrace(a, visit) }, warmTrace, measTrace)
+	rows = append(rows, fr)
+
+	// FPGA model: 50 MHz synchronous SRAM, as on the paper's ~2003
+	// Virtex-II Pro board.
+	eng, err := hwsim.New(blob, 64<<20, 50e6)
+	if err != nil {
+		return nil, err
+	}
+	res := eng.Run(randKeys)
+	resT := eng.Run(traceKeys)
+	hw := Table2Row{
+		Engine:    "FPGA",
+		SizeKB:    float64(blob.SizeBytes()) / 1024,
+		MLpsRand:  res.LookupsPerSec / 1e6,
+		MLpsTrace: resT.LookupsPerSec / 1e6,
+		CycRand:   res.AvgCycles,
+		CycTrace:  resT.AvgCycles,
+	}
+	rows = append(rows, hw)
+
+	fprintf(w, "Table 2: lookup benchmark on taz (scale %.3g)\n", cfg.Scale)
+	fprintf(w, "%-9s %10s %9s %9s %11s %11s %10s %10s %10s %10s\n",
+		"engine", "size[KB]", "avgDepth", "maxDepth",
+		"Mlps(rand)", "Mlps(trace)", "cyc(rand)", "cyc(trace)", "miss(rand)", "miss(trc)")
+	for _, r := range rows {
+		fprintf(w, "%-9s %10.1f %9.2f %9d %11.2f %11.2f %10.1f %10.1f %10.4f %10.4f\n",
+			r.Engine, r.SizeKB, r.AvgDepth, r.MaxDepth,
+			r.MLpsRand, r.MLpsTrace, r.CycRand, r.CycTrace, r.MissRand, r.MissTrace)
+	}
+	return rows, nil
+}
+
+func depthStats(depth func(uint32) int, keys []uint32) (avg float64, max int) {
+	total := 0
+	for _, a := range keys {
+		d := depth(a)
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	if len(keys) > 0 {
+		avg = float64(total) / float64(len(keys))
+	}
+	return avg, max
+}
+
+// simulateMisses replays lookup access streams through the Core i5
+// cache model — a warm-up pass with one key stream, then measurement
+// over a different one — and reports LLC misses per lookup, the
+// perf(1) cache-misses counter of §5.3.
+func simulateMisses(traceFn func(uint32, func(int)), warm, meas []uint32) float64 {
+	h := cachesim.NewCorei5()
+	for _, a := range warm {
+		traceFn(a, func(off int) { h.Access(uint64(off)) })
+	}
+	h.Reset()
+	for _, a := range meas {
+		traceFn(a, func(off int) { h.Access(uint64(off)) })
+	}
+	return float64(h.LLCMisses()) / float64(len(meas))
+}

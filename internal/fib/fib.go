@@ -1,0 +1,299 @@
+// Package fib models an IP Forwarding Information Base as the paper's
+// §2 describes it: a set of address-prefix → next-hop-label
+// associations over a W-bit address space, together with a neighbor
+// table mapping labels to next-hop metadata. Labels are positive
+// integers 1..δ; label 0 plays the role of the paper's empty label ∅
+// (no route).
+package fib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// W is the width of the IPv4 address space in bits.
+const W = 32
+
+// NoLabel is the empty label ∅: an address with this label has no
+// route. The paper's invalid label ⊥ (blackhole) is likewise encoded
+// as 0, since FIBs are assumed to contain no explicit blackhole routes.
+const NoLabel uint32 = 0
+
+// MaxLabel bounds the next-hop alphabet; δ ≪ N per the paper
+// (δ = O(polylog N)), and 8 bits cover every FIB in the evaluation.
+const MaxLabel uint32 = 255
+
+// Entry is one FIB row: the prefix Addr/Len maps to next-hop NextHop.
+// Addr is stored left-aligned: bit 31 is the first prefix bit, and all
+// bits below position 32-Len must be zero.
+type Entry struct {
+	Addr    uint32
+	Len     int
+	NextHop uint32
+}
+
+// Prefix renders the entry's prefix in dotted-quad/len form.
+func (e Entry) Prefix() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		e.Addr>>24, e.Addr>>16&0xFF, e.Addr>>8&0xFF, e.Addr&0xFF, e.Len)
+}
+
+func (e Entry) String() string {
+	return fmt.Sprintf("%s -> %d", e.Prefix(), e.NextHop)
+}
+
+// Mask returns the netmask of a prefix length.
+func Mask(plen int) uint32 {
+	if plen <= 0 {
+		return 0
+	}
+	if plen >= W {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << uint(W-plen)
+}
+
+// Bit extracts address bit q, counting from the MSB (q=0 is the first
+// bit the trie walk consumes), matching the paper's bits(a, q, 1).
+func Bit(addr uint32, q int) uint32 {
+	return addr >> uint(W-1-q) & 1
+}
+
+// Canonical returns e with the host bits cleared.
+func (e Entry) Canonical() Entry {
+	e.Addr &= Mask(e.Len)
+	return e
+}
+
+// Match reports whether the entry's prefix covers addr.
+func (e Entry) Match(addr uint32) bool {
+	return addr&Mask(e.Len) == e.Addr
+}
+
+// Neighbor holds per-next-hop metadata from the neighbor table of
+// §2 (next-hop address, interface, etc.).
+type Neighbor struct {
+	Label   uint32
+	Name    string
+	Address uint32
+}
+
+// Table is a FIB in tabular form (Fig 1(a)).
+type Table struct {
+	Entries   []Entry
+	Neighbors map[uint32]Neighbor
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{Neighbors: make(map[uint32]Neighbor)}
+}
+
+// Add appends an entry, canonicalising the prefix. It returns an error
+// for malformed prefixes or labels.
+func (t *Table) Add(addr uint32, plen int, nh uint32) error {
+	if plen < 0 || plen > W {
+		return fmt.Errorf("fib: prefix length %d out of range [0,%d]", plen, W)
+	}
+	if nh == NoLabel || nh > MaxLabel {
+		return fmt.Errorf("fib: next-hop label %d out of range [1,%d]", nh, MaxLabel)
+	}
+	t.Entries = append(t.Entries, Entry{Addr: addr & Mask(plen), Len: plen, NextHop: nh})
+	return nil
+}
+
+// Sort orders entries by (length, address); deterministic output for
+// serialization and tests.
+func (t *Table) Sort() {
+	sort.Slice(t.Entries, func(i, j int) bool {
+		a, b := t.Entries[i], t.Entries[j]
+		if a.Len != b.Len {
+			return a.Len < b.Len
+		}
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.NextHop < b.NextHop
+	})
+}
+
+// Dedup removes duplicate prefixes, keeping the last occurrence (the
+// most recent announcement wins, as in a routing table).
+func (t *Table) Dedup() {
+	seen := make(map[uint64]int, len(t.Entries))
+	out := t.Entries[:0]
+	for _, e := range t.Entries {
+		key := uint64(e.Addr)<<6 | uint64(e.Len)
+		if i, ok := seen[key]; ok {
+			out[i] = e
+			continue
+		}
+		seen[key] = len(out)
+		out = append(out, e)
+	}
+	t.Entries = out
+}
+
+// N reports the number of entries (the paper's N).
+func (t *Table) N() int { return len(t.Entries) }
+
+// Delta reports the number of distinct next-hop labels (the paper's δ).
+func (t *Table) Delta() int {
+	seen := map[uint32]bool{}
+	for _, e := range t.Entries {
+		seen[e.NextHop] = true
+	}
+	return len(seen)
+}
+
+// NextHopHistogram counts entries per next-hop label. Note this is the
+// distribution over table rows; the entropy the paper uses is over
+// *leaf labels of the leaf-pushed trie* and is computed in package
+// trie.
+func (t *Table) NextHopHistogram() map[uint32]uint64 {
+	h := map[uint32]uint64{}
+	for _, e := range t.Entries {
+		h[e.NextHop]++
+	}
+	return h
+}
+
+// HasDefaultRoute reports whether a 0-length prefix is present.
+func (t *Table) HasDefaultRoute() bool {
+	for _, e := range t.Entries {
+		if e.Len == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// LookupLinear performs longest-prefix match by scanning every entry,
+// the O(N) tabular lookup of Fig 1(a). It is the reference oracle the
+// compressed structures are validated against.
+func (t *Table) LookupLinear(addr uint32) uint32 {
+	best := NoLabel
+	bestLen := -1
+	for _, e := range t.Entries {
+		if e.Match(addr) && e.Len > bestLen {
+			best = e.NextHop
+			bestLen = e.Len
+		}
+	}
+	return best
+}
+
+// SizeBitsTabular reports the storage of the tabular form,
+// (W + lg δ)·N bits as in §2.
+func (t *Table) SizeBitsTabular() int {
+	return (W + ceilLog2(t.Delta())) * t.N()
+}
+
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	b := 0
+	for v := x - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("fib: bad address %q", s)
+	}
+	var addr uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("fib: bad address %q", s)
+		}
+		addr = addr<<8 | uint32(v)
+	}
+	return addr, nil
+}
+
+// ParsePrefix parses "a.b.c.d/len".
+func ParsePrefix(s string) (uint32, int, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("fib: bad prefix %q", s)
+	}
+	addr, err := ParseAddr(s[:slash])
+	if err != nil {
+		return 0, 0, err
+	}
+	plen, err := strconv.Atoi(s[slash+1:])
+	if err != nil || plen < 0 || plen > W {
+		return 0, 0, fmt.Errorf("fib: bad prefix length in %q", s)
+	}
+	return addr & Mask(plen), plen, nil
+}
+
+// Read parses a FIB in the text format
+//
+//	# comment
+//	a.b.c.d/len next-hop-label
+//
+// one entry per line.
+func Read(r io.Reader) (*Table, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("fib: line %d: want 'prefix label', got %q", line, text)
+		}
+		addr, plen, err := ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("fib: line %d: %v", line, err)
+		}
+		nh, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("fib: line %d: bad label %q", line, fields[1])
+		}
+		if err := t.Add(addr, plen, uint32(nh)); err != nil {
+			return nil, fmt.Errorf("fib: line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Write serializes the table in the format Read accepts.
+func (t *Table) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range t.Entries {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", e.Prefix(), e.NextHop); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MustParse builds a table from "prefix label" strings; it panics on
+// malformed input and is intended for tests and examples.
+func MustParse(lines ...string) *Table {
+	t, err := Read(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

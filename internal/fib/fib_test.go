@@ -1,0 +1,232 @@
+package fib
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xFFFFFFFF, true},
+		{"10.0.0.1", 0x0A000001, true},
+		{"192.168.1.254", 0xC0A801FE, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.0", 0, false},
+		{"a.b.c.d", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Fatalf("ParseAddr(%q) err=%v, ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("ParseAddr(%q)=%x want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	addr, plen, err := ParsePrefix("10.1.0.0/16")
+	if err != nil || addr != 0x0A010000 || plen != 16 {
+		t.Fatalf("got %x/%d err=%v", addr, plen, err)
+	}
+	// Host bits must be masked off.
+	addr, plen, err = ParsePrefix("10.1.2.3/16")
+	if err != nil || addr != 0x0A010000 || plen != 16 {
+		t.Fatalf("unmasked: got %x/%d err=%v", addr, plen, err)
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8"} {
+		if _, _, err := ParsePrefix(bad); err == nil {
+			t.Fatalf("ParsePrefix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 || Mask(32) != 0xFFFFFFFF || Mask(8) != 0xFF000000 || Mask(1) != 0x80000000 {
+		t.Fatal("mask values wrong")
+	}
+}
+
+func TestBit(t *testing.T) {
+	addr := uint32(0b01100000_00000000_00000000_00000001)
+	wants := []uint32{0, 1, 1, 0}
+	for q, w := range wants {
+		if Bit(addr, q) != w {
+			t.Fatalf("Bit(%032b, %d) != %d", addr, q, w)
+		}
+	}
+	if Bit(addr, 31) != 1 {
+		t.Fatal("LSB")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := MustParse(
+		"0.0.0.0/0 2",
+		"0.0.0.0/1 3",
+		"0.0.0.0/2 3",
+		"32.0.0.0/3 2",
+		"64.0.0.0/2 2",
+		"96.0.0.0/3 1",
+	)
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Entries) != len(in.Entries) {
+		t.Fatalf("entry count %d != %d", len(out.Entries), len(in.Entries))
+	}
+	for i := range in.Entries {
+		if in.Entries[i] != out.Entries[i] {
+			t.Fatalf("entry %d: %v != %v", i, in.Entries[i], out.Entries[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"10.0.0.0/8",      // missing label
+		"10.0.0.0/8 1 2",  // too many fields
+		"10.0.0.0/8 zero", // non-numeric label
+		"10.0.0.0/40 1",   // bad length
+		"10.0.0.0/8 0",    // label 0 reserved for ∅
+		"10.0.0.0/8 300",  // label too large
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Fatalf("Read(%q) should fail", bad)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	tb, err := Read(strings.NewReader("# comment\n\n10.0.0.0/8 1\n   \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.N() != 1 {
+		t.Fatalf("N=%d want 1", tb.N())
+	}
+}
+
+func TestDedup(t *testing.T) {
+	tb := New()
+	tb.Add(0x0A000000, 8, 1)
+	tb.Add(0x0B000000, 8, 2)
+	tb.Add(0x0A000000, 8, 3) // replaces the first
+	tb.Dedup()
+	if tb.N() != 2 {
+		t.Fatalf("N=%d want 2", tb.N())
+	}
+	if tb.LookupLinear(0x0A000001) != 3 {
+		t.Fatal("later duplicate must win")
+	}
+}
+
+func TestLookupLinear(t *testing.T) {
+	// The sample FIB of Fig 1(a): prefixes over the first 3 bits.
+	tb := MustParse(
+		"0.0.0.0/0 2",
+		"0.0.0.0/1 3",
+		"0.0.0.0/2 3",
+		"32.0.0.0/3 2",
+		"64.0.0.0/2 2",
+		"96.0.0.0/3 1",
+	)
+	cases := []struct {
+		addr string
+		want uint32
+	}{
+		{"0.0.0.0", 3},   // 000...
+		{"32.0.0.1", 2},  // 001...
+		{"64.0.0.0", 2},  // 010...
+		{"96.0.0.0", 1},  // 011... (the paper's 0111 example)
+		{"128.0.0.0", 2}, // 1xx → default
+		{"255.255.255.255", 2},
+	}
+	for _, c := range cases {
+		addr, _ := ParseAddr(c.addr)
+		if got := tb.LookupLinear(addr); got != c.want {
+			t.Fatalf("lookup %s = %d want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestDeltaAndHistogram(t *testing.T) {
+	tb := MustParse("0.0.0.0/0 2", "0.0.0.0/1 3", "128.0.0.0/1 2")
+	if tb.Delta() != 2 {
+		t.Fatalf("Delta=%d want 2", tb.Delta())
+	}
+	h := tb.NextHopHistogram()
+	if h[2] != 2 || h[3] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+	if !tb.HasDefaultRoute() {
+		t.Fatal("default route present")
+	}
+}
+
+func TestSizeBitsTabular(t *testing.T) {
+	tb := MustParse("0.0.0.0/0 1", "128.0.0.0/1 2", "0.0.0.0/1 3")
+	// δ=3 → lg δ = 2; (32+2)*3 = 102.
+	if got := tb.SizeBitsTabular(); got != 102 {
+		t.Fatalf("tabular size = %d want 102", got)
+	}
+}
+
+func TestCanonicalAndMatch(t *testing.T) {
+	f := func(addr uint32, plenRaw uint8) bool {
+		plen := int(plenRaw % 33)
+		e := Entry{Addr: addr, Len: plen, NextHop: 1}.Canonical()
+		if e.Addr&^Mask(plen) != 0 {
+			return false
+		}
+		// The canonical prefix must match any address sharing its
+		// first plen bits.
+		probe := e.Addr | (rand.Uint32() &^ Mask(plen))
+		return e.Match(probe)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	tb := New()
+	if err := tb.Add(0, -1, 1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+	if err := tb.Add(0, 33, 1); err == nil {
+		t.Fatal("length 33 accepted")
+	}
+	if err := tb.Add(0, 8, 0); err == nil {
+		t.Fatal("label 0 accepted")
+	}
+	if err := tb.Add(0, 8, 256); err == nil {
+		t.Fatal("label 256 accepted")
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	tb := New()
+	tb.Add(0x80000000, 1, 1)
+	tb.Add(0, 0, 2)
+	tb.Add(0, 1, 3)
+	tb.Sort()
+	if tb.Entries[0].Len != 0 || tb.Entries[1].Addr != 0 || tb.Entries[2].Addr != 0x80000000 {
+		t.Fatalf("sort order wrong: %v", tb.Entries)
+	}
+}

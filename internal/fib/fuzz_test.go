@@ -1,0 +1,60 @@
+package fib
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePrefix checks that the prefix parser never panics, and that
+// every accepted prefix is canonical (host bits clear) and re-parses
+// to the same value.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{
+		"0.0.0.0/0", "10.0.0.0/8", "255.255.255.255/32", "1.2.3.4/31",
+		"10.0.0.0", "/8", "10.0.0.0/33", "10.0.0.0/-1", "a.b.c.d/8",
+		"10.0.0.0/08", "999.0.0.0/8", "10..0.0/8",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		addr, plen, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if plen < 0 || plen > W {
+			t.Fatalf("accepted length %d", plen)
+		}
+		if addr&^Mask(plen) != 0 {
+			t.Fatalf("accepted non-canonical %08x/%d from %q", addr, plen, s)
+		}
+		round := Entry{Addr: addr, Len: plen, NextHop: 1}.Prefix()
+		a2, p2, err := ParsePrefix(round)
+		if err != nil || a2 != addr || p2 != plen {
+			t.Fatalf("%q rendered as %q which re-parses to %08x/%d (%v)",
+				s, round, a2, p2, err)
+		}
+	})
+}
+
+// FuzzReadTable checks the FIB file parser never panics and only
+// accepts well-formed entries.
+func FuzzReadTable(f *testing.F) {
+	f.Add("10.0.0.0/8 1\n")
+	f.Add("# c\n\n0.0.0.0/0 255\n")
+	f.Add("10.0.0.0/8 0\n")
+	f.Add("x\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		tb, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for _, e := range tb.Entries {
+			if e.NextHop == NoLabel || e.NextHop > MaxLabel {
+				t.Fatalf("accepted label %d", e.NextHop)
+			}
+			if e.Len < 0 || e.Len > W || e.Addr&^Mask(e.Len) != 0 {
+				t.Fatalf("accepted malformed entry %v", e)
+			}
+		}
+	})
+}

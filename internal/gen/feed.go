@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fibcomp/internal/fib"
+)
+
+// The update-feed text format mirrors a simplified RouteViews log:
+//
+//	announce 10.1.0.0/16 3
+//	withdraw 10.1.0.0/16
+//	# comments and blank lines are ignored
+//
+// It is what cmd/fibreplay consumes and what WriteUpdates emits, so
+// synthetic feeds can be saved, inspected and replayed.
+
+// WriteUpdates serializes an update sequence.
+func WriteUpdates(w io.Writer, us []Update) error {
+	bw := bufio.NewWriter(w)
+	for _, u := range us {
+		e := fib.Entry{Addr: u.Addr, Len: u.Len}
+		var err error
+		if u.Withdraw {
+			_, err = fmt.Fprintf(bw, "withdraw %s\n", e.Prefix())
+		} else {
+			_, err = fmt.Fprintf(bw, "announce %s %d\n", e.Prefix(), u.NextHop)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUpdates parses an update feed.
+func ReadUpdates(r io.Reader) ([]Update, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Update
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "announce":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("gen: line %d: want 'announce prefix label'", line)
+			}
+			addr, plen, err := fib.ParsePrefix(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("gen: line %d: %v", line, err)
+			}
+			nh, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil || nh == 0 || nh > uint64(fib.MaxLabel) {
+				return nil, fmt.Errorf("gen: line %d: bad label %q", line, fields[2])
+			}
+			out = append(out, Update{Addr: addr, Len: plen, NextHop: uint32(nh)})
+		case "withdraw":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("gen: line %d: want 'withdraw prefix'", line)
+			}
+			addr, plen, err := fib.ParsePrefix(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("gen: line %d: %v", line, err)
+			}
+			out = append(out, Update{Addr: addr, Len: plen, Withdraw: true})
+		default:
+			return nil, fmt.Errorf("gen: line %d: unknown verb %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+// Package gen generates the workloads of the paper's evaluation (§5):
+// synthetic FIBs built by iterative random prefix splitting with
+// truncated-Poisson next-hops (fib_600k, fib_1m), profile-matched
+// stand-ins for the proprietary router FIBs of Table 1, the
+// Bernoulli-relabeled FIBs of Fig 6 and Bernoulli strings of Fig 7,
+// the random and BGP-inspired update sequences of Fig 5, and the
+// uniform and trace-like (Zipf) lookup key streams of Table 2.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fibcomp/internal/fib"
+)
+
+// SplitFIB builds a FIB of exactly n prefixes by iterative random
+// prefix splitting (§5: fib_600k, fib_1m): starting from the default
+// prefix, a random leaf prefix is repeatedly split into its two
+// one-bit extensions until n prefixes exist; next-hops are then drawn
+// i.i.d. from dist (dist[i] = probability of label i+1).
+func SplitFIB(rng *rand.Rand, n int, dist []float64) (*fib.Table, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: n = %d < 1", n)
+	}
+	if len(dist) < 1 || len(dist) > int(fib.MaxLabel) {
+		return nil, fmt.Errorf("gen: distribution over %d labels out of range", len(dist))
+	}
+	type pfx struct {
+		addr uint32
+		len  int
+	}
+	leaves := make([]pfx, 0, n)
+	leaves = append(leaves, pfx{0, 0})
+	for len(leaves) < n {
+		i := rng.Intn(len(leaves))
+		p := leaves[i]
+		if p.len >= fib.W {
+			continue // cannot split a host route; try another
+		}
+		leaves[i] = pfx{p.addr, p.len + 1}
+		leaves = append(leaves, pfx{p.addr | 1<<uint(fib.W-1-p.len), p.len + 1})
+	}
+	cum := cumulative(dist)
+	t := fib.New()
+	for _, p := range leaves {
+		if err := t.Add(p.addr, p.len, sample(rng, cum)+1); err != nil {
+			return nil, err
+		}
+	}
+	t.Sort()
+	return t, nil
+}
+
+// TruncPoisson returns the Poisson(lambda) distribution truncated and
+// renormalized to delta outcomes, the next-hop distribution of the
+// paper's synthetic FIBs (parameter 3/5).
+func TruncPoisson(lambda float64, delta int) []float64 {
+	p := make([]float64, delta)
+	term := math.Exp(-lambda)
+	total := 0.0
+	for k := 0; k < delta; k++ {
+		p[k] = term
+		total += term
+		term *= lambda / float64(k+1)
+	}
+	for k := range p {
+		p[k] /= total
+	}
+	return p
+}
+
+// SkewedDist returns the single-parameter family (p, q, q, …) with
+// q = (1-p)/(δ-1), solved by bisection so its Shannon entropy hits
+// targetH0 ∈ [0, lg δ]. This is how the Table 1 profiles pin the
+// next-hop entropy of the simulated router FIBs.
+func SkewedDist(delta int, targetH0 float64) ([]float64, error) {
+	if delta < 1 {
+		return nil, fmt.Errorf("gen: delta = %d < 1", delta)
+	}
+	if delta == 1 {
+		return []float64{1}, nil
+	}
+	max := math.Log2(float64(delta))
+	if targetH0 < 0 || targetH0 > max+1e-9 {
+		return nil, fmt.Errorf("gen: target H0 %.3f out of [0, lg %d = %.3f]", targetH0, delta, max)
+	}
+	build := func(p float64) []float64 {
+		d := make([]float64, delta)
+		d[0] = p
+		q := (1 - p) / float64(delta-1)
+		for i := 1; i < delta; i++ {
+			d[i] = q
+		}
+		return d
+	}
+	// Entropy decreases from lg δ to 0 as p goes from 1/δ to 1.
+	lo, hi := 1/float64(delta), 1-1e-12
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if Entropy(build(mid)) > targetH0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return build((lo + hi) / 2), nil
+}
+
+// Entropy is the Shannon entropy (base 2) of a distribution.
+func Entropy(dist []float64) float64 {
+	h := 0.0
+	for _, p := range dist {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// Bernoulli returns the two-point distribution (p, 1-p) of Fig 6/7.
+func Bernoulli(p float64) []float64 { return []float64{p, 1 - p} }
+
+// Relabel replaces every next-hop in t with an i.i.d. draw from dist,
+// keeping the prefix structure — exactly how Fig 6 regenerates
+// access(d) with Bernoulli next-hops. The input is not modified.
+func Relabel(rng *rand.Rand, t *fib.Table, dist []float64) *fib.Table {
+	cum := cumulative(dist)
+	out := fib.New()
+	out.Entries = make([]fib.Entry, len(t.Entries))
+	for i, e := range t.Entries {
+		e.NextHop = sample(rng, cum) + 1
+		out.Entries[i] = e
+	}
+	return out
+}
+
+// BernoulliString draws n symbols over {0,1} with P(0) = p, the
+// string-model workload of Fig 7.
+func BernoulliString(rng *rand.Rand, n int, p float64) []uint32 {
+	s := make([]uint32, n)
+	for i := range s {
+		if rng.Float64() >= p {
+			s[i] = 1
+		}
+	}
+	return s
+}
+
+func cumulative(dist []float64) []float64 {
+	cum := make([]float64, len(dist))
+	acc := 0.0
+	for i, p := range dist {
+		acc += p
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // guard against rounding
+	return cum
+}
+
+func sample(rng *rand.Rand, cum []float64) uint32 {
+	x := rng.Float64()
+	i := sort.SearchFloat64s(cum, x)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return uint32(i)
+}

@@ -1,0 +1,278 @@
+package gen
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+func TestSplitFIBPartitionsSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb, err := SplitFIB(rng, 5000, []float64{0.7, 0.2, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.N() != 5000 {
+		t.Fatalf("N = %d want 5000", tb.N())
+	}
+	// Prefix splitting yields a partition: every address resolves and
+	// the trie's leaf count equals the prefix count.
+	tr := trie.FromTable(tb)
+	for probe := 0; probe < 2000; probe++ {
+		if tr.Lookup(rng.Uint32()) == fib.NoLabel {
+			t.Fatal("split FIB left uncovered space")
+		}
+	}
+	lp := tr.LeafPush()
+	s := lp.LeafStats()
+	if s.LabelFreq[fib.NoLabel] != 0 {
+		t.Fatalf("%d unlabeled leaves in a partition", s.LabelFreq[fib.NoLabel])
+	}
+}
+
+func TestSplitFIBValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SplitFIB(rng, 0, []float64{1}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := SplitFIB(rng, 10, nil); err == nil {
+		t.Fatal("empty distribution accepted")
+	}
+}
+
+func TestTruncPoisson(t *testing.T) {
+	p := TruncPoisson(0.6, 5)
+	if len(p) != 5 {
+		t.Fatal("length")
+	}
+	sum := 0.0
+	for i, v := range p {
+		if v <= 0 || (i > 0 && v >= p[i-1]) {
+			t.Fatalf("poisson pmf not decreasing/positive: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("not normalized: %v", sum)
+	}
+}
+
+func TestSkewedDistHitsTarget(t *testing.T) {
+	for _, c := range []struct {
+		delta int
+		h0    float64
+	}{
+		{4, 1.00}, {195, 2.00}, {28, 1.06}, {3, 1.54}, {36, 3.91}, {2, 0.5},
+	} {
+		d, err := SkewedDist(c.delta, c.h0)
+		if err != nil {
+			t.Fatalf("δ=%d H0=%v: %v", c.delta, c.h0, err)
+		}
+		if got := Entropy(d); math.Abs(got-c.h0) > 1e-6 {
+			t.Fatalf("δ=%d: entropy %v want %v", c.delta, got, c.h0)
+		}
+	}
+}
+
+func TestSkewedDistValidation(t *testing.T) {
+	if _, err := SkewedDist(4, 5.0); err == nil {
+		t.Fatal("unreachable entropy accepted")
+	}
+	if _, err := SkewedDist(0, 1); err == nil {
+		t.Fatal("delta 0 accepted")
+	}
+	d, err := SkewedDist(1, 0)
+	if err != nil || len(d) != 1 || d[0] != 1 {
+		t.Fatal("single-label distribution")
+	}
+}
+
+func TestProfilesGenerate(t *testing.T) {
+	// Full-size generation is exercised by the benchmarks; here every
+	// profile is checked at reduced N for speed.
+	for _, p := range Table1Profiles {
+		small := p
+		if small.N > 20000 {
+			small.N = 20000
+		}
+		rng := rand.New(rand.NewSource(7))
+		tb, err := small.Generate(rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if got := tb.N(); got < small.N*99/100 || got > small.N {
+			t.Fatalf("%s: N = %d want ≈%d", p.Name, got, small.N)
+		}
+		if got := tb.Delta(); got > small.Delta {
+			t.Fatalf("%s: δ = %d want ≤ %d", p.Name, got, small.Delta)
+		}
+		if p.Default && !tb.HasDefaultRoute() {
+			t.Fatalf("%s: default route missing", p.Name)
+		}
+		// The leaf-label entropy must land near the target (the
+		// leaf-push replication perturbs it slightly).
+		lp := trie.FromTable(tb).LeafPush()
+		if got := lp.LeafStats().H0; math.Abs(got-p.H0) > 0.45 {
+			t.Fatalf("%s: H0 = %.3f want ≈%.2f", p.Name, got, p.H0)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, err := ProfileByName("taz"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb, _ := SplitFIB(rng, 1000, []float64{0.5, 0.5})
+	out := Relabel(rng, tb, Bernoulli(0.9))
+	if out.N() != tb.N() {
+		t.Fatal("relabel changed size")
+	}
+	hist := out.NextHopHistogram()
+	if hist[1] < 800 { // ≈900 expected
+		t.Fatalf("Bernoulli(0.9) gave only %d dominant labels", hist[1])
+	}
+	// Prefix structure untouched.
+	for i := range tb.Entries {
+		if tb.Entries[i].Addr != out.Entries[i].Addr || tb.Entries[i].Len != out.Entries[i].Len {
+			t.Fatal("relabel moved prefixes")
+		}
+	}
+	// Original table unmodified.
+	if h := tb.NextHopHistogram(); h[1] < 400 || h[1] > 600 {
+		t.Fatalf("input table was modified: %v", h)
+	}
+}
+
+func TestBernoulliString(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := BernoulliString(rng, 1<<14, 0.95)
+	zeros := 0
+	for _, v := range s {
+		if v == 0 {
+			zeros++
+		} else if v != 1 {
+			t.Fatal("symbol outside {0,1}")
+		}
+	}
+	if float64(zeros)/float64(len(s)) < 0.93 {
+		t.Fatalf("P(0) = %v, want ≈0.95", float64(zeros)/float64(len(s)))
+	}
+}
+
+func TestRandomUpdatesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tb, _ := SplitFIB(rng, 2000, []float64{0.6, 0.3, 0.1})
+	us := RandomUpdates(rng, tb, 5000)
+	if len(us) != 5000 {
+		t.Fatal("count")
+	}
+	// Uniform lengths: mean ≈ 16.
+	if m := MeanLen(us); m < 14.5 || m > 17.5 {
+		t.Fatalf("random update mean length %v, want ≈16", m)
+	}
+	for _, u := range us {
+		if u.Addr&^fib.Mask(u.Len) != 0 {
+			t.Fatal("host bits set")
+		}
+		if u.NextHop == fib.NoLabel {
+			t.Fatal("empty label in update")
+		}
+	}
+}
+
+func TestBGPUpdatesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb, _ := SplitFIB(rng, 5000, []float64{0.6, 0.3, 0.1})
+	us := BGPUpdates(rng, tb, 8000)
+	m := MeanLen(us)
+	if m < 20.5 || m > 23.5 {
+		t.Fatalf("BGP update mean length %v, want ≈%v", m, BGPMeanPrefixLen)
+	}
+	withdrawn := 0
+	for _, u := range us {
+		if u.Withdraw {
+			withdrawn++
+		}
+	}
+	if withdrawn == 0 || withdrawn > len(us)/5 {
+		t.Fatalf("withdrawals = %d, want a small non-zero fraction", withdrawn)
+	}
+}
+
+func TestZipfTraceLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	zipf := ZipfTrace(rng, 50000, 10000, 1.2)
+	uni := UniformAddrs(rng, 50000)
+	zl := TraceLocality(zipf, 100)
+	ul := TraceLocality(uni, 100)
+	if zl < 3*ul {
+		t.Fatalf("Zipf locality %.3f should dwarf uniform %.3f", zl, ul)
+	}
+	if EntropyOfTrace(zipf) >= EntropyOfTrace(uni) {
+		t.Fatal("Zipf trace should have lower destination entropy")
+	}
+}
+
+func TestMeanLenEmpty(t *testing.T) {
+	if MeanLen(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestFeedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tb, _ := SplitFIB(rng, 2000, []float64{0.7, 0.3})
+	us := BGPUpdates(rng, tb, 500)
+	var buf bytes.Buffer
+	if err := WriteUpdates(&buf, us); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUpdates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(us) {
+		t.Fatalf("round trip lost updates: %d != %d", len(back), len(us))
+	}
+	for i := range us {
+		a, b := us[i], back[i]
+		if a.Addr != b.Addr || a.Len != b.Len || a.Withdraw != b.Withdraw {
+			t.Fatalf("update %d: %+v != %+v", i, a, b)
+		}
+		// Withdrawals carry no label on the wire, like real BGP.
+		if !a.Withdraw && a.NextHop != b.NextHop {
+			t.Fatalf("update %d: label %d != %d", i, a.NextHop, b.NextHop)
+		}
+	}
+}
+
+func TestFeedRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"announce 10.0.0.0/8",    // missing label
+		"announce 10.0.0.0/8 0",  // label 0
+		"announce 10.0.0.0/99 1", // bad length
+		"withdraw 10.0.0.0/8 1",  // extra field
+		"frobnicate 10.0.0.0/8",  // unknown verb
+	} {
+		if _, err := ReadUpdates(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ReadUpdates(%q) should fail", bad)
+		}
+	}
+	// Comments and blanks are fine.
+	us, err := ReadUpdates(strings.NewReader("# hi\n\nannounce 10.0.0.0/8 3\nwithdraw 10.0.0.0/8\n"))
+	if err != nil || len(us) != 2 || !us[1].Withdraw {
+		t.Fatalf("feed parse: %v %v", us, err)
+	}
+}

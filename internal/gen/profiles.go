@@ -1,0 +1,130 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+// Profile describes one FIB instance of Table 1. The real router dumps
+// are proprietary; a profile pins the published parameters — prefix
+// count N, next-hop count δ, next-hop entropy H0 and whether a default
+// route is present — and the generator synthesizes a FIB matching
+// them (see DESIGN.md, substitutions).
+type Profile struct {
+	Name    string
+	N       int
+	Delta   int
+	H0      float64
+	Default bool // access FIBs carry a default route; DFZ cores do not
+	Kind    string
+}
+
+// Table1Profiles are the eleven FIB instances of Table 1 with the
+// parameters the paper reports.
+var Table1Profiles = []Profile{
+	{Name: "taz", N: 410513, Delta: 4, H0: 1.00, Default: false, Kind: "access"},
+	{Name: "hbone", N: 410454, Delta: 195, H0: 2.00, Default: false, Kind: "access"},
+	{Name: "access(d)", N: 444513, Delta: 28, H0: 1.06, Default: true, Kind: "access"},
+	{Name: "access(v)", N: 2986, Delta: 3, H0: 1.22, Default: true, Kind: "access"},
+	{Name: "mobile", N: 21783, Delta: 16, H0: 1.08, Default: true, Kind: "access"},
+	{Name: "as1221", N: 440060, Delta: 3, H0: 1.54, Default: false, Kind: "core"},
+	{Name: "as4637", N: 219581, Delta: 3, H0: 1.12, Default: false, Kind: "core"},
+	{Name: "as6447", N: 445016, Delta: 36, H0: 3.91, Default: false, Kind: "core"},
+	{Name: "as6730", N: 437378, Delta: 186, H0: 2.98, Default: false, Kind: "core"},
+	{Name: "fib_600k", N: 600000, Delta: 5, H0: 1.06, Default: false, Kind: "syn"},
+	{Name: "fib_1m", N: 1000000, Delta: 5, H0: 1.06, Default: false, Kind: "syn"},
+}
+
+// ProfileByName finds a Table 1 profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Table1Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("gen: unknown profile %q", name)
+}
+
+// Generate synthesizes a FIB matching the profile: the prefix set
+// comes from iterative random prefix splitting (which yields the
+// BGP-like clustering of prefix lengths around the split frontier) and
+// next-hops from a skewed distribution calibrated so that the
+// *leaf-pushed* label entropy — the H0 the paper's Table 1 reports —
+// hits the target. (Calibration matters: merging identically labeled
+// sibling leaves during normalization preferentially removes dominant
+// labels and raises the measured entropy above the raw distribution's.)
+func (p Profile) Generate(rng *rand.Rand) (*fib.Table, error) {
+	n := p.N
+	if p.Default {
+		n-- // the default route is added explicitly below
+	}
+	// Structure first, labels second: the same prefix set is relabeled
+	// during calibration.
+	uniform := make([]float64, p.Delta)
+	for i := range uniform {
+		uniform[i] = 1 / float64(p.Delta)
+	}
+	base, err := SplitFIB(rng, n, uniform)
+	if err != nil {
+		return nil, err
+	}
+
+	var family func(x float64) []float64
+	if p.Kind == "syn" {
+		// The paper's synthetic FIBs use a truncated Poisson next-hop
+		// distribution (parameter 3/5); calibrate its rate.
+		family = func(x float64) []float64 { return TruncPoisson(x*3, p.Delta) }
+	} else {
+		family = func(x float64) []float64 {
+			d, err := SkewedDist(p.Delta, x*math.Log2(float64(p.Delta)))
+			if err != nil {
+				return uniform
+			}
+			return d
+		}
+	}
+	seed := rng.Int63()
+	measure := func(x float64) float64 {
+		tb := Relabel(rand.New(rand.NewSource(seed)), base, family(x))
+		return trie.FromTable(tb).LeafPush().LeafStats().H0
+	}
+	x := calibrate(measure, p.H0)
+	t := Relabel(rand.New(rand.NewSource(seed)), base, family(x))
+	if p.Default {
+		t.Add(0, 0, 1)
+	}
+	t.Dedup()
+	return t, nil
+}
+
+// calibrate bisects x ∈ (0,1) so that measure(x) ≈ target, handling
+// both monotone directions; it clamps to an endpoint when the target
+// is out of reach.
+func calibrate(measure func(float64) float64, target float64) float64 {
+	lo, hi := 0.02, 0.98
+	mlo, mhi := measure(lo), measure(hi)
+	increasing := mhi > mlo
+	if increasing && target <= mlo || !increasing && target >= mlo {
+		return lo
+	}
+	if increasing && target >= mhi || !increasing && target <= mhi {
+		return hi
+	}
+	for iter := 0; iter < 20; iter++ {
+		mid := (lo + hi) / 2
+		m := measure(mid)
+		if math.Abs(m-target) < 0.01 {
+			return mid
+		}
+		if (m < target) == increasing {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

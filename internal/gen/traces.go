@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// UniformAddrs draws lookup keys uniformly from [0, 2^32), the
+// "rand." rows of Table 2.
+func UniformAddrs(rng *rand.Rand, count int) []uint32 {
+	out := make([]uint32, count)
+	for i := range out {
+		out[i] = rng.Uint32()
+	}
+	return out
+}
+
+// ZipfTrace models a real packet trace (the "trace" rows of Table 2,
+// standing in for the CAIDA capture): destinations are drawn from a
+// population of flows whose popularity is Zipf(s) distributed, giving
+// the strong address locality that lets a large structure like
+// fib_trie keep its popular lookup paths cached.
+func ZipfTrace(rng *rand.Rand, count, flows int, s float64) []uint32 {
+	if flows < 1 {
+		flows = 1
+	}
+	dests := make([]uint32, flows)
+	for i := range dests {
+		dests[i] = rng.Uint32()
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(flows-1))
+	out := make([]uint32, count)
+	for i := range out {
+		out[i] = dests[z.Uint64()]
+	}
+	return out
+}
+
+// TraceLocality measures the fraction of lookups going to the top-k
+// most popular destinations of a trace — a quick locality metric used
+// in tests.
+func TraceLocality(trace []uint32, k int) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	freq := map[uint32]int{}
+	for _, a := range trace {
+		freq[a]++
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	// Partial selection of the k largest.
+	top := 0
+	for i := 0; i < k && len(counts) > 0; i++ {
+		best, bi := -1, -1
+		for j, c := range counts {
+			if c > best {
+				best, bi = c, j
+			}
+		}
+		top += best
+		counts[bi] = counts[len(counts)-1]
+		counts = counts[:len(counts)-1]
+	}
+	return float64(top) / float64(len(trace))
+}
+
+// EntropyOfTrace reports the empirical destination entropy of a trace
+// in bits; uniform traces approach lg(len), Zipf traces are far lower.
+func EntropyOfTrace(trace []uint32) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	freq := map[uint32]int{}
+	for _, a := range trace {
+		freq[a]++
+	}
+	h := 0.0
+	n := float64(len(trace))
+	for _, c := range freq {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -1,0 +1,119 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"fibcomp/internal/fib"
+)
+
+// Update is one FIB update event: an announcement (Set) or a
+// withdrawal (Delete).
+type Update struct {
+	Addr     uint32
+	Len      int
+	NextHop  uint32
+	Withdraw bool
+}
+
+// RandomUpdates produces the synthetic sequence of §5.1: prefixes
+// uniform on [0, 2^32), prefix lengths uniform on [0, 32], next-hops
+// drawn from the FIB's next-hop distribution.
+func RandomUpdates(rng *rand.Rand, t *fib.Table, count int) []Update {
+	labels := weightedLabels(t)
+	out := make([]Update, count)
+	for i := range out {
+		plen := rng.Intn(fib.W + 1)
+		out[i] = Update{
+			Addr:    rng.Uint32() & fib.Mask(plen),
+			Len:     plen,
+			NextHop: labels[rng.Intn(len(labels))],
+		}
+	}
+	return out
+}
+
+// BGPMeanPrefixLen is the mean announced prefix length the paper
+// measured in its RouteViews update log.
+const BGPMeanPrefixLen = 21.87
+
+// BGPUpdates produces a BGP-inspired sequence (§5.1): every event is
+// an announcement whose prefix length follows a clipped normal around
+// the RouteViews mean of 21.87 (heavily biased towards long prefixes),
+// targeting an existing FIB entry of that length when one exists, and
+// whose next-hop is drawn from the FIB's next-hop distribution. A
+// small fraction are withdrawals of previously announced prefixes,
+// matching the announce-dominated mix of real feeds.
+func BGPUpdates(rng *rand.Rand, t *fib.Table, count int) []Update {
+	labels := weightedLabels(t)
+	// Index entries by prefix length for targeted announcements.
+	byLen := make([][]fib.Entry, fib.W+1)
+	for _, e := range t.Entries {
+		byLen[e.Len] = append(byLen[e.Len], e)
+	}
+	var announced []Update
+	out := make([]Update, count)
+	for i := range out {
+		if len(announced) > 0 && rng.Float64() < 0.1 {
+			// Withdrawal of something we announced earlier.
+			j := rng.Intn(len(announced))
+			u := announced[j]
+			u.Withdraw = true
+			announced = append(announced[:j], announced[j+1:]...)
+			out[i] = u
+			continue
+		}
+		plen := clampedNormalLen(rng, BGPMeanPrefixLen, 3.2)
+		var u Update
+		if es := byLen[plen]; len(es) > 0 && rng.Float64() < 0.8 {
+			e := es[rng.Intn(len(es))]
+			u = Update{Addr: e.Addr, Len: e.Len}
+		} else {
+			u = Update{Addr: rng.Uint32() & fib.Mask(plen), Len: plen}
+		}
+		u.NextHop = labels[rng.Intn(len(labels))]
+		out[i] = u
+		announced = append(announced, u)
+		if len(announced) > 4096 {
+			announced = announced[1:]
+		}
+	}
+	return out
+}
+
+// MeanLen reports the mean prefix length of a sequence, to validate
+// the BGP bias.
+func MeanLen(us []Update) float64 {
+	if len(us) == 0 {
+		return 0
+	}
+	total := 0
+	for _, u := range us {
+		total += u.Len
+	}
+	return float64(total) / float64(len(us))
+}
+
+func clampedNormalLen(rng *rand.Rand, mean, sigma float64) int {
+	for {
+		v := rng.NormFloat64()*sigma + mean
+		l := int(math.Round(v))
+		if l >= 8 && l <= fib.W {
+			return l
+		}
+	}
+}
+
+// weightedLabels returns the FIB's next-hop labels with multiplicity,
+// so uniform sampling reproduces the FIB's next-hop distribution. An
+// empty FIB yields the single label 1.
+func weightedLabels(t *fib.Table) []uint32 {
+	if t.N() == 0 {
+		return []uint32{1}
+	}
+	out := make([]uint32, 0, t.N())
+	for _, e := range t.Entries {
+		out = append(out, e.NextHop)
+	}
+	return out
+}

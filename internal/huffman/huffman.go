@@ -1,0 +1,212 @@
+// Package huffman builds canonical Huffman codes over small integer
+// alphabets. The codes shape the wavelet tree used to store the XBW-b
+// label string S_α in ~nH0 bits, and provide the entropy-coded size
+// estimates used in the evaluation.
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Code describes the codeword of one symbol.
+type Code struct {
+	Symbol uint32
+	Len    int    // codeword length in bits
+	Bits   uint64 // codeword, MSB-first in the low Len bits
+}
+
+// Codebook is a canonical Huffman code for an alphabet of dense
+// symbols. Symbols with zero frequency receive no codeword.
+type Codebook struct {
+	codes map[uint32]Code
+	// maxLen is the longest codeword.
+	maxLen int
+}
+
+type hNode struct {
+	freq   uint64
+	symbol uint32
+	left   *hNode
+	right  *hNode
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].symbol < h[j].symbol // deterministic tie-break
+}
+func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// New builds a canonical Huffman codebook from symbol frequencies.
+// Frequencies of zero are skipped. A single-symbol alphabet gets a
+// 1-bit code so that the wavelet tree always has at least one level.
+func New(freq map[uint32]uint64) (*Codebook, error) {
+	if len(freq) == 0 {
+		return nil, fmt.Errorf("huffman: empty frequency table")
+	}
+	h := make(hHeap, 0, len(freq))
+	for s, f := range freq {
+		if f == 0 {
+			continue
+		}
+		h = append(h, &hNode{freq: f, symbol: s})
+	}
+	if len(h) == 0 {
+		return nil, fmt.Errorf("huffman: all frequencies zero")
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hNode)
+		b := heap.Pop(&h).(*hNode)
+		heap.Push(&h, &hNode{
+			freq:   a.freq + b.freq,
+			symbol: min32(a.symbol, b.symbol),
+			left:   a, right: b,
+		})
+	}
+	root := h[0]
+
+	lengths := map[uint32]int{}
+	assignDepths(root, 0, lengths)
+	if len(lengths) == 1 {
+		for s := range lengths {
+			lengths[s] = 1
+		}
+	}
+	return fromLengths(lengths)
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func assignDepths(n *hNode, d int, out map[uint32]int) {
+	if n.left == nil {
+		out[n.symbol] = d
+		return
+	}
+	assignDepths(n.left, d+1, out)
+	assignDepths(n.right, d+1, out)
+}
+
+// fromLengths builds the canonical code: sort by (length, symbol) and
+// assign consecutive codewords.
+func fromLengths(lengths map[uint32]int) (*Codebook, error) {
+	type sl struct {
+		sym uint32
+		l   int
+	}
+	all := make([]sl, 0, len(lengths))
+	maxLen := 0
+	for s, l := range lengths {
+		all = append(all, sl{s, l})
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen > 58 {
+		return nil, fmt.Errorf("huffman: codeword length %d too large", maxLen)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].l != all[j].l {
+			return all[i].l < all[j].l
+		}
+		return all[i].sym < all[j].sym
+	})
+	cb := &Codebook{codes: make(map[uint32]Code, len(all)), maxLen: maxLen}
+	var next uint64
+	prevLen := all[0].l
+	for _, e := range all {
+		next <<= uint(e.l - prevLen)
+		prevLen = e.l
+		cb.codes[e.sym] = Code{Symbol: e.sym, Len: e.l, Bits: next}
+		next++
+	}
+	return cb, nil
+}
+
+// Encode returns the codeword for symbol s.
+func (cb *Codebook) Encode(s uint32) (Code, bool) {
+	c, ok := cb.codes[s]
+	return c, ok
+}
+
+// MaxLen reports the longest codeword length.
+func (cb *Codebook) MaxLen() int { return cb.maxLen }
+
+// Symbols returns the coded symbols in canonical order.
+func (cb *Codebook) Symbols() []uint32 {
+	out := make([]uint32, 0, len(cb.codes))
+	for s := range cb.codes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := cb.codes[out[i]], cb.codes[out[j]]
+		if ci.Len != cj.Len {
+			return ci.Len < cj.Len
+		}
+		return ci.Bits < cj.Bits
+	})
+	return out
+}
+
+// Codes returns a copy of the full symbol→code mapping.
+func (cb *Codebook) Codes() map[uint32]Code {
+	out := make(map[uint32]Code, len(cb.codes))
+	for s, c := range cb.codes {
+		out[s] = c
+	}
+	return out
+}
+
+// TotalBits reports the encoded size of a sequence with the given
+// frequencies under this code.
+func (cb *Codebook) TotalBits(freq map[uint32]uint64) uint64 {
+	var total uint64
+	for s, f := range freq {
+		if c, ok := cb.codes[s]; ok {
+			total += f * uint64(c.Len)
+		}
+	}
+	return total
+}
+
+// Entropy returns the Shannon entropy (bits/symbol, base 2) of the
+// distribution induced by freq. This is the H0 of the paper's
+// Proposition 2.
+func Entropy(freq map[uint32]uint64) float64 {
+	var total uint64
+	for _, f := range freq {
+		total += f
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, f := range freq {
+		if f == 0 {
+			continue
+		}
+		p := float64(f) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}

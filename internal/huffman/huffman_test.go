@@ -1,0 +1,156 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("want error for empty table")
+	}
+	if _, err := New(map[uint32]uint64{1: 0}); err == nil {
+		t.Fatal("want error for all-zero table")
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	cb, err := New(map[uint32]uint64{7: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := cb.Encode(7)
+	if !ok || c.Len != 1 {
+		t.Fatalf("single symbol should get a 1-bit code, got %+v ok=%v", c, ok)
+	}
+}
+
+func TestKnownDistribution(t *testing.T) {
+	// Classic: freq {a:45 b:13 c:12 d:16 e:9 f:5} has optimal expected
+	// length 2.24 bits/symbol (CLRS).
+	freq := map[uint32]uint64{0: 45, 1: 13, 2: 12, 3: 16, 4: 9, 5: 5}
+	cb, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := cb.TotalBits(freq)
+	if total != 224 {
+		t.Fatalf("total bits = %d, want 224", total)
+	}
+}
+
+func TestPrefixFree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		freq := map[uint32]uint64{}
+		for i := 0; i < n; i++ {
+			freq[uint32(i)] = uint64(rng.Intn(1000) + 1)
+		}
+		cb, err := New(freq)
+		if err != nil {
+			return false
+		}
+		codes := cb.Codes()
+		for a, ca := range codes {
+			for b, cbb := range codes {
+				if a == b {
+					continue
+				}
+				// ca must not be a prefix of cb.
+				if ca.Len <= cbb.Len {
+					if cbb.Bits>>uint(cbb.Len-ca.Len) == ca.Bits {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKraftEquality(t *testing.T) {
+	// A Huffman code is complete: sum of 2^-len == 1 (for >=2 symbols).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 2
+		freq := map[uint32]uint64{}
+		for i := 0; i < n; i++ {
+			freq[uint32(i)] = uint64(rng.Intn(10000) + 1)
+		}
+		cb, _ := New(freq)
+		var sum float64
+		for _, c := range cb.Codes() {
+			sum += math.Pow(2, -float64(c.Len))
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearEntropy(t *testing.T) {
+	// Expected code length is within [H0, H0+1).
+	rng := rand.New(rand.NewSource(3))
+	freq := map[uint32]uint64{}
+	var total uint64
+	for i := 0; i < 20; i++ {
+		f := uint64(rng.Intn(100000) + 1)
+		freq[uint32(i)] = f
+		total += f
+	}
+	cb, _ := New(freq)
+	avg := float64(cb.TotalBits(freq)) / float64(total)
+	h := Entropy(freq)
+	if avg < h-1e-9 || avg >= h+1 {
+		t.Fatalf("avg len %.4f outside [H0=%.4f, H0+1)", avg, h)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if h := Entropy(map[uint32]uint64{1: 1, 2: 1}); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("uniform 2-symbol entropy = %v, want 1", h)
+	}
+	if h := Entropy(map[uint32]uint64{1: 1}); h != 0 {
+		t.Fatalf("single-symbol entropy = %v, want 0", h)
+	}
+	if h := Entropy(nil); h != 0 {
+		t.Fatalf("empty entropy = %v, want 0", h)
+	}
+	// Bernoulli(1/4): H = 0.25*2 + 0.75*log2(4/3) ≈ 0.811278.
+	h := Entropy(map[uint32]uint64{0: 1, 1: 3})
+	if math.Abs(h-0.8112781245) > 1e-9 {
+		t.Fatalf("Bernoulli(1/4) entropy = %v", h)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	freq := map[uint32]uint64{0: 5, 1: 5, 2: 5, 3: 5}
+	a, _ := New(freq)
+	b, _ := New(freq)
+	ca, cbb := a.Codes(), b.Codes()
+	for s, c := range ca {
+		if cbb[s] != c {
+			t.Fatalf("non-deterministic code for %d: %+v vs %+v", s, c, cbb[s])
+		}
+	}
+}
+
+func TestSymbolsOrdered(t *testing.T) {
+	freq := map[uint32]uint64{10: 1, 20: 100, 30: 50}
+	cb, _ := New(freq)
+	syms := cb.Symbols()
+	if len(syms) != 3 {
+		t.Fatalf("got %d symbols", len(syms))
+	}
+	// Most frequent symbol must come first (shortest code).
+	if syms[0] != 20 {
+		t.Fatalf("first canonical symbol = %d, want 20", syms[0])
+	}
+}

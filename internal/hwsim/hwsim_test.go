@@ -1,0 +1,89 @@
+package hwsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/gen"
+	"fibcomp/internal/pdag"
+)
+
+func buildBlob(t *testing.T, n int, lambda int) *pdag.Blob {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tb, err := gen.SplitFIB(rng, n, []float64{0.8, 0.1, 0.05, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pdag.Build(tb, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestRejectsOversize(t *testing.T) {
+	blob := buildBlob(t, 5000, 11)
+	if _, err := New(blob, 16, 50e6); err == nil {
+		t.Fatal("16-byte SRAM accepted")
+	}
+	if _, err := New(blob, 4<<20, 0); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+}
+
+func TestCycleModel(t *testing.T) {
+	blob := buildBlob(t, 20000, 11)
+	e, err := New(blob, 4608<<10, 50e6) // the paper's 4.5 MB board
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	res := e.Run(gen.UniformAddrs(rng, 20000))
+	if res.Lookups != 20000 {
+		t.Fatal("lookup count")
+	}
+	// Every lookup costs at least pipeline + one root access; at λ=11
+	// the paper sees ≈7 cycles on average and the depth is bounded by
+	// W-λ+pipeline+root.
+	if res.AvgCycles < 3 || res.AvgCycles > 15 {
+		t.Fatalf("avg cycles %.2f outside the plausible FPGA band", res.AvgCycles)
+	}
+	if res.MaxCycles > 2+1+(fib.W-11) {
+		t.Fatalf("max cycles %d exceeds the structural bound", res.MaxCycles)
+	}
+	if res.LookupsPerSec < 1e6 {
+		t.Fatalf("only %.0f lookups/s at 50 MHz", res.LookupsPerSec)
+	}
+}
+
+func TestDeeperBarrierFewerCycles(t *testing.T) {
+	// A deeper barrier collapses more levels into the root array, so
+	// average cycles must not increase.
+	rng := rand.New(rand.NewSource(3))
+	addrs := gen.UniformAddrs(rng, 10000)
+	b8 := buildBlob(t, 20000, 8)
+	b16 := buildBlob(t, 20000, 16)
+	e8, _ := New(b8, 64<<20, 50e6)
+	e16, _ := New(b16, 64<<20, 50e6)
+	if a8, a16 := e8.Run(addrs).AvgCycles, e16.Run(addrs).AvgCycles; a16 > a8 {
+		t.Fatalf("λ=16 (%.2f cyc) should not be slower than λ=8 (%.2f cyc)", a16, a8)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	blob := buildBlob(t, 100, 8)
+	e, err := New(blob, 4<<20, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(nil)
+	if res.Lookups != 0 || res.AvgCycles != 0 {
+		t.Fatal("empty run should be all zeros")
+	}
+}

@@ -1,0 +1,26 @@
+package ip6
+
+import "testing"
+
+// FuzzParseAddr checks the IPv6 parser never panics and that accepted
+// addresses survive a String/Parse round trip.
+func FuzzParseAddr(f *testing.F) {
+	for _, seed := range []string{
+		"::", "::1", "2001:db8::", "1:2:3:4:5:6:7:8",
+		"ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff",
+		":::", "1::2::3", "12345::", "g::", "1:2:3:4:5:6:7:8:9", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil || back != a {
+			t.Fatalf("%q parsed to %+v, canonical %q re-parses to %+v (%v)",
+				s, a, a.String(), back, err)
+		}
+	})
+}

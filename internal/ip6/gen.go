@@ -1,0 +1,77 @@
+package ip6
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SplitFIB generates a synthetic IPv6 FIB by the same iterative random
+// prefix splitting as the IPv4 generator, but confined to the global
+// unicast space (2000::/3) and biased the way real IPv6 tables are:
+// splitting stops preferentially in the /32–/48 band (provider
+// allocations and customer sites), with a tail of /64s.
+func SplitFIB(rng *rand.Rand, n int, dist []float64) (*Table, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ip6: n = %d < 1", n)
+	}
+	if len(dist) < 1 || len(dist) > int(MaxLabel) {
+		return nil, fmt.Errorf("ip6: distribution over %d labels out of range", len(dist))
+	}
+	type pfx struct {
+		addr Addr
+		len  int
+	}
+	base, _, err := ParsePrefix("2000::/3")
+	if err != nil {
+		return nil, err
+	}
+	leaves := []pfx{{base, 3}}
+	for len(leaves) < n {
+		i := rng.Intn(len(leaves))
+		p := leaves[i]
+		if p.len >= 64 {
+			continue // IPv6 FIBs rarely carry beyond /64
+		}
+		// Bias: prefixes already in the /32–/48 band split less often,
+		// concentrating mass there like real allocations do.
+		if p.len >= 32 && p.len < 48 && rng.Float64() < 0.35 {
+			continue
+		}
+		leaves[i] = pfx{p.addr, p.len + 1}
+		leaves = append(leaves, pfx{p.addr.WithBit(p.len), p.len + 1})
+	}
+	cum := make([]float64, len(dist))
+	acc := 0.0
+	for i, p := range dist {
+		acc += p
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1
+	t := New()
+	for _, p := range leaves {
+		x := rng.Float64()
+		label := uint32(len(cum))
+		for i, c := range cum {
+			if x <= c {
+				label = uint32(i) + 1
+				break
+			}
+		}
+		if err := t.Add(p.addr, p.len, label); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// RandomAddrs draws lookup keys from the global unicast space.
+func RandomAddrs(rng *rand.Rand, count int) []Addr {
+	out := make([]Addr, count)
+	for i := range out {
+		out[i] = Addr{
+			Hi: 0x2000000000000000 | rng.Uint64()>>3,
+			Lo: rng.Uint64(),
+		}
+	}
+	return out
+}

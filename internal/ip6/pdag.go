@@ -1,0 +1,292 @@
+package ip6
+
+import "fmt"
+
+// Trie-folding over the IPv6 space. The folded region uses the same
+// hash-consing with reference counts as the IPv4 implementation; the
+// update path takes the simpler of the two strategies §4.3 permits —
+// rebuilding the affected λ-level sub-trie from the control FIB —
+// which is ample for IPv6 because the barrier keeps those sub-tries
+// proportional to the routes beneath one λ-bit prefix.
+
+const (
+	kindUp byte = iota
+	kindInt
+	kindLeaf
+)
+
+const leafIDBase = uint64(1) << 40
+
+type dnode struct {
+	left, right *dnode
+	label       uint32
+	id          uint64
+	ref         int32
+	kind        byte
+}
+
+// DAG is an IPv6 prefix DAG with its control FIB.
+type DAG struct {
+	Lambda  int
+	control *Trie
+	root    *dnode
+	sub     map[[2]uint64]*dnode
+	leaves  map[uint32]*dnode
+	nextID  uint64
+}
+
+// Build folds an IPv6 table with leaf-push barrier lambda ∈ [0, 128].
+func Build(t *Table, lambda int) (*DAG, error) {
+	if lambda < 0 || lambda > W {
+		return nil, fmt.Errorf("ip6: barrier λ=%d out of [0,%d]", lambda, W)
+	}
+	d := &DAG{
+		Lambda:  lambda,
+		control: FromTable(t),
+		sub:     map[[2]uint64]*dnode{},
+		leaves:  map[uint32]*dnode{},
+	}
+	d.root = d.buildUp(d.control.Root, 0)
+	return d, nil
+}
+
+func (d *DAG) buildUp(cn *Node, depth int) *dnode {
+	if cn == nil {
+		return nil
+	}
+	if depth == d.Lambda {
+		return d.fold(LeafPushNode(cn, NoLabel))
+	}
+	return &dnode{
+		kind:  kindUp,
+		label: cn.Label,
+		left:  d.buildUp(cn.Left, depth+1),
+		right: d.buildUp(cn.Right, depth+1),
+	}
+}
+
+func (d *DAG) fold(tn *Node) *dnode {
+	if tn.IsLeaf() {
+		return d.acquireLeaf(tn.Label)
+	}
+	l := d.fold(tn.Left)
+	r := d.fold(tn.Right)
+	return d.acquireNode(l, r)
+}
+
+func (d *DAG) acquireLeaf(label uint32) *dnode {
+	if n, ok := d.leaves[label]; ok {
+		n.ref++
+		return n
+	}
+	n := &dnode{kind: kindLeaf, label: label, id: leafIDBase | uint64(label), ref: 1}
+	d.leaves[label] = n
+	return n
+}
+
+func (d *DAG) acquireNode(l, r *dnode) *dnode {
+	if l == r && l.kind == kindLeaf {
+		d.release(r)
+		return l
+	}
+	key := [2]uint64{l.id, r.id}
+	if n, ok := d.sub[key]; ok {
+		n.ref++
+		d.release(l)
+		d.release(r)
+		return n
+	}
+	d.nextID++
+	n := &dnode{kind: kindInt, left: l, right: r, id: d.nextID, ref: 1}
+	d.sub[key] = n
+	return n
+}
+
+func (d *DAG) release(n *dnode) {
+	if n == nil || n.kind == kindUp {
+		return
+	}
+	n.ref--
+	if n.ref > 0 {
+		return
+	}
+	if n.kind == kindLeaf {
+		delete(d.leaves, n.label)
+		return
+	}
+	delete(d.sub, [2]uint64{n.left.id, n.right.id})
+	d.release(n.left)
+	d.release(n.right)
+}
+
+// Lookup is standard trie lookup over 128 bits.
+func (d *DAG) Lookup(addr Addr) uint32 {
+	best := NoLabel
+	n := d.root
+	for q := 0; n != nil; q++ {
+		if n.label != NoLabel {
+			best = n.label
+		}
+		if q == W {
+			break
+		}
+		if addr.Bit(q) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return best
+}
+
+// Set inserts or changes a prefix → label association.
+func (d *DAG) Set(a Addr, plen int, label uint32) error {
+	if plen < 0 || plen > W {
+		return fmt.Errorf("ip6: prefix length %d out of range", plen)
+	}
+	if label == NoLabel || label > MaxLabel {
+		return fmt.Errorf("ip6: label %d out of range [1,%d]", label, MaxLabel)
+	}
+	a = Canonical(a, plen)
+	d.control.Insert(a, plen, label)
+	d.refresh(a, plen)
+	return nil
+}
+
+// Delete removes an association, reporting whether it existed.
+func (d *DAG) Delete(a Addr, plen int) bool {
+	if plen < 0 || plen > W {
+		return false
+	}
+	a = Canonical(a, plen)
+	if !d.control.Delete(a, plen) {
+		return false
+	}
+	d.refresh(a, plen)
+	return true
+}
+
+// refresh re-synchronizes the DAG with the mutated control FIB: above
+// the barrier by mirroring the path, at the barrier by re-folding the
+// affected λ-level sub-trie.
+func (d *DAG) refresh(a Addr, plen int) {
+	if plen < d.Lambda {
+		d.root = d.syncUp(d.control.Root, d.root, a, 0, plen)
+		return
+	}
+	if d.Lambda == 0 {
+		old := d.root
+		d.root = d.fold(LeafPushNode(d.control.Root, NoLabel))
+		d.release(old)
+		return
+	}
+	cn := d.control.Root
+	un := d.root
+	un.label = cn.Label
+	for q := 0; q < d.Lambda-1; q++ {
+		var cc *Node
+		var uc **dnode
+		if a.Bit(q) == 0 {
+			cc, uc = cn.Left, &un.left
+		} else {
+			cc, uc = cn.Right, &un.right
+		}
+		if cc == nil {
+			d.dropUp(*uc)
+			*uc = nil
+			return
+		}
+		if *uc == nil {
+			*uc = &dnode{kind: kindUp}
+		}
+		cn, un = cc, *uc
+		un.label = cn.Label
+	}
+	var cc *Node
+	var uc **dnode
+	if a.Bit(d.Lambda-1) == 0 {
+		cc, uc = cn.Left, &un.left
+	} else {
+		cc, uc = cn.Right, &un.right
+	}
+	old := *uc
+	if cc == nil {
+		*uc = nil
+	} else {
+		*uc = d.fold(LeafPushNode(cc, NoLabel))
+	}
+	if old != nil {
+		d.release(old)
+	}
+}
+
+func (d *DAG) syncUp(cn *Node, un *dnode, a Addr, q, plen int) *dnode {
+	if cn == nil {
+		d.dropUp(un)
+		return nil
+	}
+	if un == nil {
+		un = &dnode{kind: kindUp}
+	}
+	un.label = cn.Label
+	if q == plen {
+		return un
+	}
+	if a.Bit(q) == 0 {
+		un.left = d.syncUp(cn.Left, un.left, a, q+1, plen)
+	} else {
+		un.right = d.syncUp(cn.Right, un.right, a, q+1, plen)
+	}
+	return un
+}
+
+func (d *DAG) dropUp(n *dnode) {
+	if n == nil {
+		return
+	}
+	if n.kind != kindUp {
+		d.release(n)
+		return
+	}
+	d.dropUp(n.left)
+	d.dropUp(n.right)
+}
+
+// FoldedInterior reports |S|, the shared interior node count.
+func (d *DAG) FoldedInterior() int { return len(d.sub) }
+
+// FoldedLeaves reports |lp|.
+func (d *DAG) FoldedLeaves() int { return len(d.leaves) }
+
+// UpNodes reports the plain nodes above the barrier.
+func (d *DAG) UpNodes() int {
+	var count func(n *dnode) int
+	count = func(n *dnode) int {
+		if n == nil || n.kind != kindUp {
+			return 0
+		}
+		return 1 + count(n.left) + count(n.right)
+	}
+	return count(d.root)
+}
+
+// ModelBits applies the §4.2 memory model to the IPv6 DAG.
+func (d *DAG) ModelBits() int {
+	up, in, lf := d.UpNodes(), len(d.sub), len(d.leaves)
+	total := up + in + lf
+	ptr := 1
+	for v := total; v > 1; v >>= 1 {
+		ptr++
+	}
+	lgDelta := 1
+	for v := lf; v > 1; v >>= 1 {
+		lgDelta++
+	}
+	return up*(ptr+lgDelta) + in*2*ptr + lf*lgDelta
+}
+
+// ModelBytes is ModelBits in bytes.
+func (d *DAG) ModelBytes() int { return (d.ModelBits() + 7) / 8 }
+
+// Control exposes the control FIB (read-only).
+func (d *DAG) Control() *Trie { return d.control }

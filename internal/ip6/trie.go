@@ -1,0 +1,201 @@
+package ip6
+
+import "fibcomp/internal/huffman"
+
+// Node is a binary trie node over the 128-bit space.
+type Node struct {
+	Left, Right *Node
+	Label       uint32
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Trie is a binary prefix tree over IPv6 addresses.
+type Trie struct {
+	Root *Node
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie { return &Trie{Root: &Node{}} }
+
+// FromTable builds a trie from a table; later duplicates win.
+func FromTable(t *Table) *Trie {
+	tr := NewTrie()
+	for _, e := range t.Entries {
+		tr.Insert(e.Addr, e.Len, e.NextHop)
+	}
+	return tr
+}
+
+// Insert sets the label of prefix a/plen.
+func (t *Trie) Insert(a Addr, plen int, label uint32) {
+	n := t.Root
+	for q := 0; q < plen; q++ {
+		if a.Bit(q) == 0 {
+			if n.Left == nil {
+				n.Left = &Node{}
+			}
+			n = n.Left
+		} else {
+			if n.Right == nil {
+				n.Right = &Node{}
+			}
+			n = n.Right
+		}
+	}
+	n.Label = label
+}
+
+// Delete removes the label of a/plen, pruning empty chains, and
+// reports whether it was present.
+func (t *Trie) Delete(a Addr, plen int) bool {
+	path := make([]*Node, 0, plen+1)
+	n := t.Root
+	path = append(path, n)
+	for q := 0; q < plen; q++ {
+		if a.Bit(q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+	}
+	if n.Label == NoLabel {
+		return false
+	}
+	n.Label = NoLabel
+	for i := len(path) - 1; i > 0; i-- {
+		nd := path[i]
+		if !nd.IsLeaf() || nd.Label != NoLabel {
+			break
+		}
+		parent := path[i-1]
+		if parent.Left == nd {
+			parent.Left = nil
+		} else {
+			parent.Right = nil
+		}
+	}
+	return true
+}
+
+// Lookup performs longest prefix match in O(W).
+func (t *Trie) Lookup(addr Addr) uint32 {
+	best := NoLabel
+	n := t.Root
+	for q := 0; n != nil; q++ {
+		if n.Label != NoLabel {
+			best = n.Label
+		}
+		if q == W {
+			break
+		}
+		if addr.Bit(q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return best
+}
+
+// Clone deep-copies the trie.
+func (t *Trie) Clone() *Trie { return &Trie{Root: cloneNode(t.Root)} }
+
+func cloneNode(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	return &Node{Left: cloneNode(n.Left), Right: cloneNode(n.Right), Label: n.Label}
+}
+
+// LeafPush normalizes the trie into the proper leaf-labeled form, the
+// same procedure as the IPv4 trie package uses (§2).
+func (t *Trie) LeafPush() *Trie {
+	return &Trie{Root: mergeLeaves(pushDown(t.Root, NoLabel))}
+}
+
+// LeafPushNode normalizes a subtree with an inherited default label.
+func LeafPushNode(n *Node, def uint32) *Node {
+	return mergeLeaves(pushDown(n, def))
+}
+
+func pushDown(n *Node, inherited uint32) *Node {
+	if n == nil {
+		return &Node{Label: inherited}
+	}
+	cur := inherited
+	if n.Label != NoLabel {
+		cur = n.Label
+	}
+	if n.IsLeaf() {
+		return &Node{Label: cur}
+	}
+	return &Node{Left: pushDown(n.Left, cur), Right: pushDown(n.Right, cur)}
+}
+
+func mergeLeaves(n *Node) *Node {
+	if n == nil || n.IsLeaf() {
+		return n
+	}
+	n.Left = mergeLeaves(n.Left)
+	n.Right = mergeLeaves(n.Right)
+	if n.Left.IsLeaf() && n.Right.IsLeaf() && n.Left.Label == n.Right.Label {
+		return &Node{Label: n.Left.Label}
+	}
+	return n
+}
+
+// Stats carries the §2 compressibility metrics for the IPv6 trie.
+type Stats struct {
+	Nodes     int
+	Leaves    int
+	Delta     int
+	H0        float64
+	InfoBound float64
+	Entropy   float64
+}
+
+// LeafStats measures a normalized trie; it panics on a trie that is
+// not proper leaf-labeled.
+func (t *Trie) LeafStats() Stats {
+	var s Stats
+	freq := map[uint32]uint64{}
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if n == nil {
+			return false
+		}
+		s.Nodes++
+		if n.IsLeaf() {
+			s.Leaves++
+			freq[n.Label]++
+			return true
+		}
+		if n.Label != NoLabel || n.Left == nil || n.Right == nil {
+			return false
+		}
+		return walk(n.Left) && walk(n.Right)
+	}
+	if !walk(t.Root) {
+		panic("ip6: LeafStats requires a leaf-pushed trie")
+	}
+	for l := range freq {
+		if l != NoLabel {
+			s.Delta++
+		}
+	}
+	s.H0 = huffman.Entropy(freq)
+	n := float64(s.Leaves)
+	lg := 0
+	for v := len(freq) - 1; v > 0; v >>= 1 {
+		lg++
+	}
+	s.InfoBound = 2*n + n*float64(lg)
+	s.Entropy = 2*n + n*s.H0
+	return s
+}

@@ -1,0 +1,261 @@
+// Package lctrie implements a level-compressed multibit trie in the
+// spirit of Nilsson–Karlsson (IEEE JSAC 1999) and the Linux kernel's
+// fib_trie, the reference lookup engine of the paper's Table 2. The
+// largest near-complete top of each binary subtree is collapsed into
+// one 2^k-way branch node (controlled by a fill factor, like the
+// kernel's inflate/halve thresholds); shallower leaves are replicated
+// into the slots they cover (controlled prefix expansion).
+//
+// The memory layout emulates the kernel's, not a packed array: branch
+// slots are 8-byte pointer-sized words and every leaf is a separate
+// 64-byte struct (leaf + leaf_info) that the lookup actually reads.
+// That is what makes fib_trie occupy tens of megabytes and miss the
+// cache on random traffic (§5.3) — and the effect shows up here in
+// wall-clock measurements, not just in the cache simulator.
+package lctrie
+
+import (
+	"fmt"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+// Slot word encoding: bit 63 marks a leaf; a leaf word carries the
+// leaf struct index (bits 8..62) and the label (low 8 bits, also
+// stored in the leaf struct); a branch word packs the branch-bit count
+// (bits 56..62) and the index of its first child slot.
+const (
+	leafFlag    = uint64(1) << 63
+	maxChildIdx = (1 << 40) - 1
+)
+
+// Kernel-calibrated struct sizes (64-bit Linux): struct tnode header,
+// pointer-sized child slots, struct leaf + leaf_info per route, and a
+// fib_alias record per prefix.
+const (
+	tnodeHeaderBytes = 40
+	slotPtrBytes     = 8
+	leafStructBytes  = 64
+	aliasBytes       = 24
+)
+
+// Trie is an immutable level-compressed multibit trie.
+type Trie struct {
+	words    []uint64 // slot array; words[0] is the root
+	leafData []byte   // one leafStructBytes record per distinct leaf
+	leaves   int
+	// nPrefixes is the prefix count of the source FIB, for the alias
+	// part of the memory model.
+	nPrefixes int
+	branches  int
+	maxBits   int
+}
+
+// Build constructs an LC-trie from a FIB table with the given fill
+// factor in (0, 1]; 0.5 matches the kernel's defaults closely. The
+// root node is always allowed to grow (the kernel lets the root
+// inflate aggressively), capped at rootBits.
+func Build(t *fib.Table, fill float64, rootBits int) (*Trie, error) {
+	if fill <= 0 || fill > 1 {
+		return nil, fmt.Errorf("lctrie: fill factor %v out of (0,1]", fill)
+	}
+	if rootBits < 1 || rootBits > 20 {
+		return nil, fmt.Errorf("lctrie: root bits %d out of [1,20]", rootBits)
+	}
+	lp := trie.FromTable(t).LeafPush()
+	b := &builder{fill: fill, rootBits: rootBits, leafIDs: map[*trie.Node]uint64{}}
+	// Reserve slot 0 for the root.
+	b.words = append(b.words, 0)
+	b.words[0] = b.encode(lp.Root, true)
+	lt := &Trie{
+		words:     b.words,
+		leaves:    len(b.leafIDs),
+		nPrefixes: t.N(),
+		branches:  b.branches,
+		maxBits:   b.maxBits,
+	}
+	// Materialize the leaf region: each distinct leaf is a 64-byte
+	// struct whose first byte holds the label (the rest stands in for
+	// the key, plen and leaf_info fields the kernel keeps there).
+	lt.leafData = make([]byte, lt.leaves*leafStructBytes)
+	for n, id := range b.leafIDs {
+		lt.leafData[int(id)*leafStructBytes] = byte(n.Label)
+	}
+	return lt, nil
+}
+
+type builder struct {
+	words    []uint64
+	fill     float64
+	rootBits int
+	leafIDs  map[*trie.Node]uint64
+	branches int
+	maxBits  int
+}
+
+// encode returns the word for subtree n, appending child arrays to
+// the slot array as needed.
+func (b *builder) encode(n *trie.Node, isRoot bool) uint64 {
+	if n.IsLeaf() {
+		return b.leafWord(n)
+	}
+	k := b.chooseBits(n, isRoot)
+	base := len(b.words)
+	if base+1<<uint(k) > maxChildIdx {
+		k = 1
+	}
+	b.branches++
+	if k > b.maxBits {
+		b.maxBits = k
+	}
+	// Allocate the child slots first so they are consecutive.
+	for i := 0; i < 1<<uint(k); i++ {
+		b.words = append(b.words, 0)
+	}
+	for i := 0; i < 1<<uint(k); i++ {
+		child := descend(n, uint32(i), k)
+		b.words[base+i] = b.encode(child, false)
+	}
+	return uint64(k)<<56 | uint64(base)
+}
+
+// descend walks k bits (MSB-first within the slot index) from n,
+// stopping early at leaves (which are thereby replicated into every
+// slot they cover — controlled prefix expansion; replicated slots
+// share one leaf struct, as pointers would).
+func descend(n *trie.Node, idx uint32, k int) *trie.Node {
+	for j := k - 1; j >= 0; j-- {
+		if n.IsLeaf() {
+			return n
+		}
+		if idx>>uint(j)&1 == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// chooseBits picks the branch factor: the largest k such that the
+// proper trie still has at least fill·2^k nodes at depth k below n.
+func (b *builder) chooseBits(n *trie.Node, isRoot bool) int {
+	limit := 18
+	if isRoot {
+		limit = b.rootBits
+	}
+	best := 1
+	nodes := []*trie.Node{n.Left, n.Right}
+	for k := 2; k <= limit; k++ {
+		var next []*trie.Node
+		count := 0
+		for _, c := range nodes {
+			if c.IsLeaf() {
+				continue
+			}
+			next = append(next, c.Left, c.Right)
+			count += 2
+		}
+		if float64(count) < b.fill*float64(int(1)<<uint(k)) {
+			break
+		}
+		best = k
+		nodes = next
+	}
+	return best
+}
+
+// leafWord encodes a leaf; every distinct leaf node is a separate
+// kernel-style allocation addressed by its identifier.
+func (b *builder) leafWord(n *trie.Node) uint64 {
+	id, ok := b.leafIDs[n]
+	if !ok {
+		id = uint64(len(b.leafIDs))
+		b.leafIDs[n] = id
+	}
+	return leafFlag | id<<8 | uint64(n.Label&0xFF)
+}
+
+// Lookup performs longest prefix match in one multibit descent,
+// finishing — like the kernel — by reading the leaf struct itself.
+func (t *Trie) Lookup(addr uint32) uint32 {
+	w := t.words[0]
+	q := 0
+	for w&leafFlag == 0 {
+		k := int(w >> 56)
+		base := w & maxChildIdx
+		idx := extract(addr, q, k)
+		w = t.words[base+uint64(idx)]
+		q += k
+	}
+	id := w >> 8 & (1<<55 - 1)
+	return uint32(t.leafData[id*leafStructBytes])
+}
+
+// LookupDepth is Lookup instrumented with the number of branch nodes
+// visited (the "depth" rows of Table 2; the root counts as depth 0).
+func (t *Trie) LookupDepth(addr uint32) (label uint32, depth int) {
+	w := t.words[0]
+	q := 0
+	for w&leafFlag == 0 {
+		depth++
+		k := int(w >> 56)
+		base := w & maxChildIdx
+		idx := extract(addr, q, k)
+		w = t.words[base+uint64(idx)]
+		q += k
+	}
+	id := w >> 8 & (1<<55 - 1)
+	return uint32(t.leafData[id*leafStructBytes]), depth
+}
+
+// LookupTrace reports the byte offsets touched by a lookup — slot
+// reads in the tnode region followed by the leaf struct read — for
+// the cache simulator. Offsets match the real layout walked by Lookup.
+func (t *Trie) LookupTrace(addr uint32, visit func(byteOffset int)) uint32 {
+	leafRegion := len(t.words) * slotPtrBytes
+	w := t.words[0]
+	visit(0)
+	q := 0
+	for w&leafFlag == 0 {
+		k := int(w >> 56)
+		base := w & maxChildIdx
+		idx := extract(addr, q, k)
+		visit(int(base+uint64(idx)) * slotPtrBytes)
+		w = t.words[base+uint64(idx)]
+		q += k
+	}
+	id := int(w >> 8 & (1<<55 - 1))
+	visit(leafRegion + id*leafStructBytes)
+	return uint32(t.leafData[id*leafStructBytes])
+}
+
+// extract returns k address bits starting at bit q (MSB-first).
+func extract(addr uint32, q, k int) uint32 {
+	return addr << uint(q) >> uint(32-k)
+}
+
+// StructureBytes is the memory actually allocated and walked by
+// Lookup: pointer slots plus leaf structs.
+func (t *Trie) StructureBytes() int {
+	return len(t.words)*slotPtrBytes + len(t.leafData)
+}
+
+// ModelBytes is the full kernel footprint: the walked structure plus
+// tnode headers and per-prefix alias records. This is the "size"
+// column Table 2 reports for fib_trie.
+func (t *Trie) ModelBytes() int {
+	return t.StructureBytes() +
+		t.branches*tnodeHeaderBytes +
+		t.nPrefixes*aliasBytes
+}
+
+// Branches reports the number of multibit branch nodes.
+func (t *Trie) Branches() int { return t.branches }
+
+// Leaves reports the number of distinct leaf structs.
+func (t *Trie) Leaves() int { return t.leaves }
+
+// MaxBits reports the largest branch factor chosen.
+func (t *Trie) MaxBits() int { return t.maxBits }

@@ -1,0 +1,185 @@
+package lctrie
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+func randomTable(rng *rand.Rand, n, delta int, withDefault bool) *fib.Table {
+	t := fib.New()
+	if withDefault {
+		t.Add(0, 0, uint32(rng.Intn(delta))+1)
+	}
+	for i := 0; i < n; i++ {
+		plen := rng.Intn(25) + 8
+		t.Add(rng.Uint32()&fib.Mask(plen), plen, uint32(rng.Intn(delta))+1)
+	}
+	t.Dedup()
+	return t
+}
+
+func TestLookupEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, fill := range []float64{0.25, 0.5, 1.0} {
+		for trial := 0; trial < 4; trial++ {
+			tb := randomTable(rng, 400, 6, trial%2 == 0)
+			ref := trie.FromTable(tb)
+			lt, err := Build(tb, fill, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for probe := 0; probe < 3000; probe++ {
+				addr := rng.Uint32()
+				if got, want := lt.Lookup(addr), ref.Lookup(addr); got != want {
+					t.Fatalf("fill=%v trial=%d: lookup %x = %d want %d",
+						fill, trial, addr, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	tb := fib.MustParse("0.0.0.0/0 1")
+	if _, err := Build(tb, 0, 16); err == nil {
+		t.Fatal("fill 0 accepted")
+	}
+	if _, err := Build(tb, 1.5, 16); err == nil {
+		t.Fatal("fill >1 accepted")
+	}
+	if _, err := Build(tb, 0.5, 0); err == nil {
+		t.Fatal("root bits 0 accepted")
+	}
+}
+
+func TestDefaultOnly(t *testing.T) {
+	lt, err := Build(fib.MustParse("0.0.0.0/0 3"), 0.5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Lookup(0xDEADBEEF) != 3 {
+		t.Fatal("default route lost")
+	}
+	if lt.Branches() != 0 {
+		t.Fatalf("single leaf should have no branch nodes, got %d", lt.Branches())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	lt, err := Build(fib.New(), 0.5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Lookup(123) != fib.NoLabel {
+		t.Fatal("empty FIB should report no route")
+	}
+}
+
+func TestLevelCompressionReducesDepth(t *testing.T) {
+	// A dense FIB must produce much shallower lookups than the binary
+	// trie: the kernel reports ~2.4 average depth on real tables.
+	rng := rand.New(rand.NewSource(5))
+	tb := randomTable(rng, 20000, 4, true)
+	lt, err := Build(tb, 0.5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalDepth, n int
+	maxDepth := 0
+	for probe := 0; probe < 5000; probe++ {
+		addr := rng.Uint32()
+		_, d := lt.LookupDepth(addr)
+		totalDepth += d
+		n++
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	avg := float64(totalDepth) / float64(n)
+	if avg > 8 {
+		t.Fatalf("average depth %.2f too deep for a level-compressed trie", avg)
+	}
+	if maxDepth > 16 {
+		t.Fatalf("max depth %d too deep", maxDepth)
+	}
+	if lt.MaxBits() < 8 {
+		t.Fatalf("expected an inflated root, max bits = %d", lt.MaxBits())
+	}
+}
+
+func TestDepthMatchesLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tb := randomTable(rng, 500, 5, true)
+	lt, err := Build(tb, 0.5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addr uint32) bool {
+		l1 := lt.Lookup(addr)
+		l2, d := lt.LookupDepth(addr)
+		return l1 == l2 && d >= 0 && d <= 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tb := randomTable(rng, 300, 4, true)
+	lt, err := Build(tb, 0.5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 500; probe++ {
+		addr := rng.Uint32()
+		var offs []int
+		got := lt.LookupTrace(addr, func(o int) { offs = append(offs, o) })
+		if got != lt.Lookup(addr) {
+			t.Fatal("trace lookup disagrees")
+		}
+		if len(offs) < 2 { // at least root + leaf
+			t.Fatalf("trace too short: %v", offs)
+		}
+		for _, o := range offs {
+			if o < 0 || o >= lt.ModelBytes() {
+				t.Fatalf("offset %d outside model footprint %d", o, lt.ModelBytes())
+			}
+		}
+	}
+}
+
+func TestModelFootprintIsLarge(t *testing.T) {
+	// The point of Table 2: fib_trie's kernel structures are orders of
+	// magnitude larger than a prefix DAG. At 20 K prefixes the model
+	// must already exceed 1 MB (≈26 MB at 410 K).
+	rng := rand.New(rand.NewSource(11))
+	tb := randomTable(rng, 20000, 4, true)
+	lt, err := Build(tb, 0.5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.ModelBytes() < 1<<20 {
+		t.Fatalf("model footprint %d B implausibly small", lt.ModelBytes())
+	}
+	if lt.StructureBytes() >= lt.ModelBytes() {
+		t.Fatal("packed structure should be smaller than the kernel model")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	addr := uint32(0b1011_0000_0000_0000_0000_0000_0000_0000)
+	if extract(addr, 0, 4) != 0b1011 {
+		t.Fatal("extract 4 MSBs")
+	}
+	if extract(addr, 1, 3) != 0b011 {
+		t.Fatal("extract offset 1")
+	}
+	if extract(addr, 28, 4) != 0 {
+		t.Fatal("extract tail")
+	}
+}

@@ -1,0 +1,173 @@
+// Package lookupd is a small UDP longest-prefix-match service: a
+// remote lookup microservice exposing a compressed FIB, in the spirit
+// of the control-plane tooling a software router ships with. One
+// datagram carries a batch of big-endian IPv4 addresses; the reply
+// carries one next-hop label per address. The serving FIB can be
+// swapped atomically while requests are in flight.
+package lookupd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Lookuper is any longest-prefix-match engine.
+type Lookuper interface {
+	Lookup(addr uint32) uint32
+}
+
+// Protocol limits. A request datagram is 1..MaxBatch addresses, 4
+// bytes each; the reply is one 4-byte label per address, in order.
+const (
+	MaxBatch    = 256
+	maxDatagram = 4 * MaxBatch
+)
+
+// Server serves lookups over UDP.
+type Server struct {
+	conn *net.UDPConn
+	fib  atomic.Value // Lookuper
+
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	Requests atomic.Uint64
+	Lookups  atomic.Uint64
+	Errors   atomic.Uint64
+}
+
+// Listen binds a UDP socket ("127.0.0.1:0" picks an ephemeral port)
+// and starts serving lookups against l.
+func Listen(addr string, l Lookuper) (*Server, error) {
+	if l == nil {
+		return nil, fmt.Errorf("lookupd: nil lookup engine")
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("lookupd: %v", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("lookupd: %v", err)
+	}
+	s := &Server{conn: conn}
+	s.fib.Store(&engineBox{l})
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// engineBox wraps the interface so atomic.Value sees one concrete type.
+type engineBox struct{ l Lookuper }
+
+// Addr reports the bound address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Swap atomically replaces the serving FIB.
+func (s *Server) Swap(l Lookuper) {
+	if l != nil {
+		s.fib.Store(&engineBox{l})
+	}
+}
+
+// Close stops the server and releases the socket.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	req := make([]byte, maxDatagram+4)
+	resp := make([]byte, maxDatagram)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(req)
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			s.Errors.Add(1)
+			continue
+		}
+		if n == 0 || n%4 != 0 || n > maxDatagram {
+			s.Errors.Add(1)
+			continue // malformed request: drop, like a router would
+		}
+		s.Requests.Add(1)
+		l := s.fib.Load().(*engineBox).l
+		count := n / 4
+		for i := 0; i < count; i++ {
+			addr := binary.BigEndian.Uint32(req[4*i:])
+			binary.BigEndian.PutUint32(resp[4*i:], l.Lookup(addr))
+		}
+		s.Lookups.Add(uint64(count))
+		if _, err := s.conn.WriteToUDP(resp[:n], peer); err != nil {
+			s.Errors.Add(1)
+		}
+	}
+}
+
+// Client is a blocking client for the lookup service.
+type Client struct {
+	conn *net.UDPConn
+	mu   sync.Mutex
+	buf  []byte
+}
+
+// Dial connects a client to a server address.
+func Dial(addr string) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("lookupd: %v", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("lookupd: %v", err)
+	}
+	return &Client{conn: conn, buf: make([]byte, maxDatagram)}, nil
+}
+
+// Lookup resolves a single address.
+func (c *Client) Lookup(addr uint32) (uint32, error) {
+	labels, err := c.LookupBatch([]uint32{addr})
+	if err != nil {
+		return 0, err
+	}
+	return labels[0], nil
+}
+
+// LookupBatch resolves up to MaxBatch addresses in one round trip.
+func (c *Client) LookupBatch(addrs []uint32) ([]uint32, error) {
+	if len(addrs) == 0 || len(addrs) > MaxBatch {
+		return nil, fmt.Errorf("lookupd: batch size %d out of [1,%d]", len(addrs), MaxBatch)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, a := range addrs {
+		binary.BigEndian.PutUint32(c.buf[4*i:], a)
+	}
+	if _, err := c.conn.Write(c.buf[:4*len(addrs)]); err != nil {
+		return nil, err
+	}
+	n, err := c.conn.Read(c.buf)
+	if err != nil {
+		return nil, err
+	}
+	if n != 4*len(addrs) {
+		return nil, fmt.Errorf("lookupd: short reply: %d bytes for %d addresses", n, len(addrs))
+	}
+	out := make([]uint32, len(addrs))
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(c.buf[4*i:])
+	}
+	return out, nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.conn.Close() }

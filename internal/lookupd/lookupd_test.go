@@ -1,0 +1,204 @@
+package lookupd
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/pdag"
+	"fibcomp/internal/trie"
+)
+
+func testDAG(t *testing.T) (*pdag.DAG, *trie.Trie) {
+	t.Helper()
+	tb := fib.New()
+	rng := rand.New(rand.NewSource(1))
+	tb.Add(0, 0, 1)
+	for i := 0; i < 500; i++ {
+		plen := rng.Intn(20) + 8
+		tb.Add(rng.Uint32()&fib.Mask(plen), plen, uint32(rng.Intn(5))+1)
+	}
+	tb.Dedup()
+	d, err := pdag.Build(tb, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, trie.FromTable(tb)
+}
+
+func startServer(t *testing.T, l Lookuper) (*Server, *Client) {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0", l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := Listen("999.1.1.1:x", trie.New()); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestSingleLookup(t *testing.T) {
+	d, oracle := testDAG(t)
+	_, c := startServer(t, d)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		addr := rng.Uint32()
+		got, err := c.Lookup(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := oracle.Lookup(addr); got != want {
+			t.Fatalf("remote lookup %x = %d want %d", addr, got, want)
+		}
+	}
+}
+
+func TestBatchLookup(t *testing.T) {
+	d, oracle := testDAG(t)
+	s, c := startServer(t, d)
+	rng := rand.New(rand.NewSource(3))
+	addrs := make([]uint32, MaxBatch)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	labels, err := c.LookupBatch(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range addrs {
+		if labels[i] != oracle.Lookup(a) {
+			t.Fatalf("batch[%d]: %d want %d", i, labels[i], oracle.Lookup(a))
+		}
+	}
+	if s.Lookups.Load() != MaxBatch {
+		t.Fatalf("server counted %d lookups", s.Lookups.Load())
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	d, _ := testDAG(t)
+	_, c := startServer(t, d)
+	if _, err := c.LookupBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := c.LookupBatch(make([]uint32, MaxBatch+1)); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestMalformedDatagramDropped(t *testing.T) {
+	d, _ := testDAG(t)
+	s, c := startServer(t, d)
+	// Hand-roll a 3-byte datagram: the server must drop it silently.
+	raw, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must still answer well-formed requests afterwards.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Errors.Load() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.Errors.Load() == 0 {
+		t.Fatal("malformed datagram not counted")
+	}
+	if _, err := c.Lookup(0x0A000001); err != nil {
+		t.Fatalf("server wedged after malformed datagram: %v", err)
+	}
+}
+
+func TestSwapUnderLoad(t *testing.T) {
+	d, _ := testDAG(t)
+	s, _ := startServer(t, d)
+
+	alt := trie.New()
+	alt.Insert(0, 0, 9) // everything → 9
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(s.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Lookup(rng.Uint32()); err != nil {
+					t.Errorf("lookup during swap: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			s.Swap(alt)
+		} else {
+			s.Swap(d)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Settle on alt and verify it is serving.
+	s.Swap(alt)
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Lookup(0x12345678)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("after swap: lookup = %d want 9", got)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	d, _ := testDAG(t)
+	s, err := Listen("127.0.0.1:0", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second close should be a no-op")
+	}
+}

@@ -1,0 +1,171 @@
+// Package mdag implements multibit prefix DAGs, the future-work
+// extension the paper's §7 singles out: apply trie-folding to a
+// fixed-stride multibit trie instead of a binary one, trading a wider
+// fan-out per node for a shorter lookup path — O(W/s) memory accesses
+// at stride s instead of O(W) — while still merging isomorphic labeled
+// sub-tables by hash-consing.
+//
+// The structure is static (rebuild to update); it exists to quantify
+// the lookup-depth/size trade-off against the binary prefix DAG, which
+// the ablation experiments report.
+package mdag
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+const leafIDBase = uint64(1) << 40
+
+// Node is a multibit DAG node: either a coalesced leaf carrying a
+// label, or an interior node with 2^stride children.
+type Node struct {
+	Children []*Node
+	Label    uint32
+	leaf     bool
+	id       uint64
+}
+
+// DAG is a folded fixed-stride multibit trie.
+type DAG struct {
+	Stride int
+	Width  int
+	root   *Node
+	sub    map[string]*Node
+	leaves map[uint32]*Node
+	nextID uint64
+}
+
+// Build folds a FIB into a multibit prefix DAG with the given stride
+// (1 ≤ stride ≤ 8; stride 1 reproduces the fully folded binary DAG).
+func Build(t *fib.Table, stride int) (*DAG, error) {
+	if stride < 1 || stride > 8 {
+		return nil, fmt.Errorf("mdag: stride %d out of [1,8]", stride)
+	}
+	if fib.W%stride != 0 {
+		return nil, fmt.Errorf("mdag: stride %d does not divide W=%d", stride, fib.W)
+	}
+	lp := trie.FromTable(t).LeafPush()
+	d := &DAG{
+		Stride: stride,
+		Width:  fib.W,
+		sub:    map[string]*Node{},
+		leaves: map[uint32]*Node{},
+	}
+	d.root = d.fold(lp.Root)
+	return d, nil
+}
+
+// fold converts the proper leaf-labeled binary sub-trie into a
+// hash-consed multibit node.
+func (d *DAG) fold(n *trie.Node) *Node {
+	if n.IsLeaf() {
+		return d.leaf(n.Label)
+	}
+	fan := 1 << uint(d.Stride)
+	children := make([]*Node, fan)
+	allSame := true
+	for i := 0; i < fan; i++ {
+		children[i] = d.fold(descend(n, uint32(i), d.Stride))
+		if children[i] != children[0] {
+			allSame = false
+		}
+	}
+	// Normal form: a table whose slots all point to the same leaf is
+	// that leaf.
+	if allSame && children[0].leaf {
+		return children[0]
+	}
+	key := make([]byte, 8*fan)
+	for i, c := range children {
+		binary.LittleEndian.PutUint64(key[8*i:], c.id)
+	}
+	if m, ok := d.sub[string(key)]; ok {
+		return m
+	}
+	d.nextID++
+	m := &Node{Children: children, id: d.nextID}
+	d.sub[string(key)] = m
+	return m
+}
+
+// descend walks stride bits from n (MSB-first within idx), stopping
+// early at leaves (prefix expansion; the shared leaf is reused).
+func descend(n *trie.Node, idx uint32, stride int) *trie.Node {
+	for j := stride - 1; j >= 0; j-- {
+		if n.IsLeaf() {
+			return n
+		}
+		if idx>>uint(j)&1 == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+func (d *DAG) leaf(label uint32) *Node {
+	if n, ok := d.leaves[label]; ok {
+		return n
+	}
+	n := &Node{Label: label, leaf: true, id: leafIDBase | uint64(label)}
+	d.leaves[label] = n
+	return n
+}
+
+// Lookup performs longest prefix match consuming Stride bits per step:
+// at most ⌈W/s⌉ memory accesses.
+func (d *DAG) Lookup(addr uint32) uint32 {
+	n := d.root
+	q := 0
+	for !n.leaf {
+		idx := addr << uint(q) >> uint(fib.W-d.Stride)
+		n = n.Children[idx]
+		q += d.Stride
+	}
+	return n.Label
+}
+
+// LookupSteps is Lookup instrumented with the number of node visits.
+func (d *DAG) LookupSteps(addr uint32) (label uint32, steps int) {
+	n := d.root
+	q := 0
+	for !n.leaf {
+		steps++
+		idx := addr << uint(q) >> uint(fib.W-d.Stride)
+		n = n.Children[idx]
+		q += d.Stride
+	}
+	return n.Label, steps + 1
+}
+
+// Interior reports the number of shared interior tables.
+func (d *DAG) Interior() int { return len(d.sub) }
+
+// Leaves reports the number of coalesced leaves.
+func (d *DAG) Leaves() int { return len(d.leaves) }
+
+// ModelBits sizes the DAG: 2^s pointers per interior table plus the
+// coalesced label store, with pointer width lg(total nodes).
+func (d *DAG) ModelBits() int {
+	total := len(d.sub) + len(d.leaves)
+	ptr := 1
+	for v := total; v > 1; v >>= 1 {
+		ptr++
+	}
+	lgDelta := 1
+	for v := len(d.leaves); v > 1; v >>= 1 {
+		lgDelta++
+	}
+	return len(d.sub)*(1<<uint(d.Stride))*ptr + len(d.leaves)*lgDelta
+}
+
+// ModelBytes is ModelBits in bytes.
+func (d *DAG) ModelBytes() int { return (d.ModelBits() + 7) / 8 }
+
+// MaxSteps is the worst-case number of memory accesses per lookup.
+func (d *DAG) MaxSteps() int { return (d.Width + d.Stride - 1) / d.Stride }

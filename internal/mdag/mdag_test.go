@@ -1,0 +1,168 @@
+package mdag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/pdag"
+	"fibcomp/internal/trie"
+)
+
+func randomTable(rng *rand.Rand, n, delta int, withDefault bool) *fib.Table {
+	t := fib.New()
+	if withDefault {
+		t.Add(0, 0, uint32(rng.Intn(delta))+1)
+	}
+	for i := 0; i < n; i++ {
+		plen := rng.Intn(25) + 8
+		t.Add(rng.Uint32()&fib.Mask(plen), plen, uint32(rng.Intn(delta))+1)
+	}
+	t.Dedup()
+	return t
+}
+
+func TestBuildValidation(t *testing.T) {
+	tb := fib.MustParse("0.0.0.0/0 1")
+	for _, s := range []int{0, 9, 3, 5, 6, 7} { // 3,5,6,7 do not divide 32
+		if _, err := Build(tb, s); err == nil {
+			t.Fatalf("stride %d accepted", s)
+		}
+	}
+	for _, s := range []int{1, 2, 4, 8} {
+		if _, err := Build(tb, s); err != nil {
+			t.Fatalf("stride %d rejected: %v", s, err)
+		}
+	}
+}
+
+func TestLookupEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, stride := range []int{1, 2, 4, 8} {
+		for trial := 0; trial < 3; trial++ {
+			tb := randomTable(rng, 400, 6, trial%2 == 0)
+			ref := trie.FromTable(tb)
+			d, err := Build(tb, stride)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for probe := 0; probe < 3000; probe++ {
+				addr := rng.Uint32()
+				if got, want := d.Lookup(addr), ref.Lookup(addr); got != want {
+					t.Fatalf("stride=%d: lookup %x = %d want %d", stride, addr, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStride1MatchesBinaryDAG(t *testing.T) {
+	// At stride 1 the multibit DAG is the fully folded (λ=0) binary
+	// prefix DAG: interior counts must coincide.
+	rng := rand.New(rand.NewSource(4))
+	tb := randomTable(rng, 1000, 4, true)
+	m, err := Build(tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pdag.Build(tb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interior() != b.FoldedInterior() {
+		t.Fatalf("stride-1 mdag has %d interiors, binary λ=0 pdag has %d",
+			m.Interior(), b.FoldedInterior())
+	}
+}
+
+func TestDepthSizeTradeoff(t *testing.T) {
+	// Wider strides shorten lookups but inflate node tables.
+	rng := rand.New(rand.NewSource(5))
+	tb := randomTable(rng, 5000, 3, true)
+	var prevMax int
+	for i, stride := range []int{1, 2, 4, 8} {
+		d, err := Build(tb, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.MaxSteps() != (32+stride-1)/stride {
+			t.Fatalf("stride %d: MaxSteps %d", stride, d.MaxSteps())
+		}
+		var worst int
+		for probe := 0; probe < 2000; probe++ {
+			_, steps := d.LookupSteps(rng.Uint32())
+			if steps > d.MaxSteps()+1 {
+				t.Fatalf("stride %d: %d steps exceeds bound", stride, steps)
+			}
+			if steps > worst {
+				worst = steps
+			}
+		}
+		if i > 0 && worst > prevMax {
+			t.Fatalf("stride %d: worst-case steps grew (%d > %d)", stride, worst, prevMax)
+		}
+		prevMax = worst
+	}
+}
+
+func TestSharingAcrossTables(t *testing.T) {
+	// Identical labeled sub-tables under different prefixes must fold.
+	tb := fib.New()
+	for _, base := range []uint32{0x00000000, 0x40000000, 0x80000000, 0xC0000000} {
+		tb.Add(base, 4, 1)
+		tb.Add(base|0x08000000, 5, 2)
+	}
+	d, err := Build(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The four 2-bit regions carry the same sub-table: expect far
+	// fewer interiors than 4 distinct copies would need.
+	if d.Interior() > 4 {
+		t.Fatalf("expected heavy sharing, got %d interior tables", d.Interior())
+	}
+}
+
+func TestQuickEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tb := randomTable(rng, 800, 5, true)
+	ref := trie.FromTable(tb)
+	d4, err := Build(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := Build(tb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addr uint32) bool {
+		want := ref.Lookup(addr)
+		return d4.Lookup(addr) == want && d8.Lookup(addr) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndDefaultOnly(t *testing.T) {
+	for _, stride := range []int{1, 4, 8} {
+		d, err := Build(fib.New(), stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Lookup(123) != fib.NoLabel {
+			t.Fatal("empty FIB should have no route")
+		}
+		d, err = Build(fib.MustParse("0.0.0.0/0 7"), stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Lookup(0xDEADBEEF) != 7 {
+			t.Fatal("default-only FIB broken")
+		}
+		if d.Interior() != 0 {
+			t.Fatalf("default-only FIB should be a single leaf, got %d interiors", d.Interior())
+		}
+	}
+}

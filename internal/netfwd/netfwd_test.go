@@ -1,0 +1,117 @@
+package netfwd
+
+import (
+	"sync"
+	"testing"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/pdag"
+	"fibcomp/internal/trie"
+)
+
+func engineFIB(t *testing.T) *pdag.DAG {
+	t.Helper()
+	d, err := pdag.Build(fib.MustParse(
+		"10.0.0.0/8 1",
+		"10.1.0.0/16 2",
+		"192.168.0.0/16 3",
+	), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func addr(t *testing.T, s string) uint32 {
+	t.Helper()
+	a, err := fib.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestForwardBasics(t *testing.T) {
+	e := NewEngine(engineFIB(t), false)
+	e.AddNeighbor(fib.Neighbor{Label: 2, Name: "core-2"})
+
+	nh, ok := e.Forward(Packet{Src: addr(t, "10.0.0.1"), Dst: addr(t, "10.1.2.3"), Len: 100})
+	if !ok || nh.Name != "core-2" {
+		t.Fatalf("forward: %+v ok=%v", nh, ok)
+	}
+	// Unregistered label falls back to a synthesized neighbor.
+	nh, ok = e.Forward(Packet{Src: addr(t, "10.0.0.1"), Dst: addr(t, "192.168.1.1"), Len: 50})
+	if !ok || nh.Label != 3 {
+		t.Fatalf("fallback neighbor: %+v ok=%v", nh, ok)
+	}
+	// No route.
+	if _, ok := e.Forward(Packet{Src: addr(t, "10.0.0.1"), Dst: addr(t, "8.8.8.8")}); ok {
+		t.Fatal("unrouted destination forwarded")
+	}
+	c := e.Counters()
+	if c.Forwarded != 2 || c.NoRoute != 1 || c.Bytes != 150 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestRPF(t *testing.T) {
+	e := NewEngine(engineFIB(t), true)
+	// Source 8.8.8.8 has no route → RPF drop, even though dst is fine.
+	if _, ok := e.Forward(Packet{Src: addr(t, "8.8.8.8"), Dst: addr(t, "10.0.0.1")}); ok {
+		t.Fatal("RPF should drop")
+	}
+	if c := e.Counters(); c.RPFDrop != 1 || c.Forwarded != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	// Valid source passes.
+	if _, ok := e.Forward(Packet{Src: addr(t, "10.2.0.1"), Dst: addr(t, "10.0.0.1")}); !ok {
+		t.Fatal("valid packet dropped")
+	}
+}
+
+func TestNeighborValidation(t *testing.T) {
+	e := NewEngine(engineFIB(t), false)
+	if err := e.AddNeighbor(fib.Neighbor{Label: 0}); err == nil {
+		t.Fatal("label 0 accepted")
+	}
+	if err := e.AddNeighbor(fib.Neighbor{Label: 999}); err == nil {
+		t.Fatal("label 999 accepted")
+	}
+}
+
+func TestSwapFIBUnderTraffic(t *testing.T) {
+	e := NewEngine(engineFIB(t), false)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					e.Forward(Packet{Src: 0x0A000001, Dst: 0x0A010203, Len: 64})
+				}
+			}
+		}()
+	}
+	// Concurrently swap between two equivalent engines.
+	tr := trie.New()
+	tr.Insert(0x0A000000, 8, 1)
+	tr.Insert(0x0A010000, 16, 2)
+	tr.Insert(0xC0A80000, 16, 3)
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			e.SwapFIB(tr)
+		} else {
+			e.SwapFIB(engineFIB(t))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c := e.Counters(); c.Forwarded == 0 {
+		t.Fatal("no packets forwarded during swaps")
+	}
+}

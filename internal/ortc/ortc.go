@@ -1,0 +1,136 @@
+// Package ortc implements the Optimal Routing Table Constructor of
+// Draves, King, Venkatachary and Zill (INFOCOM 1999), the classic FIB
+// aggregation baseline the paper contrasts with (Fig 1(c)): relabel
+// the prefix tree so that it orders the same label to every complete
+// W-bit key but contains the minimum number of labeled nodes.
+//
+// The three passes are: (1) normalize to a proper leaf-labeled trie
+// (leaf-pushing), (2) bottom-up candidate-set computation with the
+// A#B merge (intersection if non-empty, else union), (3) top-down
+// assignment that writes a label only where the inherited one is not
+// a candidate.
+package ortc
+
+import (
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+// labelSet is a small bitset over labels 0..255 (0 = no route, which
+// participates in aggregation like any other label).
+type labelSet [4]uint64
+
+func (s *labelSet) add(l uint32)      { s[l>>6] |= 1 << (l & 63) }
+func (s *labelSet) has(l uint32) bool { return s[l>>6]&(1<<(l&63)) != 0 }
+func (s *labelSet) empty() bool       { return s[0]|s[1]|s[2]|s[3] == 0 }
+func intersect(a, b labelSet) labelSet {
+	return labelSet{a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]}
+}
+func union(a, b labelSet) labelSet {
+	return labelSet{a[0] | b[0], a[1] | b[1], a[2] | b[2], a[3] | b[3]}
+}
+
+// first returns the smallest label in the set (deterministic pick).
+func (s *labelSet) first() uint32 {
+	for w := 0; w < 4; w++ {
+		if s[w] != 0 {
+			v := s[w]
+			bit := uint32(0)
+			for v&1 == 0 {
+				v >>= 1
+				bit++
+			}
+			return uint32(w)*64 + bit
+		}
+	}
+	return 0
+}
+
+type cnode struct {
+	left, right *cnode
+	cand        labelSet
+	leaf        bool
+}
+
+// Compress aggregates a FIB table into a forwarding-equivalent table
+// with the minimum number of prefixes. Aggregated tables may contain
+// explicit no-route entries (label 0, rendered blackholes) when the
+// input has uncovered address space nested under covered space after
+// relabeling; inputs with a default route never need them.
+func Compress(t *fib.Table) *fib.Table {
+	return CompressTrie(trie.FromTable(t))
+}
+
+// CompressTrie is Compress starting from a prefix tree.
+func CompressTrie(tr *trie.Trie) *fib.Table {
+	// Pass 1: normalize.
+	lp := tr.LeafPush()
+	// Pass 2: candidate sets, bottom-up.
+	root := candidates(lp.Root)
+	// Pass 3: assignment, top-down. The label in force above the root
+	// is ∅ (= 0).
+	out := fib.New()
+	assign(root, 0, 0, ^uint32(0), out)
+	return out
+}
+
+func candidates(n *trie.Node) *cnode {
+	if n.IsLeaf() {
+		c := &cnode{leaf: true}
+		c.cand.add(n.Label)
+		return c
+	}
+	l := candidates(n.Left)
+	r := candidates(n.Right)
+	c := &cnode{left: l, right: r}
+	if inter := intersect(l.cand, r.cand); !inter.empty() {
+		c.cand = inter
+	} else {
+		c.cand = union(l.cand, r.cand)
+	}
+	return c
+}
+
+// assign walks top-down writing labels. inherited is the label in
+// force; addr/depth identify the node's prefix. Entries with label 0
+// (blackhole) are emitted as label fib.NoLabel only when unavoidable;
+// see Compress. The special inherited value ^uint32(0) at the root
+// forces a pick when the root candidate set does not contain 0.
+func assign(c *cnode, addr uint32, depth int, inherited uint32, out *fib.Table) {
+	effective := inherited
+	if inherited == ^uint32(0) {
+		inherited = fib.NoLabel
+		effective = fib.NoLabel
+	}
+	if !c.cand.has(inherited) {
+		chosen := c.cand.first()
+		if chosen != fib.NoLabel {
+			out.Add(addr, depth, chosen)
+		} else {
+			// Explicit blackhole: represented as an entry only if the
+			// inherited label would otherwise leak into this region.
+			out.Entries = append(out.Entries, fib.Entry{Addr: addr, Len: depth, NextHop: fib.NoLabel})
+		}
+		effective = chosen
+	}
+	if c.leaf {
+		return
+	}
+	assign(c.left, addr, depth+1, effective, out)
+	assign(c.right, addr|1<<uint(fib.W-1-depth), depth+1, effective, out)
+}
+
+// Lookup evaluates an aggregated table the way a router would,
+// treating a blackhole entry (label 0) as "no route". Intended for
+// equivalence checking in tests and benchmarks.
+func Lookup(t *fib.Table, addr uint32) uint32 {
+	best := fib.NoLabel
+	bestLen := -1
+	for _, e := range t.Entries {
+		if e.Match(addr) && e.Len > bestLen {
+			best = e.NextHop
+			bestLen = e.Len
+		}
+	}
+	return best
+}

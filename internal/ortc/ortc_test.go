@@ -1,0 +1,135 @@
+package ortc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+func sampleFIB() *fib.Table {
+	return fib.MustParse(
+		"0.0.0.0/0 2",
+		"0.0.0.0/1 3",
+		"0.0.0.0/2 3",
+		"32.0.0.0/3 2",
+		"64.0.0.0/2 2",
+		"96.0.0.0/3 1",
+	)
+}
+
+func randomTable(rng *rand.Rand, n, delta int, withDefault bool) *fib.Table {
+	t := fib.New()
+	if withDefault {
+		t.Add(0, 0, uint32(rng.Intn(delta))+1)
+	}
+	for i := 0; i < n; i++ {
+		plen := rng.Intn(25) + 8
+		t.Add(rng.Uint32()&fib.Mask(plen), plen, uint32(rng.Intn(delta))+1)
+	}
+	t.Dedup()
+	return t
+}
+
+func TestFig1cSample(t *testing.T) {
+	// Fig 1(c): the 6-entry sample FIB aggregates to 3 labeled nodes:
+	// -/0 → 2, 000/3 → 3, 011/3 → 1.
+	out := Compress(sampleFIB())
+	if out.N() != 3 {
+		t.Fatalf("aggregated to %d entries, want 3: %v", out.N(), out.Entries)
+	}
+	want := map[string]uint32{
+		"0.0.0.0/0":  2,
+		"0.0.0.0/3":  3,
+		"96.0.0.0/3": 1,
+	}
+	for _, e := range out.Entries {
+		if want[e.Prefix()] != e.NextHop {
+			t.Fatalf("unexpected entry %v (table %v)", e, out.Entries)
+		}
+	}
+}
+
+func TestForwardingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		tb := randomTable(rng, 300, 5, trial%2 == 0)
+		orig := trie.FromTable(tb)
+		out := Compress(tb)
+		for probe := 0; probe < 3000; probe++ {
+			addr := rng.Uint32()
+			if got, want := Lookup(out, addr), orig.Lookup(addr); got != want {
+				t.Fatalf("trial %d: addr %x: aggregated %d, original %d", trial, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestNeverLarger(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTable(rng, 200, 4, true)
+		out := Compress(tb)
+		return out.N() <= tb.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb := randomTable(rng, 200, 4, true)
+	once := Compress(tb)
+	twice := Compress(once)
+	if twice.N() != once.N() {
+		t.Fatalf("not idempotent: %d then %d entries", once.N(), twice.N())
+	}
+}
+
+func TestSingleLabelCollapses(t *testing.T) {
+	// Many prefixes, all to the same next-hop, plus a default: one
+	// entry suffices.
+	tb := fib.New()
+	tb.Add(0, 0, 1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		plen := rng.Intn(20) + 8
+		tb.Add(rng.Uint32()&fib.Mask(plen), plen, 1)
+	}
+	out := Compress(tb)
+	if out.N() != 1 {
+		t.Fatalf("uniform FIB should aggregate to 1 entry, got %d", out.N())
+	}
+}
+
+func TestNoDefaultStaysUncovered(t *testing.T) {
+	tb := fib.MustParse("128.0.0.0/1 4", "0.0.0.0/2 4")
+	out := Compress(tb)
+	if Lookup(out, 0x40000000) != fib.NoLabel { // 01xxx uncovered
+		t.Fatal("aggregation invented a route for uncovered space")
+	}
+	if Lookup(out, 0x00000001) != 4 || Lookup(out, 0x80000001) != 4 {
+		t.Fatal("covered space lost")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	out := Compress(fib.New())
+	if out.N() != 0 {
+		t.Fatalf("empty FIB should aggregate to nothing, got %v", out.Entries)
+	}
+}
+
+func TestHostRoutes(t *testing.T) {
+	tb := fib.MustParse("0.0.0.0/0 1", "10.0.0.1/32 2", "10.0.0.2/32 2")
+	orig := trie.FromTable(tb)
+	out := Compress(tb)
+	for _, addr := range []uint32{0x0A000001, 0x0A000002, 0x0A000003, 0} {
+		if Lookup(out, addr) != orig.Lookup(addr) {
+			t.Fatalf("host route equivalence broken at %x", addr)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package patricia implements a path-compressed binary prefix tree in
+// the style of the BSD radix tree (Sklower 1991), the starting point
+// of the FIB memory-footprint history §6 recounts: roughly 24 bytes
+// per node and up to W bit-tests per lookup. It serves as the
+// historical baseline against which the compressed structures are
+// compared.
+package patricia
+
+import (
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+// NodeBytes is the modelled per-node cost of the BSD radix tree
+// (two pointers, bit index, key/mask pointers on a 32-bit kernel of
+// the era), the "24 bytes/prefix" of §6.
+const NodeBytes = 24
+
+// Node is a path-compressed trie node: Skip holds SkipLen bits
+// (left-aligned) that must match before the node is reached.
+type Node struct {
+	Skip        uint32
+	SkipLen     int
+	Label       uint32
+	Left, Right *Node
+}
+
+// Trie is an immutable path-compressed prefix tree.
+type Trie struct {
+	root  *Node
+	nodes int
+}
+
+// Build constructs a Patricia trie from a FIB table by compressing
+// the unlabeled single-child chains of the plain binary trie.
+func Build(t *fib.Table) *Trie {
+	bt := trie.FromTable(t)
+	p := &Trie{}
+	p.root = p.compress(bt.Root)
+	return p
+}
+
+// compress turns a binary subtree into a path-compressed node,
+// folding maximal chains of unlabeled single-child nodes into skip
+// strings.
+func (p *Trie) compress(n *trie.Node) *Node {
+	if n == nil {
+		return nil
+	}
+	var skip uint32
+	skipLen := 0
+	// Swallow unlabeled single-child chains (the root of the chain
+	// keeps its label if any; only strictly-internal unlabeled
+	// single-child nodes compress away).
+	for n.Label == fib.NoLabel && skipLen < fib.W {
+		if n.Left != nil && n.Right == nil {
+			n = n.Left
+			skipLen++
+		} else if n.Right != nil && n.Left == nil {
+			skip |= 1 << uint(31-(skipLen))
+			n = n.Right
+			skipLen++
+		} else {
+			break
+		}
+	}
+	p.nodes++
+	return &Node{
+		Skip:    skip,
+		SkipLen: skipLen,
+		Label:   n.Label,
+		Left:    p.compress(n.Left),
+		Right:   p.compress(n.Right),
+	}
+}
+
+// Lookup performs longest prefix match, comparing skip strings and
+// tracking the last label seen.
+func (p *Trie) Lookup(addr uint32) uint32 {
+	best := fib.NoLabel
+	n := p.root
+	q := 0
+	for n != nil && q+n.SkipLen <= fib.W {
+		// The skipped bits must match the address.
+		if n.SkipLen > 0 {
+			if (addr<<uint(q))>>uint(32-n.SkipLen) != n.Skip>>uint(32-n.SkipLen) {
+				break
+			}
+			q += n.SkipLen
+		}
+		if n.Label != fib.NoLabel {
+			best = n.Label
+		}
+		if q == fib.W {
+			break
+		}
+		if fib.Bit(addr, q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+		q++
+	}
+	return best
+}
+
+// LookupSteps is Lookup instrumented with node visits.
+func (p *Trie) LookupSteps(addr uint32) (label uint32, steps int) {
+	best := fib.NoLabel
+	n := p.root
+	q := 0
+	for n != nil && q+n.SkipLen <= fib.W {
+		steps++
+		if n.SkipLen > 0 {
+			if (addr<<uint(q))>>uint(32-n.SkipLen) != n.Skip>>uint(32-n.SkipLen) {
+				break
+			}
+			q += n.SkipLen
+		}
+		if n.Label != fib.NoLabel {
+			best = n.Label
+		}
+		if q == fib.W {
+			break
+		}
+		if fib.Bit(addr, q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+		q++
+	}
+	return best, steps
+}
+
+// Nodes reports the node count; path compression guarantees it stays
+// O(N) for N stored prefixes.
+func (p *Trie) Nodes() int { return p.nodes }
+
+// ModelBytes is the §6 memory model: 24 bytes per node.
+func (p *Trie) ModelBytes() int { return p.nodes * NodeBytes }

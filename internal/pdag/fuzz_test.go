@@ -1,0 +1,52 @@
+package pdag
+
+import (
+	"testing"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+// FuzzUpdateSequence drives the DAG update machinery with an arbitrary
+// byte-encoded operation sequence and cross-checks against the plain
+// trie oracle — a fuzz-shaped version of the update storm test.
+func FuzzUpdateSequence(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 1}, uint8(11))
+	f.Add([]byte{1, 12, 10, 0, 2, 3, 0, 12, 10, 0}, uint8(0))
+	f.Add([]byte{1, 32, 255, 255, 255, 255, 1}, uint8(32))
+	f.Fuzz(func(t *testing.T, ops []byte, lambdaRaw uint8) {
+		lambda := int(lambdaRaw) % 33
+		d, err := Build(fib.New(), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := trie.New()
+		// Each op consumes 6 bytes: verb, plen, 4 addr bytes. The
+		// label derives from the verb byte.
+		for len(ops) >= 6 {
+			verb, plenRaw := ops[0], ops[1]
+			addr := uint32(ops[2])<<24 | uint32(ops[3])<<16 | uint32(ops[4])<<8 | uint32(ops[5])
+			ops = ops[6:]
+			plen := int(plenRaw) % 33
+			addr &= fib.Mask(plen)
+			if verb%3 == 0 {
+				if d.Delete(addr, plen) != oracle.Delete(addr, plen) {
+					t.Fatal("delete disagreement")
+				}
+			} else {
+				label := uint32(verb%4) + 1
+				if err := d.Set(addr, plen, label); err != nil {
+					t.Fatal(err)
+				}
+				oracle.Insert(addr, plen, label)
+			}
+		}
+		// Probe a deterministic spread of the address space.
+		for i := uint32(0); i < 64; i++ {
+			a := i*0x04000001 + 0x00010001
+			if d.Lookup(a) != oracle.Lookup(a) {
+				t.Fatalf("divergence at %08x", a)
+			}
+		}
+	})
+}

@@ -1,0 +1,241 @@
+// Package pdag implements the trie-folding algorithm and the prefix
+// DAG of §4, the paper's practical FIB compression scheme. Below a
+// leaf-push barrier λ the trie is leaf-pushed and isomorphic labeled
+// sub-tries are merged into a DAG by hash-consing (the sub-trie index
+// S and the leaf table lp of §4.1, with reference counts); above λ a
+// plain binary prefix tree keeps updates cheap. Lookup is exactly
+// standard trie lookup — follow the bits, remember the last label —
+// so a prefix DAG is a drop-in replacement for trie-based FIBs, and
+// there is no space-time trade-off: smaller λ only shrinks memory.
+//
+// An uncompressed control FIB (a plain trie, kept in DRAM on a real
+// line card) travels with the DAG and is consulted only by the update
+// path, exactly as §4.1 prescribes.
+package pdag
+
+import (
+	"fmt"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+// Node kinds. Up nodes form the plain trie above the barrier and are
+// mutable and unshared; folded interior nodes and folded leaves live
+// at and below the barrier, are immutable, shared and reference
+// counted.
+const (
+	kindUp byte = iota
+	kindInt
+	kindLeaf
+)
+
+const leafIDBase = uint64(1) << 40
+
+// Node is a prefix-DAG node. Only up nodes and folded leaves carry a
+// label; folded interior nodes are unlabeled (their labels were pushed
+// to the leaves). The zero label is the paper's ∅ / cleared-⊥ label.
+type Node struct {
+	Left, Right *Node
+	Label       uint32
+	id          uint64
+	ref         int32
+	kind        byte
+}
+
+// DAG is a compressed FIB: a prefix DAG plus its control FIB.
+type DAG struct {
+	// Width is the depth of the address space in bits: 32 for IPv4
+	// FIBs, lg n for the string-compression model of §4.2.
+	Width int
+	// Lambda is the leaf-push barrier λ ∈ [0, Width].
+	Lambda int
+
+	control *trie.Trie
+	root    *Node
+	sub     map[[2]uint64]*Node // the sub-trie index S
+	leaves  map[uint32]*Node    // the leaf table lp
+	nextID  uint64
+
+	symOffset uint32 // string mode: symbol s stored as label s+1
+}
+
+// Build constructs a prefix DAG from a FIB table with leaf-push
+// barrier lambda.
+func Build(t *fib.Table, lambda int) (*DAG, error) {
+	return FromTrie(trie.FromTable(t), lambda)
+}
+
+// FromTrie constructs a prefix DAG from a binary prefix trie (not
+// necessarily proper or leaf-pushed, per §4.1). The trie is cloned
+// into the DAG's control FIB; the caller keeps ownership of t.
+func FromTrie(t *trie.Trie, lambda int) (*DAG, error) {
+	if lambda < 0 || lambda > fib.W {
+		return nil, fmt.Errorf("pdag: barrier λ=%d out of range [0,%d]", lambda, fib.W)
+	}
+	d := &DAG{
+		Width:   fib.W,
+		Lambda:  lambda,
+		control: t.Clone(),
+		sub:     make(map[[2]uint64]*Node),
+		leaves:  make(map[uint32]*Node),
+	}
+	d.root = d.buildUp(d.control.Root, 0)
+	return d, nil
+}
+
+// buildUp mirrors the control trie above the barrier and folds every
+// λ-level sub-trie (trie_fold of §4.1).
+func (d *DAG) buildUp(cn *trie.Node, depth int) *Node {
+	if cn == nil {
+		return nil
+	}
+	if depth == d.Lambda {
+		return d.fold(trie.LeafPushWithDefault(cn, fib.NoLabel))
+	}
+	return &Node{
+		kind:  kindUp,
+		Label: cn.Label,
+		Left:  d.buildUp(cn.Left, depth+1),
+		Right: d.buildUp(cn.Right, depth+1),
+	}
+}
+
+// fold compresses a proper leaf-labeled trie bottom-up into the DAG
+// (the compress routine of §4.1) and returns the canonical shared
+// node, carrying one reference for the caller.
+func (d *DAG) fold(tn *trie.Node) *Node {
+	if tn.IsLeaf() {
+		return d.acquireLeaf(tn.Label)
+	}
+	l := d.fold(tn.Left)
+	r := d.fold(tn.Right)
+	return d.acquireNode(l, r)
+}
+
+// acquireLeaf returns the coalesced leaf for a label (lp(s)),
+// creating it on first use, and takes one reference.
+func (d *DAG) acquireLeaf(label uint32) *Node {
+	if n, ok := d.leaves[label]; ok {
+		n.ref++
+		return n
+	}
+	n := &Node{kind: kindLeaf, Label: label, id: leafIDBase | uint64(label), ref: 1}
+	d.leaves[label] = n
+	return n
+}
+
+// acquireNode returns the canonical interior node with children (l, r)
+// — put(i, j, v) of §4.1. It consumes one reference of each child and
+// returns a node carrying one reference for the caller. A node whose
+// children are the same coalesced leaf normalizes to that leaf,
+// maintaining the leaf-pushed normal form under updates.
+func (d *DAG) acquireNode(l, r *Node) *Node {
+	if l == r && l.kind == kindLeaf {
+		d.release(r) // two references in, one (on the leaf itself) out
+		return l
+	}
+	key := [2]uint64{l.id, r.id}
+	if n, ok := d.sub[key]; ok {
+		n.ref++
+		d.release(l)
+		d.release(r)
+		return n
+	}
+	d.nextID++
+	n := &Node{kind: kindInt, Left: l, Right: r, id: d.nextID, ref: 1}
+	d.sub[key] = n
+	return n
+}
+
+// release drops one reference — get(i, j) of §4.1 — deleting the node
+// and dereferencing its children when the count reaches zero.
+func (d *DAG) release(n *Node) {
+	if n == nil || n.kind == kindUp {
+		return
+	}
+	n.ref--
+	if n.ref > 0 {
+		return
+	}
+	if n.kind == kindLeaf {
+		delete(d.leaves, n.Label)
+		return
+	}
+	delete(d.sub, [2]uint64{n.Left.id, n.Right.id})
+	d.release(n.Left)
+	d.release(n.Right)
+}
+
+// Lookup performs longest prefix match: follow the path traced by the
+// address bits and return the last label found (§4.1). Folded leaves
+// with the empty label fall through to whatever label was in force
+// above the barrier, which is why trie_fold clears lp(⊥). O(W).
+func (d *DAG) Lookup(addr uint32) uint32 {
+	best := fib.NoLabel
+	n := d.root
+	for q := 0; n != nil; q++ {
+		if n.Label != fib.NoLabel {
+			best = n.Label
+		}
+		if q == d.Width {
+			break
+		}
+		if fib.Bit(addr, q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return best
+}
+
+// LookupSteps is Lookup instrumented with the number of pointer
+// dereferences, for the depth statistics of Table 2.
+func (d *DAG) LookupSteps(addr uint32) (label uint32, steps int) {
+	best := fib.NoLabel
+	n := d.root
+	for q := 0; n != nil; q++ {
+		steps++
+		if n.Label != fib.NoLabel {
+			best = n.Label
+		}
+		if q == d.Width {
+			break
+		}
+		if fib.Bit(addr, q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return best, steps
+}
+
+// Control exposes the control FIB. Callers must treat it as
+// read-only; all mutations must go through Set and Delete so the DAG
+// stays in sync.
+func (d *DAG) Control() *trie.Trie { return d.control }
+
+// FoldedInterior reports the number of shared interior nodes (|S|).
+func (d *DAG) FoldedInterior() int { return len(d.sub) }
+
+// FoldedLeaves reports the number of coalesced leaves (|lp|).
+func (d *DAG) FoldedLeaves() int { return len(d.leaves) }
+
+// UpNodes reports the number of plain trie nodes above the barrier.
+func (d *DAG) UpNodes() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		if n == nil || n.kind != kindUp {
+			return 0
+		}
+		return 1 + count(n.Left) + count(n.Right)
+	}
+	return count(d.root)
+}
+
+// Nodes reports the total node count of the DAG.
+func (d *DAG) Nodes() int {
+	return d.UpNodes() + len(d.sub) + len(d.leaves)
+}

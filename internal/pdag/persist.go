@@ -1,0 +1,112 @@
+package pdag
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialized-blob file format: a small versioned header followed by
+// the root array and node words, all little-endian uint32. This is
+// the "download to the forwarding plane" artifact of §1.1 — with
+// compression it shrinks from tens of megabytes to a few hundred
+// kilobytes, cutting the control-to-data-plane delay the paper calls
+// out.
+const (
+	blobMagic   = 0x46494244 // "FIBD"
+	blobVersion = 1
+)
+
+// WriteTo serializes the blob to w in the versioned file format.
+func (b *Blob) WriteTo(w io.Writer) (int64, error) {
+	header := []uint32{
+		blobMagic,
+		blobVersion,
+		uint32(b.Lambda),
+		uint32(b.Width),
+		uint32(len(b.Root)),
+		uint32(len(b.Nodes)),
+	}
+	var written int64
+	for _, words := range [][]uint32{header, b.Root, b.Nodes} {
+		for _, v := range words {
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], v)
+			n, err := w.Write(buf[:])
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// ReadBlob parses a blob from the file format, validating the header
+// and structural invariants (root size = 2^λ, node words in pairs,
+// child indices in range) so a corrupted file cannot put the lookup
+// walk out of bounds.
+func ReadBlob(r io.Reader) (*Blob, error) {
+	readWord := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	var header [6]uint32
+	for i := range header {
+		v, err := readWord()
+		if err != nil {
+			return nil, fmt.Errorf("pdag: blob header: %v", err)
+		}
+		header[i] = v
+	}
+	if header[0] != blobMagic {
+		return nil, fmt.Errorf("pdag: bad magic %08x", header[0])
+	}
+	if header[1] != blobVersion {
+		return nil, fmt.Errorf("pdag: unsupported blob version %d", header[1])
+	}
+	b := &Blob{Lambda: int(header[2]), Width: int(header[3])}
+	rootLen, nodeLen := int(header[4]), int(header[5])
+	if b.Lambda < 0 || b.Lambda > maxSerialLambda || b.Width < b.Lambda || b.Width > 32 {
+		return nil, fmt.Errorf("pdag: implausible geometry λ=%d W=%d", b.Lambda, b.Width)
+	}
+	if rootLen != 1<<uint(b.Lambda) {
+		return nil, fmt.Errorf("pdag: root length %d != 2^λ", rootLen)
+	}
+	if nodeLen%2 != 0 || nodeLen > 2*maxBlobIdx {
+		return nil, fmt.Errorf("pdag: bad node count %d", nodeLen)
+	}
+	b.Root = make([]uint32, rootLen)
+	b.Nodes = make([]uint32, nodeLen)
+	for i := range b.Root {
+		v, err := readWord()
+		if err != nil {
+			return nil, fmt.Errorf("pdag: blob root: %v", err)
+		}
+		b.Root[i] = v
+	}
+	for i := range b.Nodes {
+		v, err := readWord()
+		if err != nil {
+			return nil, fmt.Errorf("pdag: blob nodes: %v", err)
+		}
+		b.Nodes[i] = v
+	}
+	// Structural validation: every interior reference must resolve.
+	nInterior := uint32(nodeLen / 2)
+	for i, e := range b.Root {
+		p := e & 0x00FFFFFF
+		if p != blobNone && p&blobLeafFlag == 0 && p >= nInterior {
+			return nil, fmt.Errorf("pdag: root[%d] references node %d of %d", i, p, nInterior)
+		}
+	}
+	for i, w := range b.Nodes {
+		if w&wordLeafFlag == 0 && w >= nInterior {
+			return nil, fmt.Errorf("pdag: node word %d references node %d of %d", i, w, nInterior)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,78 @@
+package pdag
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBlobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	tb := randomTable(rng, 800, 6, true)
+	d, err := Build(tb, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := blob.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != buf.Len() || n != int64(blob.SizeBytes()+24) {
+		t.Fatalf("wrote %d bytes, buffer %d, expected blob %d + 24 header",
+			n, buf.Len(), blob.SizeBytes())
+	}
+	back, err := ReadBlob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 5000; probe++ {
+		addr := rng.Uint32()
+		if back.Lookup(addr) != blob.Lookup(addr) {
+			t.Fatalf("round-tripped blob disagrees at %x", addr)
+		}
+	}
+}
+
+func TestReadBlobRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	tb := randomTable(rng, 200, 4, true)
+	d, _ := Build(tb, 8)
+	blob, _ := d.Serialize()
+	var buf bytes.Buffer
+	blob.WriteTo(&buf)
+	good := buf.Bytes()
+
+	mutate := func(offset int, val byte) []byte {
+		bad := append([]byte(nil), good...)
+		bad[offset] = val
+		return bad
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"bad magic", mutate(0, 0xFF)},
+		{"bad version", mutate(4, 0xFF)},
+		{"huge lambda", mutate(8, 0xFF)},
+		{"truncated", good[:len(good)/2]},
+		{"empty", nil},
+	}
+	for _, c := range cases {
+		if _, err := ReadBlob(bytes.NewReader(c.data)); err == nil {
+			t.Fatalf("%s: corrupted blob accepted", c.name)
+		}
+	}
+	// Out-of-range node reference: point a root entry at a huge index.
+	bad := append([]byte(nil), good...)
+	// Root entries start at byte 24; forge payload 0x00FFFFFE (interior
+	// index far out of range, not the blobNone sentinel).
+	bad[24], bad[25], bad[26], bad[27] = 0xFE, 0xFF, 0x7F, 0x00
+	if _, err := ReadBlob(bytes.NewReader(bad)); err == nil {
+		t.Fatal("dangling node reference accepted")
+	}
+}

@@ -1,0 +1,234 @@
+package pdag
+
+import (
+	"fmt"
+
+	"fibcomp/internal/fib"
+)
+
+// Blob is the serialized, read-only lookup structure of §5.3: the
+// first λ trie levels are collapsed into a 2^λ-entry root array (each
+// entry packing the inherited default label with a pointer into the
+// folded region), and every folded interior node is two 32-bit words.
+// Leaves are inlined into their parent's words. This is the format a
+// line-card lookup engine (kernel module, FPGA) walks; its byte size
+// is what Tables 1–2 and Figs 5–7 report as "pDAG".
+type Blob struct {
+	Lambda int
+	Width  int
+	Root   []uint32 // 2^λ entries: def<<24 | payload
+	Nodes  []uint32 // 2 words per interior node: payload each
+}
+
+// Payload encoding (24 bits in root entries, 32 bits in node words).
+const (
+	blobNone     = 0x00FFFFFF // root entry: no folded subtree
+	blobLeafFlag = 0x00800000 // root entry payload: inlined leaf
+	wordLeafFlag = 0x80000000 // node word: inlined leaf
+	maxBlobIdx   = 0x007FFFFF
+)
+
+// maxSerialLambda bounds the root array to 64 MB; larger barriers
+// make no sense for a serialized FIB (and the paper uses λ=11).
+const maxSerialLambda = 24
+
+// Serialize freezes the DAG into a Blob.
+func (d *DAG) Serialize() (*Blob, error) {
+	lambda := d.Lambda
+	if lambda > d.Width {
+		lambda = d.Width
+	}
+	if lambda > maxSerialLambda {
+		return nil, fmt.Errorf("pdag: cannot serialize with barrier λ=%d > %d", d.Lambda, maxSerialLambda)
+	}
+	b := &Blob{Lambda: lambda, Width: d.Width, Root: make([]uint32, 1<<uint(lambda))}
+
+	// Assign dense indices to folded interior nodes in DFS order so
+	// parents tend to precede children (helps locality, like the
+	// consecutive-children trick of §4.2).
+	idx := make(map[*Node]uint32, len(d.sub))
+	var assign func(n *Node) error
+	assign = func(n *Node) error {
+		if n == nil || n.kind != kindInt {
+			return nil
+		}
+		if _, ok := idx[n]; ok {
+			return nil
+		}
+		if len(idx) > maxBlobIdx {
+			return fmt.Errorf("pdag: too many folded nodes to serialize (%d)", len(d.sub))
+		}
+		idx[n] = uint32(len(idx))
+		if err := assign(n.Left); err != nil {
+			return err
+		}
+		return assign(n.Right)
+	}
+
+	// Resolve each root-array entry by walking the plain region.
+	type entry struct {
+		def  uint32
+		node *Node // folded subtree root, or nil
+		leaf uint32
+		kind byte // 0 none, 1 leaf, 2 interior
+	}
+	entries := make([]entry, len(b.Root))
+	for v := range b.Root {
+		addr := uint32(v) << uint(fib.W-lambda)
+		var e entry
+		n := d.root
+		for q := 0; n != nil; q++ {
+			if n.kind != kindUp {
+				if n.kind == kindLeaf {
+					e.kind, e.leaf = 1, n.Label
+				} else {
+					e.kind, e.node = 2, n
+					if err := assign(n); err != nil {
+						return nil, err
+					}
+				}
+				break
+			}
+			if n.Label != fib.NoLabel {
+				e.def = n.Label
+			}
+			if q == lambda {
+				break
+			}
+			if fib.Bit(addr, q) == 0 {
+				n = n.Left
+			} else {
+				n = n.Right
+			}
+		}
+		entries[v] = e
+	}
+
+	// Emit node words.
+	b.Nodes = make([]uint32, 2*len(idx))
+	for n, i := range idx {
+		b.Nodes[2*i] = wordFor(n.Left, idx)
+		b.Nodes[2*i+1] = wordFor(n.Right, idx)
+	}
+	// Emit root entries.
+	for v, e := range entries {
+		var payload uint32
+		switch e.kind {
+		case 0:
+			payload = blobNone
+		case 1:
+			payload = blobLeafFlag | (e.leaf & 0xFF)
+		case 2:
+			payload = idx[e.node]
+		}
+		b.Root[v] = e.def<<24 | payload
+	}
+	return b, nil
+}
+
+func wordFor(n *Node, idx map[*Node]uint32) uint32 {
+	if n.kind == kindLeaf {
+		return wordLeafFlag | (n.Label & 0xFF)
+	}
+	return idx[n]
+}
+
+// Lookup performs longest prefix match on the serialized form: one
+// root-array access plus one word access per level below the barrier.
+func (b *Blob) Lookup(addr uint32) uint32 {
+	e := b.Root[addr>>uint(fib.W-b.Lambda)]
+	best := e >> 24
+	p := e & 0x00FFFFFF
+	if p == blobNone {
+		return best
+	}
+	if p&blobLeafFlag != 0 {
+		if l := p & 0xFF; l != fib.NoLabel {
+			best = l
+		}
+		return best
+	}
+	idx := p
+	for q := b.Lambda; q < b.Width; q++ {
+		w := b.Nodes[2*idx+fib.Bit(addr, q)]
+		if w&wordLeafFlag != 0 {
+			if l := w & 0xFF; l != fib.NoLabel {
+				best = l
+			}
+			return best
+		}
+		idx = w
+	}
+	return best
+}
+
+// LookupDepth is Lookup instrumented with the number of node words
+// touched below the root array, the "depth" of Table 2.
+func (b *Blob) LookupDepth(addr uint32) (label uint32, depth int) {
+	e := b.Root[addr>>uint(fib.W-b.Lambda)]
+	best := e >> 24
+	p := e & 0x00FFFFFF
+	if p == blobNone {
+		return best, 0
+	}
+	if p&blobLeafFlag != 0 {
+		if l := p & 0xFF; l != fib.NoLabel {
+			best = l
+		}
+		return best, 0
+	}
+	idx := p
+	for q := b.Lambda; q < b.Width; q++ {
+		depth++
+		w := b.Nodes[2*idx+fib.Bit(addr, q)]
+		if w&wordLeafFlag != 0 {
+			if l := w & 0xFF; l != fib.NoLabel {
+				best = l
+			}
+			return best, depth
+		}
+		idx = w
+	}
+	return best, depth
+}
+
+// LookupTrace runs Lookup reporting every byte offset read from the
+// blob, in order, to the callback; the cache and FPGA simulators feed
+// on this access stream. The root array starts at offset 0 and node
+// words follow it.
+func (b *Blob) LookupTrace(addr uint32, visit func(byteOffset int)) uint32 {
+	ri := int(addr >> uint(fib.W-b.Lambda))
+	visit(ri * 4)
+	e := b.Root[ri]
+	best := e >> 24
+	p := e & 0x00FFFFFF
+	if p == blobNone {
+		return best
+	}
+	if p&blobLeafFlag != 0 {
+		if l := p & 0xFF; l != fib.NoLabel {
+			best = l
+		}
+		return best
+	}
+	base := len(b.Root) * 4
+	idx := p
+	for q := b.Lambda; q < b.Width; q++ {
+		wi := int(2*idx + fib.Bit(addr, q))
+		visit(base + wi*4)
+		w := b.Nodes[wi]
+		if w&wordLeafFlag != 0 {
+			if l := w & 0xFF; l != fib.NoLabel {
+				best = l
+			}
+			return best
+		}
+		idx = w
+	}
+	return best
+}
+
+// SizeBytes reports the byte size of the serialized structure.
+func (b *Blob) SizeBytes() int {
+	return 4 * (len(b.Root) + len(b.Nodes))
+}

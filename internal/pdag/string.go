@@ -1,0 +1,62 @@
+package pdag
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+// BuildString applies trie-folding as a general-purpose string
+// compressor (§4.2, Fig 4): the symbols of s are written on the leaves
+// of a complete binary trie of depth lg|s| and the trie is folded into
+// a prefix DAG, which then acts as a compressed string self-index —
+// the i-th character is recovered by looking up the key i.
+//
+// len(s) must be a power of two and symbols must be < 255 (they are
+// stored internally as labels s+1, since label 0 is reserved).
+func BuildString(s []uint32, lambda int) (*DAG, error) {
+	n := len(s)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("pdag: string length %d is not a power of two", n)
+	}
+	w := bits.TrailingZeros(uint(n))
+	if lambda < 0 || lambda > w {
+		return nil, fmt.Errorf("pdag: barrier λ=%d out of range [0,%d]", lambda, w)
+	}
+	t := trie.New()
+	for i, sym := range s {
+		if sym >= fib.MaxLabel {
+			return nil, fmt.Errorf("pdag: symbol %d at position %d exceeds %d", sym, i, fib.MaxLabel-1)
+		}
+		t.Insert(uint32(i)<<uint(fib.W-w), w, sym+1)
+	}
+	d, err := FromTrie(t, lambda)
+	if err != nil {
+		return nil, err
+	}
+	d.Width = w
+	d.symOffset = 1
+	return d, nil
+}
+
+// Access returns the i-th symbol of the compressed string (Fig 4:
+// "the third character is accessed by looking up the key 2").
+func (d *DAG) Access(i int) uint32 {
+	addr := uint32(i) << uint(fib.W-d.Width)
+	return d.Lookup(addr) - d.symOffset
+}
+
+// StringLen reports the length of the stored string.
+func (d *DAG) StringLen() int { return 1 << uint(d.Width) }
+
+// SetSymbol rewrites the i-th symbol, exercising the update path in
+// the string model.
+func (d *DAG) SetSymbol(i int, sym uint32) error {
+	if sym >= fib.MaxLabel {
+		return fmt.Errorf("pdag: symbol %d out of range", sym)
+	}
+	addr := uint32(i) << uint(fib.W-d.Width)
+	return d.Set(addr, d.Width, sym+d.symOffset)
+}

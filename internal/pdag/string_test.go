@@ -1,0 +1,178 @@
+package pdag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBananaba(t *testing.T) {
+	// Fig 4: the string "bananaba" over Σ={a,b,n} folds into a DAG
+	// that still supports random access by key lookup.
+	sym := map[byte]uint32{'a': 0, 'b': 1, 'n': 2}
+	text := "bananaba"
+	s := make([]uint32, len(text))
+	for i := range text {
+		s[i] = sym[text[i]]
+	}
+	d, err := BuildString(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.StringLen() != 8 {
+		t.Fatalf("len = %d", d.StringLen())
+	}
+	for i := range s {
+		if got := d.Access(i); got != s[i] {
+			t.Fatalf("Access(%d) = %d want %d", i, got, s[i])
+		}
+	}
+	// The third character is 'n' and is accessed by key 2 (the paper's
+	// example uses 1-based counting: 3-1 = 010₂).
+	if d.Access(2) != sym['n'] {
+		t.Fatal("Fig 4 example broken")
+	}
+	checkInvariantsString(t, d)
+}
+
+func checkInvariantsString(t *testing.T, d *DAG) {
+	t.Helper()
+	checkInvariants(t, d)
+}
+
+func TestBuildStringValidation(t *testing.T) {
+	if _, err := BuildString(nil, 0); err == nil {
+		t.Fatal("empty string accepted")
+	}
+	if _, err := BuildString(make([]uint32, 3), 0); err == nil {
+		t.Fatal("non-power-of-two length accepted")
+	}
+	if _, err := BuildString(make([]uint32, 4), 9); err == nil {
+		t.Fatal("barrier beyond depth accepted")
+	}
+	if _, err := BuildString([]uint32{300, 0, 0, 0}, 0); err == nil {
+		t.Fatal("oversized symbol accepted")
+	}
+}
+
+func TestStringAccessAllLambdas(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1 << 10
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = uint32(rng.Intn(4))
+	}
+	for _, lambda := range []int{0, 1, 5, 10} {
+		d, err := BuildString(s, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i += 7 {
+			if got := d.Access(i); got != s[i] {
+				t.Fatalf("λ=%d: Access(%d) = %d want %d", lambda, i, got, s[i])
+			}
+		}
+		checkInvariants(t, d)
+	}
+}
+
+func TestStringUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 1 << 9
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = uint32(rng.Intn(3))
+	}
+	d, err := BuildString(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 200; step++ {
+		i := rng.Intn(n)
+		v := uint32(rng.Intn(3))
+		if err := d.SetSymbol(i, v); err != nil {
+			t.Fatal(err)
+		}
+		s[i] = v
+	}
+	for i := range s {
+		if got := d.Access(i); got != s[i] {
+			t.Fatalf("after updates: Access(%d) = %d want %d", i, got, s[i])
+		}
+	}
+	checkInvariants(t, d)
+}
+
+func TestStringCompressesLowEntropy(t *testing.T) {
+	// A Bernoulli(0.02) string over a complete trie must fold far
+	// below the uncompressed trie size — this is the mechanism behind
+	// Fig 7.
+	rng := rand.New(rand.NewSource(6))
+	n := 1 << 14
+	s := make([]uint32, n)
+	for i := range s {
+		if rng.Float64() < 0.02 {
+			s[i] = 1
+		}
+	}
+	d, err := BuildString(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The complete binary trie has 2n-1 nodes; the folded DAG must be
+	// dramatically smaller for a skewed string.
+	if d.Nodes() > n/8 {
+		t.Fatalf("DAG has %d nodes for a %d-symbol skewed string", d.Nodes(), n)
+	}
+	for i := 0; i < n; i += 13 {
+		if d.Access(i) != s[i] {
+			t.Fatalf("Access(%d) corrupted", i)
+		}
+	}
+}
+
+func TestUniformRandomStringBarelyCompresses(t *testing.T) {
+	// Max-entropy strings are incompressible: the DAG may still share
+	// bottom levels (pigeonhole) but must stay within a constant of n.
+	rng := rand.New(rand.NewSource(7))
+	n := 1 << 12
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = uint32(rng.Intn(64))
+	}
+	d, err := BuildString(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Nodes() < n/4 {
+		t.Fatalf("uniform random string compressed suspiciously well: %d nodes for n=%d",
+			d.Nodes(), n)
+	}
+}
+
+func TestStringModeSerializes(t *testing.T) {
+	// The serialized blob must honor Width < 32 (string mode): the
+	// walk stops at the string's depth.
+	rng := rand.New(rand.NewSource(8))
+	n := 1 << 10
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = uint32(rng.Intn(3))
+	}
+	d, err := BuildString(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob.Width != 10 {
+		t.Fatalf("blob width %d want 10", blob.Width)
+	}
+	for i := 0; i < n; i++ {
+		addr := uint32(i) << 22 // left-aligned 10-bit key
+		if got := blob.Lookup(addr); got != s[i]+1 {
+			t.Fatalf("blob access %d = %d want %d", i, got, s[i]+1)
+		}
+	}
+}

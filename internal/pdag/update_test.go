@@ -1,0 +1,296 @@
+package pdag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+// oracle applies the same operations to a plain trie for comparison.
+type oracle struct {
+	tr *trie.Trie
+}
+
+func (o *oracle) set(addr uint32, plen int, label uint32) { o.tr.Insert(addr, plen, label) }
+func (o *oracle) del(addr uint32, plen int) bool          { return o.tr.Delete(addr, plen) }
+
+func verifyAgainstOracle(t *testing.T, d *DAG, o *oracle, rng *rand.Rand, probes int) {
+	t.Helper()
+	for i := 0; i < probes; i++ {
+		addr := rng.Uint32()
+		if got, want := d.Lookup(addr), o.tr.Lookup(addr); got != want {
+			t.Fatalf("lookup %x = %d want %d", addr, got, want)
+		}
+	}
+}
+
+// verifyCanonical checks that the incrementally maintained DAG has
+// exactly the structure a from-scratch rebuild would produce — the
+// hash-consed normal form is unique, so the node counts must agree.
+func verifyCanonical(t *testing.T, d *DAG) {
+	t.Helper()
+	fresh, err := FromTrie(d.control, d.Lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FoldedInterior() != fresh.FoldedInterior() {
+		t.Fatalf("incremental DAG has %d folded interiors, rebuild has %d",
+			d.FoldedInterior(), fresh.FoldedInterior())
+	}
+	if d.FoldedLeaves() != fresh.FoldedLeaves() {
+		t.Fatalf("incremental DAG has %d leaves, rebuild has %d",
+			d.FoldedLeaves(), fresh.FoldedLeaves())
+	}
+	if d.UpNodes() != fresh.UpNodes() {
+		t.Fatalf("incremental DAG has %d up nodes, rebuild has %d",
+			d.UpNodes(), fresh.UpNodes())
+	}
+}
+
+func TestUpdateAboveBarrier(t *testing.T) {
+	tb := sampleFIB()
+	d, err := Build(tb, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change the default route: with a barrier this must not touch the
+	// folded region (the whole point of §4's optimization).
+	before := d.FoldedInterior()
+	if err := d.Set(0, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if d.FoldedInterior() != before {
+		t.Fatal("default-route change must not modify the folded region")
+	}
+	if d.Lookup(0xF0000000) != 9 {
+		t.Fatal("new default not visible")
+	}
+	checkInvariants(t, d)
+	verifyCanonical(t, d)
+}
+
+func TestUpdateBelowBarrier(t *testing.T) {
+	d, err := Build(sampleFIB(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set(0x60000000, 3, 5); err != nil { // 011/3 → 5
+		t.Fatal(err)
+	}
+	if d.Lookup(0x60000001) != 5 {
+		t.Fatal("update below barrier not visible")
+	}
+	if d.Lookup(0x40000001) != 2 { // sibling 010 must keep its label
+		t.Fatal("sibling region damaged")
+	}
+	checkInvariants(t, d)
+	verifyCanonical(t, d)
+}
+
+func TestInsertIntoEmptyRegion(t *testing.T) {
+	for _, lambda := range testLambdas {
+		d, err := Build(fib.New(), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Set(0xC0A80000, 16, 3); err != nil {
+			t.Fatal(err)
+		}
+		if d.Lookup(0xC0A80001) != 3 {
+			t.Fatalf("λ=%d: inserted prefix not found", lambda)
+		}
+		if d.Lookup(0xC0A90001) != fib.NoLabel {
+			t.Fatalf("λ=%d: neighboring space contaminated", lambda)
+		}
+		checkInvariants(t, d)
+		verifyCanonical(t, d)
+	}
+}
+
+func TestDeleteToEmpty(t *testing.T) {
+	for _, lambda := range testLambdas {
+		d, err := Build(fib.New(), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Set(0x0A000000, 8, 1)
+		d.Set(0x0A010000, 16, 2)
+		if !d.Delete(0x0A010000, 16) {
+			t.Fatalf("λ=%d: delete existing failed", lambda)
+		}
+		if d.Delete(0x0A010000, 16) {
+			t.Fatalf("λ=%d: double delete succeeded", lambda)
+		}
+		if !d.Delete(0x0A000000, 8) {
+			t.Fatalf("λ=%d: delete existing failed", lambda)
+		}
+		if d.Lookup(0x0A010101) != fib.NoLabel {
+			t.Fatalf("λ=%d: deleted routes still resolve", lambda)
+		}
+		checkInvariants(t, d)
+		verifyCanonical(t, d)
+		// Everything removed: the folded structures must be fully
+		// dereferenced (no leaks).
+		if d.FoldedInterior() != 0 {
+			t.Fatalf("λ=%d: %d leaked interior nodes", lambda, d.FoldedInterior())
+		}
+	}
+}
+
+func TestExpandMergedLeaf(t *testing.T) {
+	// Region folds to a single leaf, then a more specific route splits
+	// it: the expansion path (kLeaf decompression) must preserve the
+	// surrounding label.
+	d, err := Build(fib.New(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Set(0, 1, 5)          // 0/1 → 5: DAG is (almost) a single leaf
+	d.Set(0x20000000, 3, 7) // 001/3 → 7, deep inside the leaf-5 region
+	cases := []struct {
+		addr uint32
+		want uint32
+	}{
+		{0x00000000, 5}, // 000
+		{0x20000001, 7}, // 001
+		{0x40000000, 5}, // 010
+		{0x80000000, 0}, // 1xx: no route
+	}
+	for _, c := range cases {
+		if got := d.Lookup(c.addr); got != c.want {
+			t.Fatalf("lookup %x = %d want %d", c.addr, got, c.want)
+		}
+	}
+	checkInvariants(t, d)
+	verifyCanonical(t, d)
+}
+
+func TestRandomUpdateStorm(t *testing.T) {
+	// The central property test: a long random Set/Delete sequence at
+	// every barrier must keep (1) forwarding equivalence with a plain
+	// trie, (2) reference-count consistency, (3) the canonical folded
+	// form identical to a from-scratch rebuild.
+	for _, lambda := range testLambdas {
+		rng := rand.New(rand.NewSource(int64(100 + lambda)))
+		tb := randomTable(rng, 200, 5, true)
+		d, err := Build(tb, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := &oracle{tr: trie.FromTable(tb)}
+		inserted := make([]fib.Entry, 0, 256)
+		for _, e := range tb.Entries {
+			inserted = append(inserted, e)
+		}
+		for step := 0; step < 400; step++ {
+			switch {
+			case len(inserted) > 0 && rng.Intn(3) == 0: // delete
+				i := rng.Intn(len(inserted))
+				e := inserted[i]
+				inserted = append(inserted[:i], inserted[i+1:]...)
+				dOK := d.Delete(e.Addr, e.Len)
+				oOK := o.del(e.Addr, e.Len)
+				if dOK != oOK {
+					t.Fatalf("λ=%d step=%d: delete disagreement", lambda, step)
+				}
+			default: // insert or change
+				plen := rng.Intn(33)
+				addr := rng.Uint32() & fib.Mask(plen)
+				label := uint32(rng.Intn(5)) + 1
+				if err := d.Set(addr, plen, label); err != nil {
+					t.Fatal(err)
+				}
+				o.set(addr, plen, label)
+				inserted = append(inserted, fib.Entry{Addr: addr, Len: plen, NextHop: label})
+			}
+			if step%50 == 0 {
+				verifyAgainstOracle(t, d, o, rng, 300)
+				checkInvariants(t, d)
+			}
+		}
+		verifyAgainstOracle(t, d, o, rng, 2000)
+		checkInvariants(t, d)
+		verifyCanonical(t, d)
+	}
+}
+
+func TestUpdateQuick(t *testing.T) {
+	f := func(seed int64, lambdaRaw uint8) bool {
+		lambda := int(lambdaRaw % 33)
+		rng := rand.New(rand.NewSource(seed))
+		d, err := Build(fib.New(), lambda)
+		if err != nil {
+			return false
+		}
+		o := &oracle{tr: trie.New()}
+		for step := 0; step < 60; step++ {
+			plen := rng.Intn(33)
+			addr := rng.Uint32() & fib.Mask(plen)
+			if rng.Intn(4) == 0 {
+				if d.Delete(addr, plen) != o.del(addr, plen) {
+					return false
+				}
+			} else {
+				label := uint32(rng.Intn(3)) + 1
+				d.Set(addr, plen, label)
+				o.set(addr, plen, label)
+			}
+		}
+		for probe := 0; probe < 300; probe++ {
+			addr := rng.Uint32()
+			if d.Lookup(addr) != o.tr.Lookup(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetValidation(t *testing.T) {
+	d, err := Build(fib.New(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set(0, 33, 1); err == nil {
+		t.Fatal("length 33 accepted")
+	}
+	if err := d.Set(0, 8, 0); err == nil {
+		t.Fatal("label 0 accepted")
+	}
+	if err := d.Set(0, 8, 999); err == nil {
+		t.Fatal("label 999 accepted")
+	}
+	if d.Delete(0, 40) {
+		t.Fatal("delete with bad length succeeded")
+	}
+}
+
+func TestSerializeAfterUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	tb := randomTable(rng, 300, 6, true)
+	d, err := Build(tb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		plen := rng.Intn(33)
+		addr := rng.Uint32() & fib.Mask(plen)
+		d.Set(addr, plen, uint32(rng.Intn(6))+1)
+	}
+	blob, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 2000; probe++ {
+		addr := rng.Uint32()
+		if blob.Lookup(addr) != d.Lookup(addr) {
+			t.Fatal("serialized form out of sync after updates")
+		}
+	}
+}

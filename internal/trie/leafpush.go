@@ -1,0 +1,146 @@
+package trie
+
+import (
+	"fibcomp/internal/fib"
+	"fibcomp/internal/huffman"
+)
+
+// LeafPush returns the normalized form of the trie (§2, Fig 1(e)): a
+// proper, binary, leaf-labeled trie that is forwarding-equivalent to
+// the input. First labels are pushed from parents towards children in
+// a preorder traversal (creating missing siblings as leaves carrying
+// the inherited label), then a postorder traversal substitutes each
+// parent whose two children are identically-labeled leaves with a
+// single leaf. The result satisfies the paper's invariants P1–P3:
+// every node is a leaf or has two children, and only leaves carry
+// labels (label 0 marks address space with no route).
+func (t *Trie) LeafPush() *Trie {
+	root := pushDown(t.Root, fib.NoLabel)
+	root = mergeLeaves(root)
+	return &Trie{Root: root}
+}
+
+// LeafPushWithDefault normalizes the subtree with an inherited default
+// label, the leaf_push(u, l) primitive of the trie-folding algorithm
+// (§4.1).
+func LeafPushWithDefault(n *Node, def uint32) *Node {
+	return mergeLeaves(pushDown(n, def))
+}
+
+// pushDown returns a fresh proper trie in which every leaf carries the
+// label in force at that point of the address space (inherited labels
+// included). The input is not modified.
+func pushDown(n *Node, inherited uint32) *Node {
+	if n == nil {
+		return &Node{Label: inherited}
+	}
+	cur := inherited
+	if n.Label != fib.NoLabel {
+		cur = n.Label
+	}
+	if n.IsLeaf() {
+		return &Node{Label: cur}
+	}
+	return &Node{
+		Left:  pushDown(n.Left, cur),
+		Right: pushDown(n.Right, cur),
+	}
+}
+
+// mergeLeaves collapses parents of identically-labeled leaf pairs,
+// bottom-up.
+func mergeLeaves(n *Node) *Node {
+	if n == nil || n.IsLeaf() {
+		return n
+	}
+	n.Left = mergeLeaves(n.Left)
+	n.Right = mergeLeaves(n.Right)
+	if n.Left.IsLeaf() && n.Right.IsLeaf() && n.Left.Label == n.Right.Label {
+		return &Node{Label: n.Left.Label}
+	}
+	return n
+}
+
+// IsProperLeafLabeled verifies the invariants P1–P2 of §3: every node
+// is either a leaf or has exactly two children, and exactly the leaves
+// carry labels. (Leaves labeled 0 are permitted: they encode address
+// space with no route, i.e. the cleared ⊥ label.)
+func (t *Trie) IsProperLeafLabeled() bool {
+	var ok func(n *Node) bool
+	ok = func(n *Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.IsLeaf() {
+			return true
+		}
+		if n.Left == nil || n.Right == nil {
+			return false
+		}
+		if n.Label != fib.NoLabel {
+			return false
+		}
+		return ok(n.Left) && ok(n.Right)
+	}
+	return ok(t.Root)
+}
+
+// Stats carries the compressibility metrics of §2.
+type Stats struct {
+	Nodes     int               // t
+	Leaves    int               // n
+	Delta     int               // δ: distinct leaf labels (excluding ∅)
+	H0        float64           // Shannon entropy of the leaf-label distribution
+	LabelFreq map[uint32]uint64 // leaf label → count
+	InfoBound float64           // I = 2n + n·lg δ bits (Proposition 1)
+	Entropy   float64           // E = 2n + n·H0 bits (Proposition 2)
+	MaxDepth  int
+}
+
+// LeafStats computes the paper's FIB information-theoretic limit and
+// FIB entropy on a *normalized* trie. Call LeafPush first; the
+// function panics if the trie is not proper leaf-labeled, because the
+// bounds are only well defined on the unique normal form.
+func (t *Trie) LeafStats() Stats {
+	if !t.IsProperLeafLabeled() {
+		panic("trie: LeafStats requires a leaf-pushed trie")
+	}
+	s := Stats{LabelFreq: map[uint32]uint64{}}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		s.Nodes++
+		if n.IsLeaf() {
+			s.Leaves++
+			s.LabelFreq[n.Label]++
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	for l := range s.LabelFreq {
+		if l != fib.NoLabel {
+			s.Delta++
+		}
+	}
+	s.H0 = huffman.Entropy(s.LabelFreq)
+	n := float64(s.Leaves)
+	s.InfoBound = 2*n + n*float64(ceilLog2(len(s.LabelFreq)))
+	s.Entropy = 2*n + n*s.H0
+	s.MaxDepth = t.MaxDepth()
+	return s
+}
+
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	b := 0
+	for v := x - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,248 @@
+// Package trie implements the binary prefix tree of §2 — the venerable
+// FIB representation IP routers have used for decades — together with
+// the leaf-pushing normalization that turns it into the proper,
+// binary, leaf-labeled trie on which the paper's entropy bounds and
+// both compressors (XBW-b and trie-folding) are defined.
+package trie
+
+import (
+	"fmt"
+	"strings"
+
+	"fibcomp/internal/fib"
+)
+
+// Node is a binary trie node. Label 0 (fib.NoLabel) means "no label".
+type Node struct {
+	Left, Right *Node
+	Label       uint32
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Trie is a binary prefix tree over the W-bit address space.
+type Trie struct {
+	Root *Node
+}
+
+// New returns an empty trie (a single unlabeled root).
+func New() *Trie { return &Trie{Root: &Node{}} }
+
+// FromTable builds a trie from a FIB table. Later duplicates win,
+// matching fib.Table.Dedup semantics.
+func FromTable(t *fib.Table) *Trie {
+	tr := New()
+	for _, e := range t.Entries {
+		tr.Insert(e.Addr, e.Len, e.NextHop)
+	}
+	return tr
+}
+
+// Insert sets the label of prefix addr/plen, creating path nodes as
+// needed.
+func (t *Trie) Insert(addr uint32, plen int, label uint32) {
+	n := t.Root
+	for q := 0; q < plen; q++ {
+		if fib.Bit(addr, q) == 0 {
+			if n.Left == nil {
+				n.Left = &Node{}
+			}
+			n = n.Left
+		} else {
+			if n.Right == nil {
+				n.Right = &Node{}
+			}
+			n = n.Right
+		}
+	}
+	n.Label = label
+}
+
+// Delete removes the label of prefix addr/plen and prunes unlabeled
+// leaf chains. It reports whether a label was present.
+func (t *Trie) Delete(addr uint32, plen int) bool {
+	path := make([]*Node, 0, plen+1)
+	n := t.Root
+	path = append(path, n)
+	for q := 0; q < plen; q++ {
+		if fib.Bit(addr, q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+	}
+	if n.Label == fib.NoLabel {
+		return false
+	}
+	n.Label = fib.NoLabel
+	// Prune now-useless leaves bottom-up.
+	for i := len(path) - 1; i > 0; i-- {
+		nd := path[i]
+		if !nd.IsLeaf() || nd.Label != fib.NoLabel {
+			break
+		}
+		parent := path[i-1]
+		if parent.Left == nd {
+			parent.Left = nil
+		} else {
+			parent.Right = nil
+		}
+	}
+	return true
+}
+
+// Lookup performs longest prefix match: walk the bits of addr and
+// return the last label seen (§2). It runs in O(W).
+func (t *Trie) Lookup(addr uint32) uint32 {
+	best := fib.NoLabel
+	n := t.Root
+	for q := 0; n != nil; q++ {
+		if n.Label != fib.NoLabel {
+			best = n.Label
+		}
+		if q == fib.W {
+			break
+		}
+		if fib.Bit(addr, q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return best
+}
+
+// LookupSteps is Lookup instrumented to also report the number of
+// nodes visited, used by the depth statistics of Table 2.
+func (t *Trie) LookupSteps(addr uint32) (label uint32, steps int) {
+	best := fib.NoLabel
+	n := t.Root
+	for q := 0; n != nil; q++ {
+		steps++
+		if n.Label != fib.NoLabel {
+			best = n.Label
+		}
+		if q == fib.W {
+			break
+		}
+		if fib.Bit(addr, q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return best, steps
+}
+
+// Subtree returns the node at prefix addr/plen, or nil.
+func (t *Trie) Subtree(addr uint32, plen int) *Node {
+	n := t.Root
+	for q := 0; q < plen && n != nil; q++ {
+		if fib.Bit(addr, q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the trie.
+func (t *Trie) Clone() *Trie { return &Trie{Root: CloneNode(t.Root)} }
+
+// CloneNode deep-copies a subtree.
+func CloneNode(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	return &Node{Left: CloneNode(n.Left), Right: CloneNode(n.Right), Label: n.Label}
+}
+
+// CountNodes reports the number of nodes (the paper's t).
+func (t *Trie) CountNodes() int { return countNodes(t.Root) }
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
+// CountLeaves reports the number of leaves (the paper's n).
+func (t *Trie) CountLeaves() int { return countLeaves(t.Root) }
+
+func countLeaves(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+// MaxDepth reports the deepest node's depth (root = 0).
+func (t *Trie) MaxDepth() int { return maxDepth(t.Root) }
+
+func maxDepth(n *Node) int {
+	if n == nil {
+		return -1
+	}
+	if n.IsLeaf() {
+		return 0
+	}
+	l, r := maxDepth(n.Left), maxDepth(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Entries reconstructs the (prefix, label) pairs stored in the trie,
+// in preorder.
+func (t *Trie) Entries() []fib.Entry {
+	var out []fib.Entry
+	var walk func(n *Node, addr uint32, depth int)
+	walk = func(n *Node, addr uint32, depth int) {
+		if n == nil {
+			return
+		}
+		if n.Label != fib.NoLabel {
+			out = append(out, fib.Entry{Addr: addr, Len: depth, NextHop: n.Label})
+		}
+		walk(n.Left, addr, depth+1)
+		walk(n.Right, addr|1<<uint(fib.W-1-depth), depth+1)
+	}
+	walk(t.Root, 0, 0)
+	return out
+}
+
+// String renders the trie for debugging; labels in brackets.
+func (t *Trie) String() string {
+	var b strings.Builder
+	var walk func(n *Node, prefix string)
+	walk = func(n *Node, prefix string) {
+		if n == nil {
+			return
+		}
+		if n.Label != fib.NoLabel {
+			fmt.Fprintf(&b, "%s[%d] ", prefixOrRoot(prefix), n.Label)
+		}
+		walk(n.Left, prefix+"0")
+		walk(n.Right, prefix+"1")
+	}
+	walk(t.Root, "")
+	return strings.TrimSpace(b.String())
+}
+
+func prefixOrRoot(p string) string {
+	if p == "" {
+		return "-"
+	}
+	return p
+}

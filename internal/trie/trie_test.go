@@ -1,0 +1,286 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fibcomp/internal/fib"
+)
+
+// sampleFIB is the running example of §2 (Fig 1): 6 prefixes over the
+// first three address bits.
+func sampleFIB() *fib.Table {
+	return fib.MustParse(
+		"0.0.0.0/0 2",
+		"0.0.0.0/1 3",
+		"0.0.0.0/2 3",
+		"32.0.0.0/3 2",
+		"64.0.0.0/2 2",
+		"96.0.0.0/3 1",
+	)
+}
+
+// randomTable builds a random FIB with n prefixes and delta labels.
+func randomTable(rng *rand.Rand, n, delta int) *fib.Table {
+	t := fib.New()
+	t.Add(0, 0, uint32(rng.Intn(delta))+1) // default route
+	for i := 1; i < n; i++ {
+		plen := rng.Intn(25) + 8
+		addr := rng.Uint32() & fib.Mask(plen)
+		t.Add(addr, plen, uint32(rng.Intn(delta))+1)
+	}
+	t.Dedup()
+	return t
+}
+
+func TestLookupMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		tb := randomTable(rng, 300, 7)
+		tr := FromTable(tb)
+		for probe := 0; probe < 2000; probe++ {
+			addr := rng.Uint32()
+			if got, want := tr.Lookup(addr), tb.LookupLinear(addr); got != want {
+				t.Fatalf("trial %d: lookup %x = %d want %d", trial, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleLookups(t *testing.T) {
+	tr := FromTable(sampleFIB())
+	addr := func(s string) uint32 {
+		a, err := fib.ParseAddr(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	if tr.Lookup(addr("96.0.0.0")) != 1 { // the paper's 0111... example
+		t.Fatal("011 should map to 1")
+	}
+	if tr.Lookup(addr("128.0.0.0")) != 2 {
+		t.Fatal("1xx should fall back to the default route")
+	}
+	if tr.Lookup(addr("0.0.0.0")) != 3 {
+		t.Fatal("000 should map to 3")
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	tr := New()
+	tr.Insert(0x0A000000, 8, 5)
+	if tr.Lookup(0x0A000001) != 5 {
+		t.Fatal("insert not visible")
+	}
+	if !tr.Delete(0x0A000000, 8) {
+		t.Fatal("delete should report success")
+	}
+	if tr.Lookup(0x0A000001) != fib.NoLabel {
+		t.Fatal("delete not effective")
+	}
+	if tr.Delete(0x0A000000, 8) {
+		t.Fatal("double delete should report false")
+	}
+	// The pruned trie must be a bare root again.
+	if tr.CountNodes() != 1 {
+		t.Fatalf("nodes after prune = %d, want 1", tr.CountNodes())
+	}
+}
+
+func TestDeletePreservesSiblings(t *testing.T) {
+	tr := New()
+	tr.Insert(0x00000000, 2, 1) // 00
+	tr.Insert(0x40000000, 2, 2) // 01
+	tr.Delete(0x00000000, 2)
+	if tr.Lookup(0x40000001) != 2 {
+		t.Fatal("sibling lost")
+	}
+	if tr.Lookup(0x00000001) != fib.NoLabel {
+		t.Fatal("deleted prefix still resolves")
+	}
+}
+
+func TestLeafPushSample(t *testing.T) {
+	// Fig 1(e): the leaf-pushed sample trie has 9 nodes and 5 leaves
+	// labeled 3,2,2,1 (depth 3) and 2 (depth 1).
+	lp := FromTable(sampleFIB()).LeafPush()
+	if !lp.IsProperLeafLabeled() {
+		t.Fatal("not proper leaf-labeled")
+	}
+	if n := lp.CountNodes(); n != 9 {
+		t.Fatalf("nodes = %d want 9", n)
+	}
+	if n := lp.CountLeaves(); n != 5 {
+		t.Fatalf("leaves = %d want 5", n)
+	}
+	s := lp.LeafStats()
+	if s.LabelFreq[2] != 3 || s.LabelFreq[1] != 1 || s.LabelFreq[3] != 1 {
+		t.Fatalf("leaf label frequencies %v", s.LabelFreq)
+	}
+}
+
+func TestLeafPushEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTable(rng, 150, 5)
+		tr := FromTable(tb)
+		lp := tr.LeafPush()
+		if !lp.IsProperLeafLabeled() {
+			return false
+		}
+		for probe := 0; probe < 500; probe++ {
+			addr := rng.Uint32()
+			if tr.Lookup(addr) != lp.Lookup(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafPushIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb := randomTable(rng, 200, 4)
+	lp := FromTable(tb).LeafPush()
+	lp2 := lp.LeafPush()
+	if lp.CountNodes() != lp2.CountNodes() || lp.CountLeaves() != lp2.CountLeaves() {
+		t.Fatalf("leaf-push not idempotent: %d/%d vs %d/%d",
+			lp.CountNodes(), lp.CountLeaves(), lp2.CountNodes(), lp2.CountLeaves())
+	}
+}
+
+func TestLeafPushNoRoute(t *testing.T) {
+	// A FIB without default route: uncovered space must stay label 0.
+	tb := fib.MustParse("128.0.0.0/1 4")
+	lp := FromTable(tb).LeafPush()
+	if lp.Lookup(0x00000001) != fib.NoLabel {
+		t.Fatal("uncovered space should have no route")
+	}
+	if lp.Lookup(0x80000001) != 4 {
+		t.Fatal("covered space lost its route")
+	}
+	s := lp.LeafStats()
+	if s.Delta != 1 {
+		t.Fatalf("delta = %d want 1 (label 0 excluded)", s.Delta)
+	}
+}
+
+func TestLeafPushEmpty(t *testing.T) {
+	lp := New().LeafPush()
+	if !lp.IsProperLeafLabeled() || lp.CountNodes() != 1 {
+		t.Fatal("empty trie should normalize to a single ∅ leaf")
+	}
+	if lp.Lookup(12345) != fib.NoLabel {
+		t.Fatal("empty trie lookup should be ∅")
+	}
+}
+
+func TestLeafPushDefaultOnly(t *testing.T) {
+	tb := fib.MustParse("0.0.0.0/0 7")
+	lp := FromTable(tb).LeafPush()
+	if lp.CountNodes() != 1 || lp.CountLeaves() != 1 {
+		t.Fatal("default-only FIB should collapse to a single leaf")
+	}
+	if lp.Lookup(0xDEADBEEF) != 7 {
+		t.Fatal("default not honored")
+	}
+}
+
+func TestStatsEntropyBounds(t *testing.T) {
+	// Proposition 1/2 sanity: on the sample FIB, n=5, labels {3:1,2:3,1:1},
+	// H0 = -(0.6 lg 0.6 + 2·0.2 lg 0.2) ≈ 1.371; E = 2n + nH0 ≈ 16.85 bits.
+	lp := FromTable(sampleFIB()).LeafPush()
+	s := lp.LeafStats()
+	if s.Leaves != 5 || s.Delta != 3 {
+		t.Fatalf("n=%d δ=%d", s.Leaves, s.Delta)
+	}
+	if s.H0 < 1.37 || s.H0 > 1.372 {
+		t.Fatalf("H0 = %v", s.H0)
+	}
+	wantI := 2.0*5 + 5*2 // lg 3 = 2
+	if s.InfoBound != wantI {
+		t.Fatalf("I = %v want %v", s.InfoBound, wantI)
+	}
+	if s.Entropy <= 2*5 || s.Entropy >= s.InfoBound {
+		t.Fatalf("E = %v should be in (2n, I)", s.Entropy)
+	}
+}
+
+func TestEntriesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := randomTable(rng, 100, 6)
+	tr := FromTable(tb)
+	back := New()
+	for _, e := range tr.Entries() {
+		back.Insert(e.Addr, e.Len, e.NextHop)
+	}
+	for probe := 0; probe < 1000; probe++ {
+		addr := rng.Uint32()
+		if tr.Lookup(addr) != back.Lookup(addr) {
+			t.Fatal("Entries() lost information")
+		}
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tr := FromTable(sampleFIB())
+	n := tr.Subtree(0x60000000, 3) // 011
+	if n == nil || n.Label != 1 {
+		t.Fatalf("subtree at 011: %+v", n)
+	}
+	if tr.Subtree(0xE0000000, 3) != nil {
+		t.Fatal("nonexistent subtree should be nil")
+	}
+	if tr.Subtree(0, 0) != tr.Root {
+		t.Fatal("zero-length subtree should be the root")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := FromTable(sampleFIB())
+	cl := tr.Clone()
+	tr.Insert(0xFF000000, 8, 9)
+	if cl.Lookup(0xFF000001) == 9 {
+		t.Fatal("clone shares nodes with original")
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	tr := New()
+	if tr.MaxDepth() != 0 {
+		t.Fatal("empty trie depth")
+	}
+	tr.Insert(0, 32, 1)
+	if tr.MaxDepth() != 32 {
+		t.Fatalf("depth = %d want 32", tr.MaxDepth())
+	}
+}
+
+func TestLookupStepsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tb := randomTable(rng, 500, 4)
+	tr := FromTable(tb)
+	for probe := 0; probe < 200; probe++ {
+		_, steps := tr.LookupSteps(rng.Uint32())
+		if steps > fib.W+1 {
+			t.Fatalf("lookup visited %d nodes, O(W) bound violated", steps)
+		}
+	}
+}
+
+func TestHostRouteAndZeroLen(t *testing.T) {
+	tr := New()
+	tr.Insert(0xC0A80101, 32, 3) // host route
+	tr.Insert(0, 0, 1)           // default
+	if tr.Lookup(0xC0A80101) != 3 {
+		t.Fatal("host route")
+	}
+	if tr.Lookup(0xC0A80102) != 1 {
+		t.Fatal("neighbor address should hit default")
+	}
+}

@@ -1,0 +1,191 @@
+// Package wavelet implements a Huffman-shaped wavelet tree over a
+// sequence of small integer symbols (Ferragina, Manzini, Mäkinen,
+// Navarro, ACM TALG 2007). It stores a sequence of n symbols with
+// zero-order entropy H0 in roughly n·H0 + o(n) bits and answers
+// Access, Rank and Select in O(H0) expected time, which is what the
+// XBW-b FIB representation needs for its label string S_α.
+package wavelet
+
+import (
+	"fmt"
+
+	"fibcomp/internal/bitvec"
+	"fibcomp/internal/huffman"
+)
+
+// Tree is an immutable Huffman-shaped wavelet tree.
+type Tree struct {
+	root  *node
+	codes map[uint32]huffman.Code
+	n     int
+}
+
+type node struct {
+	bv          *bitvec.RRR
+	left, right *node
+	leafSym     uint32
+	isLeaf      bool
+}
+
+// New builds a wavelet tree over seq. The alphabet is whatever symbols
+// occur in seq. An empty sequence is allowed and yields a tree whose
+// queries all report "not found".
+func New(seq []uint32) (*Tree, error) {
+	t := &Tree{n: len(seq)}
+	if len(seq) == 0 {
+		return t, nil
+	}
+	freq := map[uint32]uint64{}
+	for _, s := range seq {
+		freq[s]++
+	}
+	cb, err := huffman.New(freq)
+	if err != nil {
+		return nil, err
+	}
+	t.codes = cb.Codes()
+	t.root = t.build(seq, 0)
+	return t, nil
+}
+
+// build recursively constructs the node for the given subsequence at
+// code depth d.
+func (t *Tree) build(seq []uint32, d int) *node {
+	if len(seq) == 0 {
+		return nil
+	}
+	first := t.codes[seq[0]]
+	if first.Len == d {
+		// Prefix-freeness guarantees every element here is the same
+		// symbol.
+		return &node{isLeaf: true, leafSym: seq[0]}
+	}
+	b := bitvec.NewBuilder(len(seq))
+	var lseq, rseq []uint32
+	for _, s := range seq {
+		c := t.codes[s]
+		bit := c.Bits>>(uint(c.Len-1-d))&1 == 1
+		b.Append(bit)
+		if bit {
+			rseq = append(rseq, s)
+		} else {
+			lseq = append(lseq, s)
+		}
+	}
+	return &node{
+		bv:    b.BuildRRR(),
+		left:  t.build(lseq, d+1),
+		right: t.build(rseq, d+1),
+	}
+}
+
+// Len reports the sequence length.
+func (t *Tree) Len() int { return t.n }
+
+// Access returns the symbol at position i (0-based).
+func (t *Tree) Access(i int) uint32 {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("wavelet: Access(%d) out of range [0,%d)", i, t.n))
+	}
+	nd := t.root
+	for !nd.isLeaf {
+		if nd.bv.Bit(i) {
+			i = nd.bv.Rank1(i)
+			nd = nd.right
+		} else {
+			i = nd.bv.Rank0(i)
+			nd = nd.left
+		}
+	}
+	return nd.leafSym
+}
+
+// Rank returns the number of occurrences of symbol s in positions
+// [0, i). Unknown symbols report 0.
+func (t *Tree) Rank(s uint32, i int) int {
+	if i < 0 || i > t.n {
+		panic(fmt.Sprintf("wavelet: Rank(%d,%d) out of range [0,%d]", s, i, t.n))
+	}
+	c, ok := t.codes[s]
+	if !ok || i == 0 {
+		return 0
+	}
+	nd := t.root
+	for d := 0; d < c.Len; d++ {
+		if nd.isLeaf {
+			break
+		}
+		if c.Bits>>(uint(c.Len-1-d))&1 == 1 {
+			i = nd.bv.Rank1(i)
+			nd = nd.right
+		} else {
+			i = nd.bv.Rank0(i)
+			nd = nd.left
+		}
+		if nd == nil || i == 0 {
+			return 0
+		}
+	}
+	return i
+}
+
+// Select returns the position (0-based) of the k-th occurrence of s
+// (k is 1-based), or -1 if there are fewer than k occurrences.
+func (t *Tree) Select(s uint32, k int) int {
+	c, ok := t.codes[s]
+	if !ok || k <= 0 {
+		return -1
+	}
+	// Collect the root→leaf path, then climb back up.
+	path := make([]*node, 0, c.Len)
+	nd := t.root
+	for d := 0; d < c.Len; d++ {
+		if nd == nil || nd.isLeaf {
+			break
+		}
+		path = append(path, nd)
+		if c.Bits>>(uint(c.Len-1-d))&1 == 1 {
+			nd = nd.right
+		} else {
+			nd = nd.left
+		}
+	}
+	if nd == nil || !nd.isLeaf || nd.leafSym != s {
+		return -1
+	}
+	pos := k
+	for d := len(path) - 1; d >= 0; d-- {
+		p := path[d]
+		var q int
+		if c.Bits>>(uint(c.Len-1-d))&1 == 1 {
+			q = p.bv.Select1(pos)
+		} else {
+			q = p.bv.Select0(pos)
+		}
+		if q < 0 {
+			return -1
+		}
+		pos = q + 1
+	}
+	return pos - 1
+}
+
+// Count returns the number of occurrences of s in the whole sequence.
+func (t *Tree) Count(s uint32) int { return t.Rank(s, t.n) }
+
+// SizeBits reports the storage of all node bitvectors plus directories,
+// the quantity compared against n·H0 in the paper's Lemma 3.
+func (t *Tree) SizeBits() int {
+	var total int
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil || nd.isLeaf {
+			return
+		}
+		total += nd.bv.SizeBits()
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(t.root)
+	return total
+}

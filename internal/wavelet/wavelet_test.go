@@ -1,0 +1,187 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fibcomp/internal/huffman"
+)
+
+func refRank(seq []uint32, s uint32, i int) int {
+	r := 0
+	for j := 0; j < i; j++ {
+		if seq[j] == s {
+			r++
+		}
+	}
+	return r
+}
+
+func refSelect(seq []uint32, s uint32, k int) int {
+	for i, v := range seq {
+		if v == s {
+			k--
+			if k == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func TestEmpty(t *testing.T) {
+	tr, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("empty length")
+	}
+	if tr.Rank(1, 0) != 0 || tr.Select(1, 1) != -1 {
+		t.Fatal("queries on empty tree")
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	seq := []uint32{5, 5, 5, 5}
+	tr, err := New(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if tr.Access(i) != 5 {
+			t.Fatalf("Access(%d) != 5", i)
+		}
+	}
+	if tr.Rank(5, 4) != 4 || tr.Rank(6, 4) != 0 {
+		t.Fatal("rank on single-symbol tree")
+	}
+	if tr.Select(5, 3) != 2 || tr.Select(5, 5) != -1 {
+		t.Fatal("select on single-symbol tree")
+	}
+}
+
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, alpha := range []int{2, 3, 7, 64, 250} {
+		for _, n := range []int{1, 2, 17, 100, 3000} {
+			seq := make([]uint32, n)
+			for i := range seq {
+				// Skewed distribution to exercise uneven Huffman shapes.
+				v := rng.Intn(alpha)
+				if rng.Intn(3) != 0 {
+					v = v % (alpha/3 + 1)
+				}
+				seq[i] = uint32(v)
+			}
+			tr, err := New(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if got := tr.Access(i); got != seq[i] {
+					t.Fatalf("alpha=%d n=%d: Access(%d)=%d want %d", alpha, n, i, got, seq[i])
+				}
+			}
+			for _, s := range []uint32{0, 1, uint32(alpha - 1), uint32(alpha + 5)} {
+				for i := 0; i <= n; i += 1 + n/37 {
+					if got := tr.Rank(s, i); got != refRank(seq, s, i) {
+						t.Fatalf("alpha=%d n=%d: Rank(%d,%d)=%d want %d",
+							alpha, n, s, i, got, refRank(seq, s, i))
+					}
+				}
+				for k := 1; k <= n+1; k += 1 + n/23 {
+					if got := tr.Select(s, k); got != refSelect(seq, s, k) {
+						t.Fatalf("alpha=%d n=%d: Select(%d,%d)=%d want %d",
+							alpha, n, s, k, got, refSelect(seq, s, k))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRankSelectInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 1
+		seq := make([]uint32, n)
+		for i := range seq {
+			seq[i] = uint32(rng.Intn(10))
+		}
+		tr, err := New(seq)
+		if err != nil {
+			return false
+		}
+		for _, s := range []uint32{0, 3, 9} {
+			cnt := tr.Count(s)
+			for k := 1; k <= cnt; k++ {
+				p := tr.Select(s, k)
+				if p < 0 || tr.Access(p) != s || tr.Rank(s, p) != k-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeNearEntropy(t *testing.T) {
+	// A heavily skewed sequence must compress near nH0, well below
+	// n*ceil(lg alphabet).
+	rng := rand.New(rand.NewSource(9))
+	n := 1 << 16
+	seq := make([]uint32, n)
+	freq := map[uint32]uint64{}
+	for i := range seq {
+		var s uint32
+		switch r := rng.Float64(); {
+		case r < 0.9:
+			s = 0
+		case r < 0.96:
+			s = 1
+		default:
+			s = uint32(2 + rng.Intn(6))
+		}
+		seq[i] = s
+		freq[s]++
+	}
+	tr, err := New(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := huffman.Entropy(freq)
+	bitsPerSym := float64(tr.SizeBits()) / float64(n)
+	if bitsPerSym > h0+0.6 {
+		t.Fatalf("wavelet = %.3f bits/sym, H0 = %.3f; overhead too large", bitsPerSym, h0)
+	}
+	if bitsPerSym > 3.0 { // ceil(lg 8) = 3: must beat naive encoding
+		t.Fatalf("wavelet = %.3f bits/sym should beat plain 3 bits/sym", bitsPerSym)
+	}
+}
+
+func TestCount(t *testing.T) {
+	seq := []uint32{1, 2, 1, 3, 1, 2}
+	tr, _ := New(seq)
+	if tr.Count(1) != 3 || tr.Count(2) != 2 || tr.Count(3) != 1 || tr.Count(4) != 0 {
+		t.Fatal("Count mismatch")
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 18
+	seq := make([]uint32, n)
+	for i := range seq {
+		seq[i] = uint32(rng.Intn(16))
+	}
+	tr, _ := New(seq)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Access(int(rng.Int31n(int32(n))))
+	}
+}

@@ -1,0 +1,109 @@
+package xbw
+
+import (
+	"fmt"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+// Dynamic wraps the static XBW-b transform with the update strategy
+// §3.2 sketches: since even the underlying leaf-pushed trie takes O(n)
+// to update, the practical route is to apply updates to an
+// uncompressed control FIB and rebuild the compressed index from
+// scratch after a batch — the classic control-plane/line-card split.
+// Lookups are always served from the last published snapshot; Flush
+// publishes immediately, and AutoFlush sets a batch size after which
+// updates publish automatically.
+type Dynamic struct {
+	control  *trie.Trie
+	snapshot *FIB
+	pending  int
+	batch    int // 0 = manual flushing only
+	rebuilds int
+}
+
+// NewDynamic builds the initial snapshot from a table. batch is the
+// number of updates after which the snapshot is rebuilt automatically
+// (0 disables auto-flush).
+func NewDynamic(t *fib.Table, batch int) (*Dynamic, error) {
+	if batch < 0 {
+		return nil, fmt.Errorf("xbw: negative batch %d", batch)
+	}
+	d := &Dynamic{control: trie.FromTable(t), batch: batch}
+	if err := d.rebuild(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Lookup serves from the published snapshot. Updates applied since the
+// last flush are not yet visible, exactly like a FIB awaiting download
+// to the forwarding plane.
+func (d *Dynamic) Lookup(addr uint32) uint32 { return d.snapshot.Lookup(addr) }
+
+// Set stages an insert or change.
+func (d *Dynamic) Set(addr uint32, plen int, label uint32) error {
+	if plen < 0 || plen > fib.W {
+		return fmt.Errorf("xbw: prefix length %d out of range", plen)
+	}
+	if label == fib.NoLabel || label > fib.MaxLabel {
+		return fmt.Errorf("xbw: label %d out of range [1,%d]", label, fib.MaxLabel)
+	}
+	d.control.Insert(addr&fib.Mask(plen), plen, label)
+	return d.bump()
+}
+
+// Delete stages a withdrawal, reporting whether the prefix existed.
+func (d *Dynamic) Delete(addr uint32, plen int) (bool, error) {
+	if plen < 0 || plen > fib.W {
+		return false, nil
+	}
+	ok := d.control.Delete(addr&fib.Mask(plen), plen)
+	if !ok {
+		return false, nil
+	}
+	return true, d.bump()
+}
+
+func (d *Dynamic) bump() error {
+	d.pending++
+	if d.batch > 0 && d.pending >= d.batch {
+		return d.Flush()
+	}
+	return nil
+}
+
+// Flush rebuilds and publishes the snapshot; O(n), per §3.2.
+func (d *Dynamic) Flush() error {
+	if d.pending == 0 {
+		return nil
+	}
+	if err := d.rebuild(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (d *Dynamic) rebuild() error {
+	snap, err := FromTrie(d.control.LeafPush())
+	if err != nil {
+		return err
+	}
+	d.snapshot = snap
+	d.pending = 0
+	d.rebuilds++
+	return nil
+}
+
+// Pending reports the number of staged, unpublished updates.
+func (d *Dynamic) Pending() int { return d.pending }
+
+// Rebuilds reports how many snapshots have been published.
+func (d *Dynamic) Rebuilds() int { return d.rebuilds }
+
+// SizeBits reports the published snapshot's compressed size.
+func (d *Dynamic) SizeBits() int { return d.snapshot.SizeBits() }
+
+// Control exposes the control FIB (read-only; mutate via Set/Delete).
+func (d *Dynamic) Control() *trie.Trie { return d.control }

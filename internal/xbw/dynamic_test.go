@@ -1,0 +1,129 @@
+package xbw
+
+import (
+	"math/rand"
+	"testing"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+func TestDynamicBasics(t *testing.T) {
+	d, err := NewDynamic(sampleFIB(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rebuilds() != 1 {
+		t.Fatalf("initial rebuilds = %d", d.Rebuilds())
+	}
+	// Stage an update: invisible until flushed.
+	if err := d.Set(0x80000000, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 1 {
+		t.Fatal("pending not counted")
+	}
+	if d.Lookup(0xC0000000) == 9 {
+		t.Fatal("staged update visible before flush")
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Lookup(0xC0000000) != 9 {
+		t.Fatal("flushed update not visible")
+	}
+	if d.Pending() != 0 || d.Rebuilds() != 2 {
+		t.Fatalf("pending=%d rebuilds=%d", d.Pending(), d.Rebuilds())
+	}
+}
+
+func TestDynamicAutoFlush(t *testing.T) {
+	d, err := NewDynamic(sampleFIB(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(1); i <= 3; i++ {
+		if err := d.Set(i<<24, 8, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Pending() != 0 || d.Rebuilds() != 2 {
+		t.Fatalf("auto-flush at batch: pending=%d rebuilds=%d", d.Pending(), d.Rebuilds())
+	}
+	if d.Lookup(0x01000001) != 5 {
+		t.Fatal("auto-flushed update not visible")
+	}
+}
+
+func TestDynamicDelete(t *testing.T) {
+	d, err := NewDynamic(sampleFIB(), 1) // flush every update
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := d.Delete(0x60000000, 3) // 011/3
+	if err != nil || !ok {
+		t.Fatalf("delete: ok=%v err=%v", ok, err)
+	}
+	// 011 now falls back to 01/2 → label 2.
+	if d.Lookup(0x60000001) != 2 {
+		t.Fatal("delete not reflected after flush")
+	}
+	if ok, _ := d.Delete(0x60000000, 3); ok {
+		t.Fatal("double delete reported success")
+	}
+}
+
+func TestDynamicChurnEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tb := randomTable(rng, 300, 5, true)
+	d, err := NewDynamic(tb, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := trie.FromTable(tb)
+	for step := 0; step < 300; step++ {
+		plen := rng.Intn(33)
+		addr := rng.Uint32() & fib.Mask(plen)
+		if rng.Intn(4) == 0 {
+			d.Delete(addr, plen)
+			oracle.Delete(addr, plen)
+		} else {
+			label := uint32(rng.Intn(5)) + 1
+			if err := d.Set(addr, plen, label); err != nil {
+				t.Fatal(err)
+			}
+			oracle.Insert(addr, plen, label)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 3000; probe++ {
+		addr := rng.Uint32()
+		if d.Lookup(addr) != oracle.Lookup(addr) {
+			t.Fatalf("post-churn divergence at %x", addr)
+		}
+	}
+	if d.Rebuilds() < 10 { // ~1/4 of ops are deletes, some no-ops
+		t.Fatalf("only %d rebuilds for 300 updates at batch 16", d.Rebuilds())
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	if _, err := NewDynamic(sampleFIB(), -1); err == nil {
+		t.Fatal("negative batch accepted")
+	}
+	d, _ := NewDynamic(sampleFIB(), 0)
+	if err := d.Set(0, 40, 1); err == nil {
+		t.Fatal("bad length accepted")
+	}
+	if err := d.Set(0, 8, 0); err == nil {
+		t.Fatal("label 0 accepted")
+	}
+	if ok, _ := d.Delete(0, 99); ok {
+		t.Fatal("bad delete succeeded")
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal("no-op flush should succeed")
+	}
+}

@@ -1,0 +1,159 @@
+// Package xbw implements XBW-b (§3): the Burrows–Wheeler transform
+// for binary leaf-labeled tries. The leaf-pushed trie is serialized
+// level by level into a structure bitstring S_I (bit 1 marks a leaf)
+// and a label string S_α holding the leaf labels in BFS order. S_I is
+// stored in an RRR compressed bitvector and S_α in a Huffman-shaped
+// wavelet tree, so the whole FIB occupies about 2n + n·H0 + o(n) bits
+// (Lemma 3) while longest prefix match runs in O(W) directly on the
+// compressed form via rank/select/access.
+package xbw
+
+import (
+	"fmt"
+
+	"fibcomp/internal/bitvec"
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+	"fibcomp/internal/wavelet"
+)
+
+// bitSeq is the structure-bitstring interface: both the RRR
+// compressed vector and the plain sampled vector satisfy it, which
+// lets the ablation experiments swap the S_I encoding.
+type bitSeq interface {
+	Bit(i int) bool
+	Rank1(i int) int
+	SizeBits() int
+}
+
+// FIB is a compressed, static FIB representation.
+type FIB struct {
+	si     bitSeq        // structure: 1 = leaf, in BFS order
+	salpha *wavelet.Tree // leaf labels in BFS order
+	nodes  int           // t
+	leaves int           // n
+}
+
+// Transform carries the raw (uncompressed) XBW-b strings; exposed for
+// tests and for the Fig 2 reproduction.
+type Transform struct {
+	SI     []bool
+	SAlpha []uint32
+}
+
+// New builds the XBW-b representation of a FIB table. The table is
+// first normalized by leaf-pushing, per §3.
+func New(t *fib.Table) (*FIB, error) {
+	return FromTrie(trie.FromTable(t).LeafPush())
+}
+
+// FromTrie builds XBW-b from an already normalized trie. It returns
+// an error if the trie is not proper leaf-labeled, since the transform
+// is only defined on the normal form.
+func FromTrie(lp *trie.Trie) (*FIB, error) {
+	return FromTrieOptions(lp, true)
+}
+
+// FromTrieOptions is FromTrie with a switch for the S_I encoding:
+// compressSI=true stores it in the RRR compressed vector (Lemma 2's
+// t + o(t) bits), false in a plain sampled vector — faster rank at a
+// larger footprint. The ablation experiments quantify the trade.
+func FromTrieOptions(lp *trie.Trie, compressSI bool) (*FIB, error) {
+	if !lp.IsProperLeafLabeled() {
+		return nil, fmt.Errorf("xbw: input trie is not proper leaf-labeled; call LeafPush first")
+	}
+	tr := Serialize(lp)
+	b := bitvec.NewBuilder(len(tr.SI))
+	for _, bit := range tr.SI {
+		b.Append(bit)
+	}
+	var si bitSeq
+	if compressSI {
+		si = b.BuildRRR()
+	} else {
+		si = b.Build()
+	}
+	wt, err := wavelet.New(tr.SAlpha)
+	if err != nil {
+		return nil, fmt.Errorf("xbw: label string: %v", err)
+	}
+	return &FIB{
+		si:     si,
+		salpha: wt,
+		nodes:  len(tr.SI),
+		leaves: len(tr.SAlpha),
+	}, nil
+}
+
+// Serialize produces the raw XBW-b strings with the BFS traversal of
+// §3.1 (bfs-traverse): S_I gets one bit per node in level order
+// (1 = leaf), S_α one symbol per leaf.
+func Serialize(lp *trie.Trie) Transform {
+	var tr Transform
+	queue := []*trie.Node{lp.Root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v.IsLeaf() {
+			tr.SI = append(tr.SI, true)
+			tr.SAlpha = append(tr.SAlpha, v.Label)
+		} else {
+			tr.SI = append(tr.SI, false)
+			queue = append(queue, v.Left, v.Right)
+		}
+	}
+	return tr
+}
+
+// Lookup performs longest prefix match on the compressed form,
+// following §3.1 exactly: walk the level-ordered encoding with rank
+// over S_I; the children of the r-th interior node live at positions
+// 2r and 2r+1 (1-indexed).
+func (f *FIB) Lookup(addr uint32) uint32 {
+	i := 1 // 1-indexed position in S_I
+	for q := 0; q <= fib.W; q++ {
+		if f.si.Bit(i - 1) { // access(S_I, i) = 1 → leaf
+			return f.salpha.Access(f.si.Rank1(i - 1)) // rank1 up to i-1 = leaves before this one
+		}
+		r := f.si.Rank1(i) // ones in S_I[1..i]
+		r = i - r          // rank0(S_I, i): interior nodes up to and including i
+		j := int(fib.Bit(addr, q))
+		i = 2*r + j
+	}
+	// Unreachable on a proper trie of depth ≤ W; return ∅ defensively.
+	return fib.NoLabel
+}
+
+// LookupAccesses runs Lookup while counting the succinct-primitive
+// operations (access/rank on S_I, access on S_α); the count feeds the
+// depth statistics and explains the large constants of §5.3.
+func (f *FIB) LookupAccesses(addr uint32) (label uint32, ops int) {
+	i := 1
+	for q := 0; q <= fib.W; q++ {
+		ops++ // access(S_I, i)
+		if f.si.Bit(i - 1) {
+			ops += 2 // rank1 + access(S_α)
+			return f.salpha.Access(f.si.Rank1(i - 1)), ops
+		}
+		ops++ // rank0
+		r := i - f.si.Rank1(i)
+		j := int(fib.Bit(addr, q))
+		i = 2*r + j
+	}
+	return fib.NoLabel, ops
+}
+
+// Nodes reports t, the node count of the underlying trie.
+func (f *FIB) Nodes() int { return f.nodes }
+
+// Leaves reports n, the leaf count.
+func (f *FIB) Leaves() int { return f.leaves }
+
+// SizeBits reports the compressed size: |RRR(S_I)| + |WT(S_α)| bits.
+// This is the "XBW-b" column of Table 1.
+func (f *FIB) SizeBits() int {
+	return f.si.SizeBits() + f.salpha.SizeBits()
+}
+
+// SizeBytes reports SizeBits in bytes, rounded up.
+func (f *FIB) SizeBytes() int { return (f.SizeBits() + 7) / 8 }

@@ -1,0 +1,241 @@
+package xbw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+func sampleFIB() *fib.Table {
+	return fib.MustParse(
+		"0.0.0.0/0 2",
+		"0.0.0.0/1 3",
+		"0.0.0.0/2 3",
+		"32.0.0.0/3 2",
+		"64.0.0.0/2 2",
+		"96.0.0.0/3 1",
+	)
+}
+
+func randomTable(rng *rand.Rand, n, delta int, withDefault bool) *fib.Table {
+	t := fib.New()
+	if withDefault {
+		t.Add(0, 0, uint32(rng.Intn(delta))+1)
+	}
+	for i := 0; i < n; i++ {
+		plen := rng.Intn(25) + 8
+		t.Add(rng.Uint32()&fib.Mask(plen), plen, uint32(rng.Intn(delta))+1)
+	}
+	t.Dedup()
+	return t
+}
+
+func TestFig2Transform(t *testing.T) {
+	// Fig 2: the leaf-pushed sample trie serializes to
+	// S_I = 0 0 1 0 0 1 1 1 1 and S_α = 2 3 2 2 1 in BFS order.
+	lp := trie.FromTable(sampleFIB()).LeafPush()
+	tr := Serialize(lp)
+	wantSI := []bool{false, false, true, false, false, true, true, true, true}
+	wantSA := []uint32{2, 3, 2, 2, 1}
+	if len(tr.SI) != len(wantSI) {
+		t.Fatalf("S_I length %d want %d", len(tr.SI), len(wantSI))
+	}
+	for i, w := range wantSI {
+		if tr.SI[i] != w {
+			t.Fatalf("S_I[%d] = %v want %v (full: %v)", i, tr.SI[i], w, tr.SI)
+		}
+	}
+	if len(tr.SAlpha) != len(wantSA) {
+		t.Fatalf("S_α length %d want %d", len(tr.SAlpha), len(wantSA))
+	}
+	for i, w := range wantSA {
+		if tr.SAlpha[i] != w {
+			t.Fatalf("S_α[%d] = %d want %d (full: %v)", i, tr.SAlpha[i], w, tr.SAlpha)
+		}
+	}
+}
+
+func TestSampleLookup(t *testing.T) {
+	f, err := New(sampleFIB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr uint32
+		want uint32
+	}{
+		{0x00000000, 3}, // 000
+		{0x20000000, 2}, // 001
+		{0x40000000, 2}, // 010
+		{0x60000000, 1}, // 011 — the paper's example
+		{0x80000000, 2}, // 1xx
+		{0xFFFFFFFF, 2},
+	}
+	for _, c := range cases {
+		if got := f.Lookup(c.addr); got != c.want {
+			t.Fatalf("lookup %x = %d want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestLookupMatchesTrie(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		tb := randomTable(rng, 400, 6, trial%2 == 0)
+		tr := trie.FromTable(tb)
+		f, err := New(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 3000; probe++ {
+			addr := rng.Uint32()
+			if got, want := f.Lookup(addr), tr.Lookup(addr); got != want {
+				t.Fatalf("trial %d: lookup %x = %d want %d", trial, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestLookupQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tb := randomTable(rng, 1000, 9, true)
+	tr := trie.FromTable(tb)
+	f, err := New(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(addr uint32) bool { return f.Lookup(addr) == tr.Lookup(addr) }
+	if err := quick.Check(check, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultOnly(t *testing.T) {
+	f, err := New(fib.MustParse("0.0.0.0/0 9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes() != 1 || f.Leaves() != 1 {
+		t.Fatalf("t=%d n=%d", f.Nodes(), f.Leaves())
+	}
+	if f.Lookup(0x12345678) != 9 {
+		t.Fatal("default route lost")
+	}
+}
+
+func TestNoRouteRegions(t *testing.T) {
+	f, err := New(fib.MustParse("128.0.0.0/2 4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Lookup(0x00000001) != fib.NoLabel {
+		t.Fatal("uncovered space must report no route")
+	}
+	if f.Lookup(0x80000001) != 4 {
+		t.Fatal("covered space lost")
+	}
+}
+
+func TestRejectsNonNormalized(t *testing.T) {
+	tr := trie.FromTable(sampleFIB()) // not leaf-pushed
+	if _, err := FromTrie(tr); err == nil {
+		t.Fatal("FromTrie should reject a non-normalized trie")
+	}
+}
+
+func TestSizeNearEntropyBound(t *testing.T) {
+	// On a low-entropy FIB (one dominant next-hop), the XBW-b size must
+	// stay within a modest factor of E = 2n + nH0 — the paper's Table 1
+	// shows 1.0–1.1× on real FIBs; we allow generous slack for the
+	// o(n) directories on this smaller instance.
+	rng := rand.New(rand.NewSource(4))
+	tb := fib.New()
+	tb.Add(0, 0, 1)
+	for i := 0; i < 20000; i++ {
+		plen := rng.Intn(17) + 8
+		nh := uint32(1)
+		if rng.Float64() < 0.1 {
+			nh = uint32(rng.Intn(3)) + 2
+		}
+		tb.Add(rng.Uint32()&fib.Mask(plen), plen, nh)
+	}
+	tb.Dedup()
+	lp := trie.FromTable(tb).LeafPush()
+	st := lp.LeafStats()
+	f, err := FromTrie(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(f.SizeBits()) / st.Entropy
+	if ratio > 1.8 {
+		t.Fatalf("XBW size %.0f bits vs entropy %.0f bits: ratio %.2f too large",
+			float64(f.SizeBits()), st.Entropy, ratio)
+	}
+	// And it must beat the tabular representation by a wide margin.
+	if f.SizeBits() >= tb.SizeBitsTabular() {
+		t.Fatalf("XBW %d bits should beat tabular %d bits", f.SizeBits(), tb.SizeBitsTabular())
+	}
+}
+
+func TestLookupAccessesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tb := randomTable(rng, 500, 4, true)
+	f, err := New(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trie.FromTable(tb)
+	for probe := 0; probe < 500; probe++ {
+		addr := rng.Uint32()
+		label, ops := f.LookupAccesses(addr)
+		if label != tr.Lookup(addr) {
+			t.Fatal("instrumented lookup disagrees")
+		}
+		// ≤ 2 ops per level plus the leaf cost: O(W) primitives total.
+		if ops > 2*(fib.W+1)+3 {
+			t.Fatalf("ops = %d exceeds O(W) bound", ops)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tb := randomTable(rng, 100000, 8, true)
+	f, err := New(tb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]uint32, 4096)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Lookup(addrs[i&4095])
+	}
+}
+
+func TestPlainSIEquivalence(t *testing.T) {
+	// The ablation's plain-bitvector S_I encoding must answer lookups
+	// identically to the RRR encoding.
+	rng := rand.New(rand.NewSource(44))
+	tb := randomTable(rng, 600, 7, true)
+	lp := trie.FromTable(tb).LeafPush()
+	rrr, err := FromTrieOptions(lp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := FromTrieOptions(lp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 5000; probe++ {
+		addr := rng.Uint32()
+		if rrr.Lookup(addr) != plain.Lookup(addr) {
+			t.Fatalf("S_I encodings disagree at %x", addr)
+		}
+	}
+}
