@@ -22,6 +22,7 @@ import (
 	"fibcomp/internal/ortc"
 	"fibcomp/internal/patricia"
 	"fibcomp/internal/pdag"
+	"fibcomp/internal/shardfib"
 	"fibcomp/internal/trie"
 	"fibcomp/internal/xbw"
 )
@@ -390,6 +391,189 @@ func BenchmarkIPv6_XBWLookup(b *testing.B) {
 	}
 	_ = sink
 	b.ReportMetric(float64(x.SizeBits())/8, "bytes")
+}
+
+// ---- Serving: parallel batch lookups, with and without route churn ----
+//
+// The flat prefix DAG is one mutable pointer structure: a server must
+// wrap it in an RWMutex to survive concurrent updates, so every batch
+// pays lock traffic and every update blocks all readers. The sharded
+// engine publishes 2^k independent DAGs behind atomic copy-on-write
+// pointers: batches read lock-free snapshots while an update rebuilds
+// one shard off to the side. Each benchmark op is one 256-address
+// batch; the churn variants run an unthrottled background updater.
+
+const serveBatch = 256
+
+// serveBatches slices the benchmark key set into batches.
+func serveBatches(keys []uint32) [][]uint32 {
+	batches := make([][]uint32, 0, len(keys)/serveBatch)
+	for i := 0; i+serveBatch <= len(keys); i += serveBatch {
+		batches = append(batches, keys[i:i+serveBatch])
+	}
+	return batches
+}
+
+func BenchmarkServing_ParallelBatchFlat(b *testing.B) {
+	t, keys, _ := benchFIB(b)
+	d, err := pdag.Build(t, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := serveBatches(keys)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var sink uint32
+		for i := 0; pb.Next(); i++ {
+			for _, a := range batches[i%len(batches)] {
+				sink += d.Lookup(a)
+			}
+		}
+		_ = sink
+	})
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+func benchParallelBatchSharded(b *testing.B, shards int) {
+	t, keys, _ := benchFIB(b)
+	f, err := shardfib.Build(t, 11, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := serveBatches(keys)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]uint32, serveBatch)
+		for i := 0; pb.Next(); i++ {
+			f.LookupBatchInto(dst, batches[i%len(batches)])
+		}
+	})
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+func BenchmarkServing_ParallelBatchSharded4(b *testing.B)  { benchParallelBatchSharded(b, 4) }
+func BenchmarkServing_ParallelBatchSharded16(b *testing.B) { benchParallelBatchSharded(b, 16) }
+
+func BenchmarkServing_ChurnBatchFlat(b *testing.B) {
+	t, keys, _ := benchFIB(b)
+	d, err := pdag.Build(t, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	us := gen.RandomUpdates(rand.New(rand.NewSource(6)), t, 4096)
+	batches := serveBatches(keys)
+	var (
+		mu   sync.RWMutex
+		stop = make(chan struct{})
+		done = make(chan struct{})
+		nup  uint64
+	)
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := us[i&4095]
+			mu.Lock()
+			if u.Withdraw {
+				d.Delete(u.Addr, u.Len)
+			} else if err := d.Set(u.Addr, u.Len, u.NextHop); err != nil {
+				mu.Unlock()
+				b.Error(err)
+				return
+			}
+			mu.Unlock()
+			nup++
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var sink uint32
+		for i := 0; pb.Next(); i++ {
+			mu.RLock()
+			for _, a := range batches[i%len(batches)] {
+				sink += d.Lookup(a)
+			}
+			mu.RUnlock()
+		}
+		_ = sink
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	b.ReportMetric(float64(nup)/b.Elapsed().Seconds(), "updates/s")
+}
+
+func BenchmarkServing_ChurnBatchSharded16(b *testing.B) {
+	t, keys, _ := benchFIB(b)
+	f, err := shardfib.Build(t, 11, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	us := gen.RandomUpdates(rand.New(rand.NewSource(6)), t, 4096)
+	batches := serveBatches(keys)
+	var (
+		stop = make(chan struct{})
+		done = make(chan struct{})
+		nup  uint64
+	)
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := us[i&4095]
+			if u.Withdraw {
+				f.Delete(u.Addr, u.Len)
+			} else if err := f.Set(u.Addr, u.Len, u.NextHop); err != nil {
+				b.Error(err)
+				return
+			}
+			nup++
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]uint32, serveBatch)
+		for i := 0; pb.Next(); i++ {
+			f.LookupBatchInto(dst, batches[i%len(batches)])
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	b.ReportMetric(float64(nup)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkServing_ShardedUpdate measures the write-side price of
+// copy-on-write sharding: one Set = one shard refold (1/16 of the
+// table) versus the flat DAG's in-place Theorem 3 patch of Fig 5.
+func BenchmarkServing_ShardedUpdate16(b *testing.B) {
+	t, _, _ := benchFIB(b)
+	f, err := shardfib.Build(t, 11, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	us := gen.RandomUpdates(rand.New(rand.NewSource(7)), t, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := us[i&4095]
+		if u.Withdraw {
+			f.Delete(u.Addr, u.Len)
+		} else if err := f.Set(u.Addr, u.Len, u.NextHop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(f.ModelBytes()), "bytes")
 }
 
 func BenchmarkBaseline_PatriciaLookup(b *testing.B) {

@@ -1,10 +1,14 @@
 // Command fibserve serves longest-prefix-match lookups over UDP from
 // a compressed FIB. It reads a FIB in the text format, folds it into
-// a prefix DAG, serializes it, and answers batched lookup datagrams
-// (4-byte big-endian addresses in, 4-byte labels out).
+// a prefix DAG — or, with -shards > 1, into a sharded concurrent
+// engine whose lookups are lock-free — and answers batched lookup
+// datagrams (4-byte big-endian addresses in, 4-byte labels out).
+// When serving from a file, SIGHUP re-reads it and hot-swaps the FIB
+// without dropping a single in-flight lookup.
 //
 //	fibgen -profile access(v) > t.fib
-//	fibserve -listen 127.0.0.1:7000 t.fib &
+//	fibserve -listen 127.0.0.1:7000 -shards 16 t.fib &
+//	kill -HUP $!   # re-read t.fib, keep serving
 //	fibserve -query 10.0.0.1 -server 127.0.0.1:7000
 package main
 
@@ -18,12 +22,14 @@ import (
 	"fibcomp/internal/fib"
 	"fibcomp/internal/lookupd"
 	"fibcomp/internal/pdag"
+	"fibcomp/internal/shardfib"
 )
 
 func main() {
 	var (
 		listen = flag.String("listen", "127.0.0.1:7000", "UDP address to serve on")
 		lambda = flag.Int("lambda", 11, "leaf-push barrier")
+		shards = flag.Int("shards", 1, "shard count (power of two; >1 serves the sharded concurrent engine)")
 		query  = flag.String("query", "", "client mode: address to look up")
 		server = flag.String("server", "127.0.0.1:7000", "client mode: server address")
 	)
@@ -51,40 +57,94 @@ func main() {
 		return
 	}
 
-	in := os.Stdin
+	path := ""
 	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+		path = flag.Arg(0)
+	}
+	t, err := readFIB(path)
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		sharded *shardfib.FIB
+		engine  lookupd.Lookuper
+		size    int
+	)
+	if *shards > 1 {
+		sharded, err = shardfib.Build(t, *lambda, *shards)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		in = f
-	}
-	t, err := fib.Read(in)
-	if err != nil {
-		fatal(err)
-	}
-	d, err := pdag.Build(t, *lambda)
-	if err != nil {
-		fatal(err)
-	}
-	var engine lookupd.Lookuper = d
-	if blob, err := d.Serialize(); err == nil {
-		engine = blob // serve the immutable line-card form when it fits
+		engine, size = sharded, sharded.ModelBytes()
+	} else {
+		d, err := pdag.Build(t, *lambda)
+		if err != nil {
+			fatal(err)
+		}
+		size = d.ModelBytes()
+		engine = d
+		if blob, err := d.Serialize(); err == nil {
+			engine = blob // serve the immutable line-card form when it fits
+		}
 	}
 	s, err := lookupd.Listen(*listen, engine)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB, serving on %s\n",
-		t.N(), float64(d.ModelBytes())/1024, s.Addr())
+	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB (%d shard(s)), serving on %s\n",
+		t.N(), float64(size)/1024, *shards, s.Addr())
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for got := range sig {
+		if got != syscall.SIGHUP {
+			break
+		}
+		// Hot reload: re-read the FIB and swap it under live traffic.
+		if path == "" {
+			fmt.Fprintln(os.Stderr, "fibserve: SIGHUP ignored (serving from stdin)")
+			continue
+		}
+		t, err := readFIB(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fibserve: reload: %v (keeping old FIB)\n", err)
+			continue
+		}
+		if sharded != nil {
+			if err := sharded.Reload(t); err != nil {
+				fmt.Fprintf(os.Stderr, "fibserve: reload: %v (keeping old FIB)\n", err)
+				continue
+			}
+		} else {
+			d, err := pdag.Build(t, *lambda)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fibserve: reload: %v (keeping old FIB)\n", err)
+				continue
+			}
+			var next lookupd.Lookuper = d
+			if blob, err := d.Serialize(); err == nil {
+				next = blob
+			}
+			s.Swap(next)
+		}
+		fmt.Printf("fibserve: reloaded %d prefixes from %s\n", t.N(), path)
+	}
 	fmt.Printf("fibserve: %d requests, %d lookups, %d errors\n",
 		s.Requests.Load(), s.Lookups.Load(), s.Errors.Load())
 	s.Close()
+}
+
+func readFIB(path string) (*fib.Table, error) {
+	if path == "" {
+		return fib.Read(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fib.Read(f)
 }
 
 func fatal(err error) {

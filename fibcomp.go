@@ -12,6 +12,11 @@
 //     O(W) — it is standard trie lookup — and supports updates in
 //     nearly optimal time via a tunable leaf-push barrier λ.
 //
+// For serving, CompressSharded partitions the address space into 2^k
+// independent prefix DAGs behind atomic copy-on-write pointers, so
+// batched lookups run lock-free in parallel while updates republish
+// only the shard they touch (cmd/fibserve -shards).
+//
 // Alongside the compressors the module ships the measurement apparatus
 // of the paper's evaluation: FIB entropy metrics, workload generators,
 // an ORTC aggregation baseline, an LC-trie (fib_trie-like) baseline, a
@@ -38,6 +43,7 @@ import (
 	"fibcomp/internal/lctrie"
 	"fibcomp/internal/ortc"
 	"fibcomp/internal/pdag"
+	"fibcomp/internal/shardfib"
 	"fibcomp/internal/trie"
 	"fibcomp/internal/xbw"
 )
@@ -52,6 +58,10 @@ const NoLabel = fib.NoLabel
 // FIB-scale tables (§5.1): λ = 11 wins essentially all the space
 // reduction while sustaining ~100 K updates/s.
 const DefaultBarrier = 11
+
+// DefaultShards is the default partition of the sharded serving
+// engine: the top 4 address bits select one of 16 shards.
+const DefaultShards = shardfib.DefaultShards
 
 // Re-exported core types. The aliases make the internal packages'
 // documented APIs reachable through the public module surface.
@@ -77,6 +87,10 @@ type (
 	// LCTrie is the level-compressed multibit trie baseline
 	// (fib_trie).
 	LCTrie = lctrie.Trie
+	// ShardedFIB is the sharded concurrent serving engine: 2^k
+	// prefix DAGs behind atomic copy-on-write pointers, lock-free
+	// (batched) lookups, per-shard updates and hot reload.
+	ShardedFIB = shardfib.FIB
 )
 
 // NewTable returns an empty FIB table.
@@ -99,6 +113,15 @@ func ParseAddr(s string) (uint32, error) { return fib.ParseAddr(s) }
 // barrier lambda. Use DefaultBarrier, or AutoBarrier for the
 // entropy-optimal setting of eq. (3).
 func Compress(t *Table, lambda int) (*PrefixDAG, error) { return pdag.Build(t, lambda) }
+
+// CompressSharded partitions the FIB by the top address bits into
+// `shards` (a power of two) prefix DAGs for concurrent serving:
+// lookups are lock-free and may be batched, while Set/Delete/Reload
+// rebuild and atomically republish only the shards they touch.
+// Lookups are bit-identical to the flat Compress DAG.
+func CompressSharded(t *Table, lambda, shards int) (*ShardedFIB, error) {
+	return shardfib.Build(t, lambda, shards)
+}
 
 // CompressXBW builds the succinct XBW-b representation.
 func CompressXBW(t *Table) (*XBW, error) { return xbw.New(t) }

@@ -68,11 +68,18 @@ func TestAllEnginesAgree(t *testing.T) {
 	if agg.N() > tb.N() {
 		t.Fatal("aggregation grew the table")
 	}
+	sharded, err := fibcomp.CompressSharded(tb, fibcomp.DefaultBarrier, fibcomp.DefaultShards)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for probe := 0; probe < 5000; probe++ {
 		addr := rng.Uint32()
 		want := tb.LookupLinear(addr)
 		if d.Lookup(addr) != want {
 			t.Fatalf("pdag disagrees at %x", addr)
+		}
+		if sharded.Lookup(addr) != want {
+			t.Fatalf("sharded disagrees at %x", addr)
 		}
 		if blob.Lookup(addr) != want {
 			t.Fatalf("blob disagrees at %x", addr)
@@ -86,6 +93,30 @@ func TestAllEnginesAgree(t *testing.T) {
 		if agg.LookupLinear(addr) != want {
 			t.Fatalf("ortc output disagrees at %x", addr)
 		}
+	}
+}
+
+func TestShardedFacade(t *testing.T) {
+	tb := fibcomp.MustParse(
+		"0.0.0.0/0 1",
+		"10.0.0.0/8 2",
+		"10.1.0.0/16 3",
+	)
+	f, err := fibcomp.CompressSharded(tb, fibcomp.DefaultBarrier, fibcomp.DefaultShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := fibcomp.ParseAddr("10.1.2.3")
+	b, _ := fibcomp.ParseAddr("8.8.8.8")
+	labels := f.LookupBatch([]uint32{a, b})
+	if labels[0] != 3 || labels[1] != 1 {
+		t.Fatalf("batch = %v, want [3 1]", labels)
+	}
+	if err := f.Set(a&0xFFFF0000, 16, 4); err != nil {
+		t.Fatal(err)
+	}
+	if f.Lookup(a) != 4 {
+		t.Fatal("sharded update not visible")
 	}
 }
 

@@ -1,0 +1,3 @@
+module fibcomp
+
+go 1.22

@@ -19,6 +19,22 @@ type Lookuper interface {
 	Lookup(addr uint32) uint32
 }
 
+// BatchLookuper is an optional fast path: engines that can resolve a
+// whole batch at once (e.g. a sharded FIB amortizing per-shard
+// snapshot loads) implement it and the server dispatches request
+// datagrams through it instead of looping over Lookup.
+type BatchLookuper interface {
+	Lookuper
+	LookupBatch(addrs []uint32) []uint32
+}
+
+// batchIntoLookuper is the allocation-free refinement the server
+// prefers: labels land in a server-owned buffer, so the UDP serve
+// loop generates no garbage per datagram.
+type batchIntoLookuper interface {
+	LookupBatchInto(dst, addrs []uint32)
+}
+
 // Protocol limits. A request datagram is 1..MaxBatch addresses, 4
 // bytes each; the reply is one 4-byte label per address, in order.
 const (
@@ -86,6 +102,8 @@ func (s *Server) serve() {
 	defer s.wg.Done()
 	req := make([]byte, maxDatagram+4)
 	resp := make([]byte, maxDatagram)
+	addrs := make([]uint32, MaxBatch)
+	labels := make([]uint32, MaxBatch)
 	for {
 		n, peer, err := s.conn.ReadFromUDP(req)
 		if err != nil {
@@ -102,9 +120,27 @@ func (s *Server) serve() {
 		s.Requests.Add(1)
 		l := s.fib.Load().(*engineBox).l
 		count := n / 4
-		for i := 0; i < count; i++ {
-			addr := binary.BigEndian.Uint32(req[4*i:])
-			binary.BigEndian.PutUint32(resp[4*i:], l.Lookup(addr))
+		switch e := l.(type) {
+		case batchIntoLookuper:
+			for i := 0; i < count; i++ {
+				addrs[i] = binary.BigEndian.Uint32(req[4*i:])
+			}
+			e.LookupBatchInto(labels[:count], addrs[:count])
+			for i, label := range labels[:count] {
+				binary.BigEndian.PutUint32(resp[4*i:], label)
+			}
+		case BatchLookuper:
+			for i := 0; i < count; i++ {
+				addrs[i] = binary.BigEndian.Uint32(req[4*i:])
+			}
+			for i, label := range e.LookupBatch(addrs[:count]) {
+				binary.BigEndian.PutUint32(resp[4*i:], label)
+			}
+		default:
+			for i := 0; i < count; i++ {
+				addr := binary.BigEndian.Uint32(req[4*i:])
+				binary.BigEndian.PutUint32(resp[4*i:], l.Lookup(addr))
+			}
 		}
 		s.Lookups.Add(uint64(count))
 		if _, err := s.conn.WriteToUDP(resp[:n], peer); err != nil {

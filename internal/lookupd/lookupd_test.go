@@ -4,11 +4,13 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"fibcomp/internal/fib"
 	"fibcomp/internal/pdag"
+	"fibcomp/internal/shardfib"
 	"fibcomp/internal/trie"
 )
 
@@ -99,6 +101,79 @@ func TestBatchValidation(t *testing.T) {
 	}
 	if _, err := c.LookupBatch(make([]uint32, MaxBatch+1)); err == nil {
 		t.Fatal("oversized batch accepted")
+	}
+}
+
+// batchEngine wraps a DAG, counting batch dispatches, to prove the
+// server routes datagrams through the BatchLookuper fast path.
+type batchEngine struct {
+	d       *pdag.DAG
+	batches atomic.Int64
+}
+
+func (e *batchEngine) Lookup(a uint32) uint32 { return e.d.Lookup(a) }
+
+func (e *batchEngine) LookupBatch(addrs []uint32) []uint32 {
+	e.batches.Add(1)
+	out := make([]uint32, len(addrs))
+	for i, a := range addrs {
+		out[i] = e.d.Lookup(a)
+	}
+	return out
+}
+
+func TestBatchDispatch(t *testing.T) {
+	d, oracle := testDAG(t)
+	eng := &batchEngine{d: d}
+	_, c := startServer(t, eng)
+	rng := rand.New(rand.NewSource(4))
+	addrs := make([]uint32, 64)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	labels, err := c.LookupBatch(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range addrs {
+		if want := oracle.Lookup(a); labels[i] != want {
+			t.Fatalf("batch[%d]: %d want %d", i, labels[i], want)
+		}
+	}
+	if eng.batches.Load() == 0 {
+		t.Fatal("server ignored the BatchLookuper fast path")
+	}
+}
+
+// TestShardedEngineEndToEnd serves a real sharded FIB over UDP and
+// checks remote answers against the uncompressed oracle.
+func TestShardedEngineEndToEnd(t *testing.T) {
+	tb := fib.New()
+	rng := rand.New(rand.NewSource(5))
+	tb.Add(0, 0, 1)
+	for i := 0; i < 500; i++ {
+		plen := rng.Intn(20) + 8
+		tb.Add(rng.Uint32()&fib.Mask(plen), plen, uint32(rng.Intn(5))+1)
+	}
+	tb.Dedup()
+	f, err := shardfib.Build(tb, 11, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := trie.FromTable(tb)
+	_, c := startServer(t, f)
+	addrs := make([]uint32, MaxBatch)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	labels, err := c.LookupBatch(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range addrs {
+		if want := oracle.Lookup(a); labels[i] != want {
+			t.Fatalf("sharded batch[%d]: %d want %d", i, labels[i], want)
+		}
 	}
 }
 

@@ -1,8 +1,10 @@
 package netfwd
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"fibcomp/internal/fib"
 	"fibcomp/internal/pdag"
@@ -108,6 +110,13 @@ func TestSwapFIBUnderTraffic(t *testing.T) {
 		} else {
 			e.SwapFIB(engineFIB(t))
 		}
+	}
+	// On a single-core box the swap loop can finish before the workers
+	// are ever scheduled; keep swapping until traffic has flowed (or a
+	// deadline passes and the assertion below reports the failure).
+	for deadline := time.Now().Add(5 * time.Second); e.Counters().Forwarded == 0 && time.Now().Before(deadline); {
+		e.SwapFIB(tr)
+		runtime.Gosched()
 	}
 	close(stop)
 	wg.Wait()

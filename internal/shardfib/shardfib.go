@@ -1,0 +1,300 @@
+// Package shardfib is the concurrent serving form of the compressed
+// FIB: the 32-bit address space is partitioned by the top k bits into
+// 2^k independent prefix-DAG shards, each published through an atomic
+// copy-on-write pointer. Lookups — single or batched — are lock-free:
+// they load the owning shard's current immutable snapshot and walk
+// it, so they scale across cores and are never blocked by route
+// churn. Set/Delete take a per-shard writer lock, patch that shard's
+// private mutable DAG in place (the near-optimal incremental update
+// of §4.3), freeze it into a fresh serialized blob (§5.3) and swap
+// the snapshot in with one atomic store. An update at depth ≥ k
+// therefore touches exactly one shard — re-publication cost is
+// 1/2^k of the table — and in-flight lookups keep reading the old
+// snapshot until the swap lands.
+//
+// Sharding preserves longest-prefix-match exactly: every prefix of an
+// address addr shares addr's top bits, so the shard owning addr holds
+// every prefix that can match it, and lookups are bit-identical to a
+// flat prefix DAG built from the whole table. A prefix shorter than k
+// bits is replicated into each shard of its covering range; updates
+// to such prefixes touch each covering shard in turn (per-shard
+// atomicity, like any distributed FIB push).
+package shardfib
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/pdag"
+	"fibcomp/internal/trie"
+)
+
+// MaxShards bounds the shard count; 256 shards (k=8) is already far
+// past the point of diminishing returns for IPv4 serving.
+const MaxShards = 256
+
+// DefaultShards is the default partition: k=4, 16 shards.
+const DefaultShards = 16
+
+// shard is one slice of the address space. cur is the published
+// immutable snapshot the lock-free read path walks; dag is the
+// writer-owned mutable prefix DAG (with its control trie inside),
+// guarded by mu together with the right to publish.
+type shard struct {
+	mu  sync.Mutex
+	dag *pdag.DAG
+	cur atomic.Pointer[snapshot]
+}
+
+// snapshot is the frozen serving form of one shard: the serialized
+// blob when the barrier admits one (λ ≤ 24, always at the default
+// λ=11), else a fresh fold of the shard's control trie. Either way it
+// shares no mutable state with the writer DAG.
+type snapshot struct {
+	blob *pdag.Blob
+	dag  *pdag.DAG
+}
+
+func (s *snapshot) lookup(addr uint32) uint32 {
+	if s.blob != nil {
+		return s.blob.Lookup(addr)
+	}
+	return s.dag.Lookup(addr)
+}
+
+// publish freezes the shard's writer DAG and swaps the published
+// snapshot. Serialization is the fast, common case; an unserializable
+// barrier (λ > 24) falls back to refolding the control trie (the
+// writer DAG itself must stay private and mutable). The fallback
+// cannot fail — Build already validated λ, the only FromTrie error —
+// so publication is infallible and Set/Delete share one contract.
+func (sh *shard) publish(lambda int) {
+	if blob, err := sh.dag.Serialize(); err == nil {
+		sh.cur.Store(&snapshot{blob: blob})
+		return
+	}
+	if d, err := pdag.FromTrie(sh.dag.Control(), lambda); err == nil {
+		sh.cur.Store(&snapshot{dag: d})
+	}
+}
+
+// FIB is a sharded, concurrently-updatable compressed FIB.
+type FIB struct {
+	shardBits int  // k
+	shift     uint // fib.W - k; addr >> shift selects the shard
+	lambda    int
+	shards    []shard
+}
+
+// Build partitions a FIB table into `shards` prefix DAGs (a power of
+// two in [1, MaxShards]) folded with leaf-push barrier lambda.
+func Build(t *fib.Table, lambda, shards int) (*FIB, error) {
+	if shards < 1 || shards > MaxShards || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("shardfib: shard count %d not a power of two in [1,%d]", shards, MaxShards)
+	}
+	f := &FIB{
+		shardBits: bits.TrailingZeros(uint(shards)),
+		lambda:    lambda,
+		shards:    make([]shard, shards),
+	}
+	f.shift = uint(fib.W - f.shardBits)
+	for i, tr := range f.partition(t) {
+		d, err := pdag.FromTrie(tr, lambda)
+		if err != nil {
+			return nil, err
+		}
+		f.shards[i].dag = d
+		f.shards[i].publish(lambda)
+	}
+	return f, nil
+}
+
+// partition routes every table entry into the trie of each shard it
+// covers. Later duplicates win, matching trie.FromTable.
+func (f *FIB) partition(t *fib.Table) []*trie.Trie {
+	tries := make([]*trie.Trie, len(f.shards))
+	for i := range tries {
+		tries[i] = trie.New()
+	}
+	for _, e := range t.Entries {
+		lo, hi := f.covering(e.Addr, e.Len)
+		for s := lo; s <= hi; s++ {
+			tries[s].Insert(e.Addr, e.Len, e.NextHop)
+		}
+	}
+	return tries
+}
+
+// covering reports the inclusive shard range [lo, hi] a prefix
+// addr/plen intersects: one shard when plen ≥ k, a 2^(k-plen)-wide
+// run when the prefix is shorter than the shard index.
+func (f *FIB) covering(addr uint32, plen int) (lo, hi int) {
+	lo = int(addr >> f.shift)
+	if plen >= f.shardBits {
+		return lo, lo
+	}
+	return lo, lo + 1<<(f.shardBits-plen) - 1
+}
+
+// Shards reports the shard count (2^k).
+func (f *FIB) Shards() int { return len(f.shards) }
+
+// ShardBits reports k, the number of address bits used as the shard
+// index.
+func (f *FIB) ShardBits() int { return f.shardBits }
+
+// Lambda reports the leaf-push barrier the shards fold with.
+func (f *FIB) Lambda() int { return f.lambda }
+
+// ShardOf reports the shard index owning an address.
+func (f *FIB) ShardOf(addr uint32) int { return int(addr >> f.shift) }
+
+// Lookup performs longest prefix match on the owning shard's current
+// snapshot. Lock-free: one atomic pointer load plus the O(W - λ)
+// serialized-blob walk, safe to call from any number of goroutines
+// concurrently with Set/Delete/Reload.
+func (f *FIB) Lookup(addr uint32) uint32 {
+	return f.shards[addr>>f.shift].cur.Load().lookup(addr)
+}
+
+// LookupBatch resolves a batch of addresses, loading each shard's
+// published DAG at most once per batch so the atomic loads amortize
+// across the batch. The whole batch sees one consistent snapshot of
+// every shard it touches.
+func (f *FIB) LookupBatch(addrs []uint32) []uint32 {
+	out := make([]uint32, len(addrs))
+	f.LookupBatchInto(out, addrs)
+	return out
+}
+
+// LookupBatchInto is LookupBatch writing labels into dst, which must
+// be at least len(addrs) long; the allocation-free fast path the
+// serving loop uses.
+func (f *FIB) LookupBatchInto(dst, addrs []uint32) {
+	var snap [MaxShards]*snapshot
+	for i, a := range addrs {
+		s := a >> f.shift
+		d := snap[s]
+		if d == nil {
+			d = f.shards[s].cur.Load()
+			snap[s] = d
+		}
+		dst[i] = d.lookup(a)
+	}
+}
+
+// Set inserts or changes the association for prefix addr/plen. Each
+// covering shard (exactly one when plen ≥ k) is patched in place by
+// the incremental §4.3 update under its writer lock, then frozen and
+// republished with a single atomic store. Concurrent lookups are
+// never blocked; they read the previous snapshot until the store.
+func (f *FIB) Set(addr uint32, plen int, label uint32) error {
+	if plen < 0 || plen > fib.W {
+		return fmt.Errorf("shardfib: prefix length %d out of range [0,%d]", plen, fib.W)
+	}
+	if label == fib.NoLabel || label > fib.MaxLabel {
+		return fmt.Errorf("shardfib: label %d out of range [1,%d]", label, fib.MaxLabel)
+	}
+	addr &= fib.Mask(plen)
+	lo, hi := f.covering(addr, plen)
+	for s := lo; s <= hi; s++ {
+		sh := &f.shards[s]
+		sh.mu.Lock()
+		err := sh.dag.Set(addr, plen, label)
+		if err == nil {
+			sh.publish(f.lambda)
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes the association for prefix addr/plen from every
+// covering shard, reporting whether it was present in any of them.
+func (f *FIB) Delete(addr uint32, plen int) bool {
+	if plen < 0 || plen > fib.W {
+		return false
+	}
+	addr &= fib.Mask(plen)
+	lo, hi := f.covering(addr, plen)
+	present := false
+	for s := lo; s <= hi; s++ {
+		sh := &f.shards[s]
+		sh.mu.Lock()
+		if sh.dag.Delete(addr, plen) {
+			present = true
+			sh.publish(f.lambda)
+		}
+		sh.mu.Unlock()
+	}
+	return present
+}
+
+// Reload atomically replaces the whole FIB shard by shard from a
+// fresh table — the hot-reload path behind fibserve's SIGHUP. Lookups
+// proceed throughout; each shard flips to the new table's routes the
+// moment its snapshot is stored.
+func (f *FIB) Reload(t *fib.Table) error {
+	for i, tr := range f.partition(t) {
+		d, err := pdag.FromTrie(tr, f.lambda)
+		if err != nil {
+			return err
+		}
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		sh.dag = d
+		sh.publish(f.lambda)
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// ModelBytes reports the summed §4.2 model size of the shard DAGs.
+// Replicated short prefixes and per-shard leaf tables make this
+// slightly larger than the flat DAG's — the memory cost of sharding.
+func (f *FIB) ModelBytes() int {
+	total := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		total += sh.dag.ModelBytes()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// SizeBytes reports the summed byte size of the published serving
+// snapshots (the line-card form actually walked by lookups). Each
+// blob carries a 2^λ-entry root array, so 2^k shards impose a
+// 2^(k+λ+2)-byte floor regardless of table size — negligible for
+// FIB-scale tables, dominant for toy ones.
+func (f *FIB) SizeBytes() int {
+	total := 0
+	for i := range f.shards {
+		s := f.shards[i].cur.Load()
+		if s.blob != nil {
+			total += s.blob.SizeBytes()
+		} else {
+			total += s.dag.ModelBytes()
+		}
+	}
+	return total
+}
+
+// Nodes reports the summed node count across the writer DAGs.
+func (f *FIB) Nodes() int {
+	total := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		total += sh.dag.Nodes()
+		sh.mu.Unlock()
+	}
+	return total
+}

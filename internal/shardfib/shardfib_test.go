@@ -1,0 +1,266 @@
+package shardfib
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/gen"
+	"fibcomp/internal/pdag"
+)
+
+func testTable(t *testing.T, n int, seed int64) *fib.Table {
+	t.Helper()
+	p, err := gen.ProfileByName("taz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.N = n
+	tab, err := p.Generate(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestEquivalenceRandom is the headline acceptance check: sharded
+// lookups must be bit-identical to the flat prefix DAG on random
+// addresses, for every shard count and across single and batched
+// paths.
+func TestEquivalenceRandom(t *testing.T) {
+	tab := testTable(t, 4000, 1)
+	flat, err := pdag.Build(tab, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	addrs := gen.UniformAddrs(rng, 10000)
+	for _, shards := range []int{1, 4, 16} {
+		f, err := Build(tab, 11, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range addrs {
+			if got, want := f.Lookup(a), flat.Lookup(a); got != want {
+				t.Fatalf("shards=%d: Lookup(%08x) = %d, flat = %d", shards, a, got, want)
+			}
+		}
+		batch := f.LookupBatch(addrs)
+		for i, a := range addrs {
+			if want := flat.Lookup(a); batch[i] != want {
+				t.Fatalf("shards=%d: LookupBatch[%d] (%08x) = %d, flat = %d", shards, i, a, batch[i], want)
+			}
+		}
+	}
+}
+
+// TestEquivalenceUnderUpdates drives the same random update sequence
+// into a flat DAG and a sharded FIB and checks they stay
+// forwarding-equivalent, including prefixes shorter than the shard
+// index (which fan out to several shards).
+func TestEquivalenceUnderUpdates(t *testing.T) {
+	tab := testTable(t, 2000, 3)
+	flat, err := pdag.Build(tab, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Build(tab, 11, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	addrs := gen.UniformAddrs(rng, 2000)
+	check := func(step int) {
+		t.Helper()
+		for _, a := range addrs[:200] {
+			if got, want := f.Lookup(a), flat.Lookup(a); got != want {
+				t.Fatalf("step %d: Lookup(%08x) = %d, flat = %d", step, a, got, want)
+			}
+		}
+	}
+	for i := 0; i < 300; i++ {
+		plen := 1 + rng.Intn(fib.W) // includes plen < shardBits
+		addr := rng.Uint32() & fib.Mask(plen)
+		if rng.Intn(4) == 0 {
+			fd := flat.Delete(addr, plen)
+			sd := f.Delete(addr, plen)
+			if fd != sd {
+				t.Fatalf("step %d: Delete(%08x/%d) flat=%v sharded=%v", i, addr, plen, fd, sd)
+			}
+		} else {
+			label := 1 + uint32(rng.Intn(200))
+			if err := flat.Set(addr, plen, label); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Set(addr, plen, label); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%50 == 0 {
+			check(i)
+		}
+	}
+	check(300)
+}
+
+// TestConcurrentSetLookup is the -race stress test: readers hammer
+// single and batched lookups while writers churn routes and a
+// reloader swaps whole tables. Run with `go test -race`.
+func TestConcurrentSetLookup(t *testing.T) {
+	tab := testTable(t, 1000, 5)
+	f, err := Build(tab, 11, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := gen.UniformAddrs(rand.New(rand.NewSource(6)), 512)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			dst := make([]uint32, len(addrs))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					f.LookupBatchInto(dst, addrs)
+				} else {
+					for _, a := range addrs[:64] {
+						f.Lookup(a)
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			plen := 1 + rng.Intn(fib.W)
+			addr := rng.Uint32() & fib.Mask(plen)
+			if i%5 == 0 {
+				f.Delete(addr, plen)
+			} else if err := f.Set(addr, plen, 1+uint32(rng.Intn(200))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := f.Reload(tab); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Let the writers make progress, then ensure readers observed a
+	// coherent FIB throughout (the race detector does the real work).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			f.Lookup(addrs[i%len(addrs)])
+		}
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+}
+
+// TestReload flips the whole FIB to a disjoint table and checks both
+// old and new routes.
+func TestReload(t *testing.T) {
+	f, err := Build(fib.MustParse("10.0.0.0/8 1"), 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a10, _ := fib.ParseAddr("10.1.2.3")
+	a192, _ := fib.ParseAddr("192.168.0.1")
+	if f.Lookup(a10) != 1 || f.Lookup(a192) != fib.NoLabel {
+		t.Fatal("pre-reload routes wrong")
+	}
+	if err := f.Reload(fib.MustParse("192.168.0.0/16 7")); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Lookup(a10); got != fib.NoLabel {
+		t.Fatalf("10.1.2.3 after reload = %d, want no route", got)
+	}
+	if got := f.Lookup(a192); got != 7 {
+		t.Fatalf("192.168.0.1 after reload = %d, want 7", got)
+	}
+}
+
+// TestShortPrefixFanout exercises prefixes above the shard index:
+// a /2 route must be visible through all 2^(k-2) covering shards and
+// disappear from all of them on delete.
+func TestShortPrefixFanout(t *testing.T) {
+	f, err := Build(fib.New(), 11, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set(0x40000000, 2, 9); err != nil { // 64.0.0.0/2
+		t.Fatal(err)
+	}
+	probes := []uint32{0x40000000, 0x50123456, 0x6FEDCBA9, 0x7FFFFFFF}
+	seen := map[int]bool{}
+	for _, a := range probes {
+		if got := f.Lookup(a); got != 9 {
+			t.Fatalf("Lookup(%08x) = %d, want 9", a, got)
+		}
+		seen[f.ShardOf(a)] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("probes covered only %d shards, want 4", len(seen))
+	}
+	if !f.Delete(0x40000000, 2) {
+		t.Fatal("delete reported absent")
+	}
+	for _, a := range probes {
+		if got := f.Lookup(a); got != fib.NoLabel {
+			t.Fatalf("Lookup(%08x) after delete = %d, want no route", a, got)
+		}
+	}
+	if f.Delete(0x40000000, 2) {
+		t.Fatal("second delete reported present")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	tab := fib.MustParse("10.0.0.0/8 1")
+	for _, shards := range []int{0, -1, 3, 12, 512} {
+		if _, err := Build(tab, 11, shards); err == nil {
+			t.Fatalf("shards=%d accepted", shards)
+		}
+	}
+	if _, err := Build(tab, -1, 4); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	f, err := Build(tab, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set(0, 40, 1); err == nil {
+		t.Fatal("plen 40 accepted")
+	}
+	if err := f.Set(0, 8, 0); err == nil {
+		t.Fatal("label 0 accepted")
+	}
+	if f.Shards() != 4 || f.ShardBits() != 2 || f.Lambda() != 11 {
+		t.Fatalf("geometry: %d shards, k=%d, λ=%d", f.Shards(), f.ShardBits(), f.Lambda())
+	}
+}
