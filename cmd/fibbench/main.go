@@ -5,12 +5,19 @@
 //	fibbench -all
 //	fibbench -table1 -scale 1
 //	fibbench -fig5 -runs 15 -updates 7500
+//	fibbench -serving -json BENCH_serving.json -label pr2
+//
+// -serving measures the serving hot paths (batched lookups, sharded
+// republish); with -json the results are appended to a trajectory
+// file, one labeled run per invocation, so PRs keep their
+// before/after numbers machine-readable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fibcomp/internal/experiments"
 )
@@ -23,17 +30,20 @@ func main() {
 		fig6    = flag.Bool("fig6", false, "regenerate Fig 6 (Bernoulli FIBs)")
 		fig7    = flag.Bool("fig7", false, "regenerate Fig 7 (string model)")
 		ablate  = flag.Bool("ablation", false, "run the design-choice ablations")
+		serving = flag.Bool("serving", false, "measure the serving engine hot paths")
 		all     = flag.Bool("all", false, "run everything")
 		scale   = flag.Float64("scale", 0.125, "instance scale relative to the paper (1 = full)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		runs    = flag.Int("runs", 3, "Fig 5: measurement runs per barrier (paper: 15)")
 		updates = flag.Int("updates", 1500, "Fig 5: updates per run (paper: 7500)")
 		bits    = flag.Int("bits", 17, "Fig 7: lg of the string length (paper: 17)")
+		jsonOut = flag.String("json", "", "serving: append machine-readable results to this trajectory file")
+		label   = flag.String("label", "", "serving: label for the -json run (default: timestamp)")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale}
-	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *ablate) {
+	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *ablate || *serving) {
 		*all = true
 	}
 	run := func(name string, f func() error) {
@@ -63,5 +73,18 @@ func main() {
 	}
 	if *all || *ablate {
 		run("ablation", func() error { _, err := experiments.RunAblation(cfg, os.Stdout); return err })
+	}
+	if *all || *serving {
+		run("serving", func() error {
+			results, err := experiments.RunServing(cfg, os.Stdout)
+			if err != nil || *jsonOut == "" {
+				return err
+			}
+			l := *label
+			if l == "" {
+				l = time.Now().UTC().Format("2006-01-02T15:04")
+			}
+			return experiments.AppendServingJSON(*jsonOut, l, cfg, results)
+		})
 	}
 }

@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof exposes the serving hot paths
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,8 +34,19 @@ func main() {
 		shards = flag.Int("shards", 1, "shard count (power of two; >1 serves the sharded concurrent engine)")
 		query  = flag.String("query", "", "client mode: address to look up")
 		server = flag.String("server", "127.0.0.1:7000", "client mode: server address")
+		pprof  = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) to profile serving in place")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the
+			// side-effect import above.
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "fibserve: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	if *query != "" {
 		addr, err := fib.ParseAddr(*query)

@@ -15,7 +15,12 @@
 // For serving, CompressSharded partitions the address space into 2^k
 // independent prefix DAGs behind atomic copy-on-write pointers, so
 // batched lookups run lock-free in parallel while updates republish
-// only the shard they touch (cmd/fibserve -shards).
+// only the shard they touch (cmd/fibserve -shards). The serving hot
+// paths are software-pipelined and allocation-free: ShardedFIB's
+// LookupBatchInto (and Blob's, for the flat engine) overlaps the
+// batch's memory accesses through interleaved lookup lanes, and a
+// steady-churn Set/Delete republishes a shard with zero heap
+// allocations by re-serializing into double-buffered snapshots.
 //
 // Alongside the compressors the module ships the measurement apparatus
 // of the paper's evaluation: FIB entropy metrics, workload generators,

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"fibcomp/internal/gen"
+	"fibcomp/internal/pdag"
+	"fibcomp/internal/shardfib"
+)
+
+// ServingResult is one measured row of the serving-engine benchmark:
+// lookup rows carry MLps, update rows carry the republish cost and
+// its steady-state allocation count.
+type ServingResult struct {
+	Name        string  `json:"name"`
+	MLps        float64 `json:"mlps,omitempty"`
+	UpdateUs    float64 `json:"update_us,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	SizeBytes   int     `json:"size_bytes,omitempty"`
+}
+
+// ServingRun is one dated measurement of the serving suite, the unit
+// the BENCH_serving.json trajectory accumulates.
+type ServingRun struct {
+	Label   string          `json:"label"`
+	Date    string          `json:"date"`
+	Go      string          `json:"go"`
+	Arch    string          `json:"arch"`
+	CPUs    int             `json:"cpus"`
+	Scale   float64         `json:"scale"`
+	Seed    int64           `json:"seed"`
+	Results []ServingResult `json:"results"`
+}
+
+// servingFile is the trajectory file layout: one run appended per
+// invocation, so regressions and wins stay visible across PRs.
+type servingFile struct {
+	Benchmark string       `json:"benchmark"`
+	Runs      []ServingRun `json:"runs"`
+}
+
+const servingBatch = 256
+
+// RunServing measures the serving hot paths — batched lookups through
+// the flat DAG, the flat serialized blob's pipelined walker, and the
+// sharded engine's merged view, plus the sharded steady-churn
+// republish — and prints one row each. The numbers are the living
+// counterpart of the Serving_* Go benchmarks, packaged for machines.
+func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
+	t, _, err := cfg.generate("taz")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 8))
+	keys := gen.UniformAddrs(rng, 1<<14)
+	var batches [][]uint32
+	for i := 0; i+servingBatch <= len(keys); i += servingBatch {
+		batches = append(batches, keys[i:i+servingBatch])
+	}
+	minDur := 300 * time.Millisecond
+
+	d, err := pdag.Build(t, 11)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := d.Serialize()
+	if err != nil {
+		return nil, err
+	}
+	f, err := shardfib.Build(t, 11, 16)
+	if err != nil {
+		return nil, err
+	}
+
+	dst := make([]uint32, servingBatch)
+	results := []ServingResult{
+		{
+			Name: "flat-dag-batch",
+			MLps: batchMLps(func(b []uint32) {
+				for i, a := range b {
+					dst[i] = d.Lookup(a)
+				}
+			}, batches, minDur),
+			SizeBytes: d.ModelBytes(),
+		},
+		{
+			Name:      "flat-blob-lanes",
+			MLps:      batchMLps(func(b []uint32) { blob.LookupBatchInto(dst, b) }, batches, minDur),
+			SizeBytes: blob.SizeBytes(),
+		},
+		{
+			Name:      "sharded16-lanes",
+			MLps:      batchMLps(func(b []uint32) { f.LookupBatchInto(dst, b) }, batches, minDur),
+			SizeBytes: f.SizeBytes(),
+		},
+	}
+
+	us := gen.RandomUpdates(rand.New(rand.NewSource(cfg.Seed+9)), t, 4096)
+	apply := func(u gen.Update) error {
+		if u.Withdraw {
+			f.Delete(u.Addr, u.Len)
+			return nil
+		}
+		return f.Set(u.Addr, u.Len, u.NextHop)
+	}
+	for _, u := range us { // steady state: every update applied once
+		if err := apply(u); err != nil {
+			return nil, err
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < minDur {
+		if err := apply(us[n&4095]); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	results = append(results, ServingResult{
+		Name:        "sharded16-update",
+		UpdateUs:    float64(elapsed.Microseconds()) / float64(n),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+		SizeBytes:   f.ModelBytes(),
+	})
+
+	fmt.Fprintf(w, "Serving engine (taz, scale %.3g, batch %d, 16 shards):\n", cfg.Scale, servingBatch)
+	for _, r := range results {
+		if r.UpdateUs != 0 {
+			fmt.Fprintf(w, "  %-18s %8.1f µs/update  %6.2f allocs/op  %8.1f KB model\n",
+				r.Name, r.UpdateUs, r.AllocsPerOp, float64(r.SizeBytes)/1024)
+		} else {
+			fmt.Fprintf(w, "  %-18s %8.1f Mlps  %8.1f KB\n", r.Name, r.MLps, float64(r.SizeBytes)/1024)
+		}
+	}
+	return results, nil
+}
+
+// batchMLps times fn over the batch set until minDur has elapsed and
+// reports million lookups per second.
+func batchMLps(fn func(batch []uint32), batches [][]uint32, minDur time.Duration) float64 {
+	for i := 0; i < len(batches); i++ { // warm caches and pools
+		fn(batches[i])
+	}
+	start := time.Now()
+	n := 0
+	for time.Since(start) < minDur {
+		fn(batches[n%len(batches)])
+		n++
+	}
+	return float64(n) * servingBatch / time.Since(start).Seconds() / 1e6
+}
+
+// AppendServingJSON appends a labeled run to the machine-readable
+// trajectory file (creating it on first use) so successive PRs keep
+// their before/after numbers side by side.
+func AppendServingJSON(path, label string, cfg Config, results []ServingResult) error {
+	var file servingFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("experiments: %s exists but is not a serving trajectory: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	file.Benchmark = "serving"
+	file.Runs = append(file.Runs, ServingRun{
+		Label:   label,
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		Arch:    runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Scale:   cfg.Scale,
+		Seed:    cfg.Seed,
+		Results: results,
+	})
+	raw, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

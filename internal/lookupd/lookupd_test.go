@@ -1,6 +1,7 @@
 package lookupd
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"net"
 	"sync"
@@ -275,5 +276,126 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal("second close should be a no-op")
+	}
+}
+
+// TestHandleZeroAllocs pins the serve loop's contract: once the wire
+// pool is warm, processing a full-size datagram against a batch
+// engine touches the heap zero times.
+func TestHandleZeroAllocs(t *testing.T) {
+	tb := fib.New()
+	rng := rand.New(rand.NewSource(9))
+	tb.Add(0, 0, 1)
+	for i := 0; i < 2000; i++ {
+		plen := rng.Intn(20) + 8
+		tb.Add(rng.Uint32()&fib.Mask(plen), plen, uint32(rng.Intn(5))+1)
+	}
+	tb.Dedup()
+	f, err := shardfib.Build(tb, 11, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wirePool.Get().(*wire)
+	defer wirePool.Put(w)
+	n := 4 * MaxBatch
+	for i := 0; i < MaxBatch; i++ {
+		binary.BigEndian.PutUint32(w.req[4*i:], rng.Uint32())
+	}
+	var l Lookuper = f
+	handle(l, w, n) // warm shardfib's internal pools
+	allocs := testing.AllocsPerRun(200, func() {
+		if got := handle(l, w, n); got != MaxBatch {
+			t.Fatalf("handle returned %d, want %d", got, MaxBatch)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("handle allocated %.2f times per datagram, want 0", allocs)
+	}
+	// The flat serialized blob — fibserve's -shards 1 engine — must be
+	// allocation-free through the same path.
+	d, err := pdag.Build(tb, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l = blob
+	handle(l, w, n)
+	allocs = testing.AllocsPerRun(200, func() {
+		handle(l, w, n)
+	})
+	if allocs != 0 {
+		t.Fatalf("blob handle allocated %.2f times per datagram, want 0", allocs)
+	}
+}
+
+// TestHandleMatchesLookup cross-checks the wire encode/decode against
+// direct engine lookups for the scalar and LookupBatchInto dispatch
+// flavors; TestHandleBatchLookuperDispatch covers the plain
+// BatchLookuper branch.
+func TestHandleMatchesLookup(t *testing.T) {
+	d, _ := testDAG(t)
+	blob, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	w := wirePool.Get().(*wire)
+	defer wirePool.Put(w)
+	count := 37 // not a lane multiple
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint32(w.req[4*i:], rng.Uint32())
+	}
+	for _, eng := range []Lookuper{d, blob} {
+		if got := handle(eng, w, 4*count); got != count {
+			t.Fatalf("handle returned %d, want %d", got, count)
+		}
+		for i := 0; i < count; i++ {
+			a := binary.BigEndian.Uint32(w.req[4*i:])
+			want := eng.Lookup(a)
+			if got := binary.BigEndian.Uint32(w.resp[4*i:]); got != want {
+				t.Fatalf("engine %T addr %08x: reply %d, want %d", eng, a, got, want)
+			}
+		}
+	}
+}
+
+// batchOnlyEngine implements BatchLookuper but not the LookupBatchInto
+// refinement — the dispatch shape an external engine would present.
+type batchOnlyEngine struct{ d *pdag.DAG }
+
+func (e batchOnlyEngine) Lookup(addr uint32) uint32 { return e.d.Lookup(addr) }
+func (e batchOnlyEngine) LookupBatch(addrs []uint32) []uint32 {
+	out := make([]uint32, len(addrs))
+	for i, a := range addrs {
+		out[i] = e.d.Lookup(a)
+	}
+	return out
+}
+
+// TestHandleBatchLookuperDispatch covers the middle dispatch branch:
+// an engine offering only LookupBatch must get whole datagrams and
+// produce the same replies as scalar lookups.
+func TestHandleBatchLookuperDispatch(t *testing.T) {
+	d, _ := testDAG(t)
+	eng := batchOnlyEngine{d}
+	var _ BatchLookuper = eng // compile-time: hits the BatchLookuper case
+	rng := rand.New(rand.NewSource(11))
+	w := wirePool.Get().(*wire)
+	defer wirePool.Put(w)
+	count := 19
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint32(w.req[4*i:], rng.Uint32())
+	}
+	if got := handle(eng, w, 4*count); got != count {
+		t.Fatalf("handle returned %d, want %d", got, count)
+	}
+	for i := 0; i < count; i++ {
+		a := binary.BigEndian.Uint32(w.req[4*i:])
+		if got, want := binary.BigEndian.Uint32(w.resp[4*i:]), d.Lookup(a); got != want {
+			t.Fatalf("addr %08x: reply %d, want %d", a, got, want)
+		}
 	}
 }

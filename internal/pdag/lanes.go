@@ -1,0 +1,197 @@
+package pdag
+
+import (
+	"math/bits"
+
+	"fibcomp/internal/fib"
+)
+
+// Batch lookup: software-pipelined walking of the serialized blob.
+//
+// Profiling FIB-shaped tables shows the mean depth below the barrier
+// is well under one node word at λ=11 — the root array resolves ~3/4
+// of uniform-random lookups outright — so the batch walker pipelines
+// at two granularities:
+//
+//  1. a fetch pass issues the independent root-array loads for a
+//     whole chunk back to back, so the line-fill buffers overlap
+//     their cache misses instead of paying them one dependent lookup
+//     at a time;
+//  2. a resolve pass finishes root-terminated lookups branchlessly,
+//     walks short folded paths inline, and parks the deep survivors
+//     — the truly latency-bound walks — into BatchLanes interleaved
+//     lanes that advance one level per iteration, each lane holding
+//     its own idx/best/bit cursor so the M dependent node fetches are
+//     in flight concurrently.
+//
+// Results are always bit-identical to scalar Blob.Lookup; only the
+// schedule of memory accesses differs.
+
+// BatchLanes is the number of deep walks advanced in lockstep; eight
+// covers the line-fill buffers of commodity cores (NDN-DPDK's
+// name-lookup pipeline uses the same shape).
+const BatchLanes = 8
+
+// batchChunk is the fetch-pass granularity; the root entries of one
+// chunk live in a stack buffer between the two passes.
+const batchChunk = 256
+
+// laneDepth is how many folded levels the resolve pass walks inline
+// before parking a lookup in the lanes: most survivors resolve within
+// two words, and parking those would cost more than their walk.
+const laneDepth = 2
+
+// laneState holds the parked deep walks: per lane the node cursor,
+// the remaining address bits (pre-shifted so bit 31 is consumed
+// next), the best label so far, the batch position the result lands
+// in, and the owning blob's node words (lanes may walk different
+// shards' blobs).
+type laneState struct {
+	idx   [BatchLanes]uint32
+	cur   [BatchLanes]uint32
+	best  [BatchLanes]uint32
+	pos   [BatchLanes]int
+	nodes [BatchLanes][]uint32
+	n     int
+}
+
+// park adds a walk that is still unresolved at level q0; the caller
+// runs the lanes when all BatchLanes are occupied.
+func (ls *laneState) park(idx, cur, best uint32, pos int, nodes []uint32) {
+	l := ls.n
+	ls.idx[l], ls.cur[l], ls.best[l], ls.pos[l], ls.nodes[l] = idx, cur, best, pos, nodes
+	ls.n = l + 1
+}
+
+// run advances every parked walk one level per iteration from level
+// q0 until all have resolved, then scatters the labels into dst and
+// empties the lanes. Every parked walk is at the same level (the
+// resolve pass parks after exactly laneDepth inline levels), so one
+// lockstep level counter serves all lanes; live tracks the lanes
+// still walking, and the loads of live lanes within a level are
+// mutually independent — the memory-level parallelism this structure
+// exists for.
+func (ls *laneState) run(dst []uint32, q0, width int) {
+	if ls.n == 0 {
+		return
+	}
+	live := uint32(1)<<uint(ls.n) - 1
+	for q := q0; q < width && live != 0; q++ {
+		for m := live; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			w := ls.nodes[l][2*ls.idx[l]+ls.cur[l]>>31]
+			ls.cur[l] <<= 1
+			if w&wordLeafFlag != 0 {
+				if lab := w & 0xFF; lab != fib.NoLabel {
+					ls.best[l] = lab
+				}
+				live &^= 1 << uint(l)
+				continue
+			}
+			ls.idx[l] = w
+		}
+	}
+	for l := 0; l < ls.n; l++ {
+		dst[ls.pos[l]] = ls.best[l]
+	}
+	ls.n = 0
+}
+
+// depth0Label resolves a root entry that terminates the lookup (leaf
+// flag set, which blobNone also carries): the inlined leaf label when
+// one is present and non-empty, else the inherited default — without
+// a data-dependent branch, since the none/leaf mix is what the branch
+// predictor cannot learn.
+func depth0Label(e, p uint32) uint32 {
+	best := e >> 24
+	lab := p & 0xFF
+	d := p ^ blobNone
+	take := 0 - (((d | (0 - d)) >> 31) & ((lab | (0 - lab)) >> 31))
+	return (best &^ take) | (lab & take)
+}
+
+// LookupBatchInto resolves addrs[i] into dst[i] for every address in
+// the batch, bit-identically to calling Lookup per address. dst must
+// be at least len(addrs) long. The single-blob walk is the merged
+// walk with a one-entry nodes table and no shard bits (addr>>32 is 0
+// in Go), so the subtle hot loop exists exactly once.
+func (b *Blob) LookupBatchInto(dst, addrs []uint32) {
+	nodes := [1][]uint32{b.Nodes}
+	LookupBatchMerged(dst, addrs, b.Root, nodes[:], 0, b.Lambda, b.Width)
+}
+
+// LookupBatch is LookupBatchInto allocating the result slice.
+func (b *Blob) LookupBatch(addrs []uint32) []uint32 {
+	dst := make([]uint32, len(addrs))
+	b.LookupBatchInto(dst, addrs)
+	return dst
+}
+
+// LookupBatchMerged is the sharded serving engine's hot loop. root is
+// a merged root array: the live 2^(λ-k) slot range of every shard's
+// blob root concatenated in shard order (valid because slot index top
+// bits equal address top bits when λ ≥ k), so the fetch pass needs
+// one load per address with no per-shard indirection. nodes holds
+// each shard's blob node words, consulted only by the minority of
+// walks that descend below the barrier; lanes may therefore walk
+// different shards' blobs side by side. All shards must share lambda
+// and width. Results are bit-identical to looking each address up in
+// its own shard's blob.
+func LookupBatchMerged(dst, addrs []uint32, root []uint32, nodes [][]uint32, shardBits, lambda, width int) {
+	dst = dst[:len(addrs)]
+	for i := 0; i < len(addrs); i += batchChunk {
+		j := i + batchChunk
+		if j > len(addrs) {
+			j = len(addrs)
+		}
+		lookupChunkMerged(dst[i:j], addrs[i:j], root, nodes, shardBits, lambda, width)
+	}
+}
+
+func lookupChunkMerged(dst, addrs []uint32, root []uint32, nodes [][]uint32, shardBits, lambda, width int) {
+	var ebuf [batchChunk]uint32
+	shift := uint(fib.W - lambda)
+	kshift := uint(fib.W - shardBits)
+	lam := uint(lambda)
+	for i, a := range addrs {
+		ebuf[i] = root[a>>shift]
+	}
+	deepQ := lambda + laneDepth
+	if deepQ > width {
+		deepQ = width
+	}
+	var ls laneState
+	for i, a := range addrs {
+		e := ebuf[i]
+		p := e & 0x00FFFFFF
+		if p&blobLeafFlag != 0 {
+			dst[i] = depth0Label(e, p)
+			continue
+		}
+		nd := nodes[a>>kshift]
+		best := e >> 24
+		idx, cur := p, a<<lam
+		q := lambda
+		for ; q < deepQ; q++ {
+			w := nd[2*idx+cur>>31]
+			cur <<= 1
+			if w&wordLeafFlag != 0 {
+				if lab := w & 0xFF; lab != fib.NoLabel {
+					best = lab
+				}
+				q = -1 // resolved
+				break
+			}
+			idx = w
+		}
+		if q < 0 || deepQ >= width {
+			dst[i] = best
+			continue
+		}
+		ls.park(idx, cur, best, i, nd)
+		if ls.n == BatchLanes {
+			ls.run(dst, deepQ, width)
+		}
+	}
+	ls.run(dst, deepQ, width)
+}

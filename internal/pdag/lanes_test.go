@@ -1,0 +1,141 @@
+package pdag
+
+import (
+	"math/rand"
+	"testing"
+
+	"fibcomp/internal/fib"
+)
+
+// batchLambdas are the barriers the lane walker is pinned against the
+// scalar walker on: λ=0 (everything folded, root array degenerate),
+// λ=8 and the paper's λ=11, and λ=16 (deep root array, shallow DAG).
+var batchLambdas = []int{0, 8, 11, 16}
+
+// batchSizes exercise the lane edge cases: empty batch, batch smaller
+// than the lane count, batch not a multiple of the lane count, and
+// batches spanning many lane groups.
+var batchSizes = []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 64, 100, 257}
+
+func TestLookupBatchIntoMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, lambda := range batchLambdas {
+		d, err := Build(randomTable(rng, 4000, 7, true), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range batchSizes {
+			addrs := make([]uint32, n)
+			for i := range addrs {
+				addrs[i] = rng.Uint32()
+			}
+			got := make([]uint32, n)
+			b.LookupBatchInto(got, addrs)
+			for i, a := range addrs {
+				if want := b.Lookup(a); got[i] != want {
+					t.Fatalf("λ=%d batch=%d: addr %08x: batch lane gave %d, scalar %d",
+						lambda, n, a, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupBatchIntoAfterUpdates re-pins equivalence on a blob
+// serialized from a DAG that went through incremental updates, the
+// shape the sharded republish path produces.
+func TestLookupBatchIntoAfterUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, lambda := range batchLambdas {
+		d, err := Build(randomTable(rng, 1000, 5, false), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			plen := rng.Intn(fib.W + 1)
+			addr := rng.Uint32() & fib.Mask(plen)
+			if rng.Intn(4) == 0 {
+				d.Delete(addr, plen)
+			} else if err := d.Set(addr, plen, uint32(rng.Intn(5))+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b, err := d.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := make([]uint32, 999) // not a lane multiple
+		for i := range addrs {
+			addrs[i] = rng.Uint32()
+		}
+		got := b.LookupBatch(addrs)
+		for i, a := range addrs {
+			if want := b.Lookup(a); got[i] != want {
+				t.Fatalf("λ=%d addr %08x: batch %d, scalar %d", lambda, a, got[i], want)
+			}
+		}
+	}
+}
+
+// TestLookupBatchDstOversized checks the walker only writes the first
+// len(addrs) labels of a longer destination buffer.
+func TestLookupBatchDstOversized(t *testing.T) {
+	d, err := Build(sampleFIB(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sentinel = 0xDEADBEEF
+	dst := make([]uint32, 16)
+	for i := range dst {
+		dst[i] = sentinel
+	}
+	addrs := []uint32{0, 1 << 30, 1 << 31, 3 << 29, 0x60000000}
+	b.LookupBatchInto(dst, addrs)
+	for i, a := range addrs {
+		if want := b.Lookup(a); dst[i] != want {
+			t.Fatalf("addr %08x: got %d, want %d", a, dst[i], want)
+		}
+	}
+	for i := len(addrs); i < len(dst); i++ {
+		if dst[i] != sentinel {
+			t.Fatalf("dst[%d] clobbered: %08x", i, dst[i])
+		}
+	}
+}
+
+func FuzzLookupBatchInto(f *testing.F) {
+	f.Add(uint64(1), uint32(0x0A000001), uint8(11))
+	f.Add(uint64(7), uint32(0xFFFFFFFF), uint8(0))
+	f.Add(uint64(42), uint32(0), uint8(16))
+	f.Fuzz(func(t *testing.T, seed uint64, addr0 uint32, lam uint8) {
+		lambda := int(lam) % (maxSerialLambda + 1)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		d, err := Build(randomTable(rng, 200, 4, seed%2 == 0), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := make([]uint32, int(seed%23)) // covers 0..22, hits every mod-8 class
+		for i := range addrs {
+			addrs[i] = addr0 + uint32(i)*0x9E3779B9 // golden-ratio stride scatter
+		}
+		got := make([]uint32, len(addrs))
+		b.LookupBatchInto(got, addrs)
+		for i, a := range addrs {
+			if want := b.Lookup(a); got[i] != want {
+				t.Fatalf("λ=%d addr %08x: batch %d, scalar %d", lambda, a, got[i], want)
+			}
+		}
+	})
+}

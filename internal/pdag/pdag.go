@@ -35,10 +35,18 @@ const leafIDBase = uint64(1) << 40
 // Node is a prefix-DAG node. Only up nodes and folded leaves carry a
 // label; folded interior nodes are unlabeled (their labels were pushed
 // to the leaves). The zero label is the paper's ∅ / cleared-⊥ label.
+//
+// serialIdx/serialEpoch are Serialize scratch: the blob index assigned
+// to this folded interior node, valid only while serialEpoch matches
+// the owning DAG's current serialization epoch. Keeping the stamp on
+// the node replaces the per-serialization map[*Node]uint32 so that a
+// republish allocates nothing.
 type Node struct {
 	Left, Right *Node
 	Label       uint32
 	id          uint64
+	serialEpoch uint64
+	serialIdx   uint32
 	ref         int32
 	kind        byte
 }
@@ -56,6 +64,20 @@ type DAG struct {
 	sub     map[[2]uint64]*Node // the sub-trie index S
 	leaves  map[uint32]*Node    // the leaf table lp
 	nextID  uint64
+
+	// Serialize scratch, reused across republishes (see SerializeInto):
+	// the current stamping epoch, the folded interiors in blob-index
+	// order, and the iterative DFS stack.
+	serialEpoch uint64
+	serialList  []*Node
+	serialStack []*Node
+
+	// Update-path recyclers: released DAG nodes chain through freeNode
+	// (linked via Left) and feed later acquires; scratch is the arena
+	// the temporary leaf-pushed control copies are drawn from. Together
+	// they make a steady-state Set/Delete allocation-free.
+	freeNode *Node
+	scratch  trie.Arena
 
 	symOffset uint32 // string mode: symbol s stored as label s+1
 }
@@ -91,14 +113,40 @@ func (d *DAG) buildUp(cn *trie.Node, depth int) *Node {
 		return nil
 	}
 	if depth == d.Lambda {
-		return d.fold(trie.LeafPushWithDefault(cn, fib.NoLabel))
+		return d.foldPushed(cn, fib.NoLabel)
 	}
-	return &Node{
-		kind:  kindUp,
-		Label: cn.Label,
-		Left:  d.buildUp(cn.Left, depth+1),
-		Right: d.buildUp(cn.Right, depth+1),
+	n := d.newNode()
+	n.kind, n.Label = kindUp, cn.Label
+	n.Left = d.buildUp(cn.Left, depth+1)
+	n.Right = d.buildUp(cn.Right, depth+1)
+	return n
+}
+
+// foldPushed leaf-pushes the control subtree into arena scratch, folds
+// the copy into the DAG, and recycles the scratch.
+func (d *DAG) foldPushed(cn *trie.Node, def uint32) *Node {
+	tmp := d.scratch.LeafPushWithDefault(cn, def)
+	res := d.fold(tmp)
+	d.scratch.Recycle(tmp)
+	return res
+}
+
+// newNode pops a recycled node or allocates one.
+func (d *DAG) newNode() *Node {
+	n := d.freeNode
+	if n == nil {
+		return &Node{}
 	}
+	d.freeNode = n.Left
+	*n = Node{}
+	return n
+}
+
+// recycleNode pushes a dead node onto the free chain. The stale
+// serialIdx stamp is harmless: every SerializeInto bumps the epoch.
+func (d *DAG) recycleNode(n *Node) {
+	*n = Node{Left: d.freeNode}
+	d.freeNode = n
 }
 
 // fold compresses a proper leaf-labeled trie bottom-up into the DAG
@@ -120,7 +168,8 @@ func (d *DAG) acquireLeaf(label uint32) *Node {
 		n.ref++
 		return n
 	}
-	n := &Node{kind: kindLeaf, Label: label, id: leafIDBase | uint64(label), ref: 1}
+	n := d.newNode()
+	n.kind, n.Label, n.id, n.ref = kindLeaf, label, leafIDBase|uint64(label), 1
 	d.leaves[label] = n
 	return n
 }
@@ -143,7 +192,8 @@ func (d *DAG) acquireNode(l, r *Node) *Node {
 		return n
 	}
 	d.nextID++
-	n := &Node{kind: kindInt, Left: l, Right: r, id: d.nextID, ref: 1}
+	n := d.newNode()
+	n.kind, n.Left, n.Right, n.id, n.ref = kindInt, l, r, d.nextID, 1
 	d.sub[key] = n
 	return n
 }
@@ -160,11 +210,14 @@ func (d *DAG) release(n *Node) {
 	}
 	if n.kind == kindLeaf {
 		delete(d.leaves, n.Label)
+		d.recycleNode(n)
 		return
 	}
 	delete(d.sub, [2]uint64{n.Left.id, n.Right.id})
-	d.release(n.Left)
-	d.release(n.Right)
+	l, r := n.Left, n.Right
+	d.recycleNode(n)
+	d.release(l)
+	d.release(r)
 }
 
 // Lookup performs longest prefix match: follow the path traced by the

@@ -32,8 +32,32 @@ const (
 // make no sense for a serialized FIB (and the paper uses λ=11).
 const maxSerialLambda = 24
 
-// Serialize freezes the DAG into a Blob.
+// Serialize freezes the DAG into a fresh Blob. Serialization advances
+// the DAG's internal stamping epoch (see SerializeInto), so — unlike
+// a DAG's read-only Lookup — concurrent Serialize calls on one DAG
+// are not safe; serialize under the same exclusion that guards
+// Set/Delete (shardfib holds the shard writer mutex).
 func (d *DAG) Serialize() (*Blob, error) {
+	return d.SerializeInto(nil)
+}
+
+// SerializeInto freezes the DAG into b, reusing b's Root and Nodes
+// buffers when their capacity suffices; b == nil allocates a fresh
+// blob. A steady-churn republish into a retired blob of the same
+// barrier therefore performs zero heap allocations. The caller owns
+// the exclusivity of b: it must not be reachable by concurrent
+// readers (shardfib proves this with a reader count before recycling
+// a retired snapshot).
+//
+// Folded interior nodes take dense indices in DFS preorder, assigned
+// iteratively with indices epoch-stamped onto the nodes themselves —
+// the map[*Node]uint32 of the naive serializer is what made
+// republishing allocate. The stamps and their epoch live on the DAG,
+// so serialization mutates the DAG: it must not run concurrently with
+// itself or with Set/Delete on the same DAG (take the writer's
+// exclusion). On error b's contents are unspecified and must not be
+// published.
+func (d *DAG) SerializeInto(b *Blob) (*Blob, error) {
 	lambda := d.Lambda
 	if lambda > d.Width {
 		lambda = d.Width
@@ -41,96 +65,152 @@ func (d *DAG) Serialize() (*Blob, error) {
 	if lambda > maxSerialLambda {
 		return nil, fmt.Errorf("pdag: cannot serialize with barrier λ=%d > %d", d.Lambda, maxSerialLambda)
 	}
-	b := &Blob{Lambda: lambda, Width: d.Width, Root: make([]uint32, 1<<uint(lambda))}
-
-	// Assign dense indices to folded interior nodes in DFS order so
-	// parents tend to precede children (helps locality, like the
-	// consecutive-children trick of §4.2).
-	idx := make(map[*Node]uint32, len(d.sub))
-	var assign func(n *Node) error
-	assign = func(n *Node) error {
-		if n == nil || n.kind != kindInt {
-			return nil
-		}
-		if _, ok := idx[n]; ok {
-			return nil
-		}
-		if len(idx) > maxBlobIdx {
-			return fmt.Errorf("pdag: too many folded nodes to serialize (%d)", len(d.sub))
-		}
-		idx[n] = uint32(len(idx))
-		if err := assign(n.Left); err != nil {
-			return err
-		}
-		return assign(n.Right)
+	if b == nil {
+		b = &Blob{}
+	}
+	b.Lambda, b.Width = lambda, d.Width
+	rootLen := 1 << uint(lambda)
+	if cap(b.Root) >= rootLen {
+		b.Root = b.Root[:rootLen]
+	} else {
+		b.Root = make([]uint32, rootLen)
 	}
 
-	// Resolve each root-array entry by walking the plain region.
-	type entry struct {
-		def  uint32
-		node *Node // folded subtree root, or nil
-		leaf uint32
-		kind byte // 0 none, 1 leaf, 2 interior
-	}
-	entries := make([]entry, len(b.Root))
-	for v := range b.Root {
-		addr := uint32(v) << uint(fib.W-lambda)
-		var e entry
-		n := d.root
-		for q := 0; n != nil; q++ {
-			if n.kind != kindUp {
-				if n.kind == kindLeaf {
-					e.kind, e.leaf = 1, n.Label
-				} else {
-					e.kind, e.node = 2, n
-					if err := assign(n); err != nil {
-						return nil, err
-					}
-				}
-				break
-			}
-			if n.Label != fib.NoLabel {
-				e.def = n.Label
-			}
-			if q == lambda {
-				break
-			}
-			if fib.Bit(addr, q) == 0 {
-				n = n.Left
-			} else {
-				n = n.Right
-			}
-		}
-		entries[v] = e
+	// One pass over the plain region fills every root-array entry and
+	// assigns node indices on first contact with a folded subtree.
+	d.serialEpoch++
+	d.serialList = d.serialList[:0]
+	if err := d.fillRoot(b, d.root, 0, 0, fib.NoLabel); err != nil {
+		return nil, err
 	}
 
-	// Emit node words.
-	b.Nodes = make([]uint32, 2*len(idx))
-	for n, i := range idx {
-		b.Nodes[2*i] = wordFor(n.Left, idx)
-		b.Nodes[2*i+1] = wordFor(n.Right, idx)
+	// Emit node words; children were stamped by assign, so each word
+	// is a read of the child's stamp.
+	wordLen := 2 * len(d.serialList)
+	if cap(b.Nodes) >= wordLen {
+		b.Nodes = b.Nodes[:wordLen]
+	} else {
+		b.Nodes = make([]uint32, wordLen)
 	}
-	// Emit root entries.
-	for v, e := range entries {
-		var payload uint32
-		switch e.kind {
-		case 0:
-			payload = blobNone
-		case 1:
-			payload = blobLeafFlag | (e.leaf & 0xFF)
-		case 2:
-			payload = idx[e.node]
-		}
-		b.Root[v] = e.def<<24 | payload
+	for i, n := range d.serialList {
+		b.Nodes[2*i] = wordFor(n.Left)
+		b.Nodes[2*i+1] = wordFor(n.Right)
 	}
 	return b, nil
 }
 
-func wordFor(n *Node, idx map[*Node]uint32) uint32 {
+// fillRoot writes the root-array entries covered by the plain-region
+// node n at depth, i.e. slots [v<<(λ-depth), (v+1)<<(λ-depth)). def is
+// the last label seen on the path, the inherited default packed into
+// bits 24..31 of each entry. Folded subtrees reached above the barrier
+// cover their whole slot range with one payload.
+func (d *DAG) fillRoot(b *Blob, n *Node, v uint32, depth int, def uint32) error {
+	lo := int(v) << uint(b.Lambda-depth)
+	hi := lo + 1<<uint(b.Lambda-depth)
+	if n == nil {
+		fillWords(b.Root[lo:hi], def<<24|blobNone)
+		return nil
+	}
+	switch n.kind {
+	case kindLeaf:
+		fillWords(b.Root[lo:hi], def<<24|blobLeafFlag|(n.Label&0xFF))
+		return nil
+	case kindInt:
+		idx, err := d.assign(n)
+		if err != nil {
+			return err
+		}
+		fillWords(b.Root[lo:hi], def<<24|idx)
+		return nil
+	}
+	if n.Label != fib.NoLabel {
+		def = n.Label
+	}
+	if depth == b.Lambda {
+		// A plain node at the barrier: nothing folded hangs here (the
+		// builder folds exactly at λ), only the default applies.
+		b.Root[lo] = def<<24 | blobNone
+		return nil
+	}
+	if err := d.fillRoot(b, n.Left, 2*v, depth+1, def); err != nil {
+		return err
+	}
+	return d.fillRoot(b, n.Right, 2*v+1, depth+1, def)
+}
+
+// assign gives a folded subtree dense preorder indices, stamping each
+// interior node with its index under the current epoch and collecting
+// the nodes in index order. Already-stamped nodes (shared subtrees
+// reached a second time) return their index immediately, preserving
+// the hash-consed sharing in the blob.
+func (d *DAG) assign(root *Node) (uint32, error) {
+	epoch := d.serialEpoch
+	if root.serialEpoch == epoch {
+		return root.serialIdx, nil
+	}
+	if err := d.stamp(root, epoch); err != nil {
+		return 0, err
+	}
+	stack := append(d.serialStack[:0], root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Stamp both children at the parent, left first, so siblings
+		// take consecutive indices (the locality trick of §4.2); push
+		// right below left so the left subtree is walked first.
+		l, r := n.Left, n.Right
+		pushL := l.kind == kindInt && l.serialEpoch != epoch
+		pushR := r.kind == kindInt && r.serialEpoch != epoch
+		if pushL {
+			if err := d.stamp(l, epoch); err != nil {
+				d.serialStack = stack
+				return 0, err
+			}
+		}
+		if pushR {
+			// l == r was stamped above; recheck keeps the scan single-visit.
+			if r.serialEpoch == epoch {
+				pushR = false
+			} else if err := d.stamp(r, epoch); err != nil {
+				d.serialStack = stack
+				return 0, err
+			}
+		}
+		if pushR {
+			stack = append(stack, r)
+		}
+		if pushL {
+			stack = append(stack, l)
+		}
+	}
+	d.serialStack = stack
+	return root.serialIdx, nil
+}
+
+// stamp assigns n the next dense index under epoch.
+func (d *DAG) stamp(n *Node, epoch uint64) error {
+	if len(d.serialList) > maxBlobIdx {
+		return fmt.Errorf("pdag: too many folded nodes to serialize (%d)", len(d.sub))
+	}
+	n.serialEpoch, n.serialIdx = epoch, uint32(len(d.serialList))
+	d.serialList = append(d.serialList, n)
+	return nil
+}
+
+// wordFor encodes a folded child as one 32-bit node word.
+func wordFor(n *Node) uint32 {
 	if n.kind == kindLeaf {
 		return wordLeafFlag | (n.Label & 0xFF)
 	}
-	return idx[n]
+	return n.serialIdx
+}
+
+// fillWords writes v into every slot; the compiler lowers this loop to
+// a vectorized fill.
+func fillWords(s []uint32, v uint32) {
+	for i := range s {
+		s[i] = v
+	}
 }
 
 // Lookup performs longest prefix match on the serialized form: one

@@ -1,0 +1,114 @@
+package pdag
+
+import (
+	"math/rand"
+	"testing"
+
+	"fibcomp/internal/fib"
+)
+
+// TestSerializeIntoMatchesSerialize republishes into a reused blob
+// after every burst of updates and checks it is lookup-identical to a
+// freshly allocated serialization of the same DAG.
+func TestSerializeIntoMatchesSerialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, lambda := range batchLambdas {
+		d, err := Build(randomTable(rng, 2000, 6, true), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reused *Blob
+		for round := 0; round < 8; round++ {
+			for i := 0; i < 100; i++ {
+				plen := rng.Intn(fib.W + 1)
+				addr := rng.Uint32() & fib.Mask(plen)
+				if rng.Intn(3) == 0 {
+					d.Delete(addr, plen)
+				} else if err := d.Set(addr, plen, uint32(rng.Intn(6))+1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			reused, err = d.SerializeInto(reused)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := d.Serialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reused.SizeBytes() != fresh.SizeBytes() {
+				t.Fatalf("λ=%d round %d: reused %d bytes, fresh %d", lambda, round, reused.SizeBytes(), fresh.SizeBytes())
+			}
+			for i := 0; i < 2000; i++ {
+				a := rng.Uint32()
+				if g, w := reused.Lookup(a), fresh.Lookup(a); g != w {
+					t.Fatalf("λ=%d round %d addr %08x: reused %d, fresh %d", lambda, round, a, g, w)
+				}
+				if g, w := reused.Lookup(a), d.Lookup(a); g != w {
+					t.Fatalf("λ=%d round %d addr %08x: reused %d, dag %d", lambda, round, a, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSerializeIntoZeroAllocs proves a steady-state republish — same
+// barrier, node count not growing past the high-water mark — touches
+// the heap zero times.
+func TestSerializeIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d, err := Build(randomTable(rng, 3000, 6, true), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.SerializeInto(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SerializeInto(blob); err != nil { // warm the scratch high-water marks
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := d.SerializeInto(blob); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SerializeInto allocated %.1f times per republish, want 0", allocs)
+	}
+}
+
+// TestSerializeIntoShrinks reuses a large blob for a much smaller DAG
+// and checks the slices are resliced, not leaked at full length.
+func TestSerializeIntoShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	big, err := Build(randomTable(rng, 5000, 6, true), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := big.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Build(fib.MustParse("0.0.0.0/0 1", "10.0.0.0/8 2"), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err = small.SerializeInto(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := small.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob.SizeBytes() != fresh.SizeBytes() {
+		t.Fatalf("reused blob reports %d bytes, fresh %d", blob.SizeBytes(), fresh.SizeBytes())
+	}
+	for i := 0; i < 5000; i++ {
+		a := rng.Uint32()
+		if g, w := blob.Lookup(a), small.Lookup(a); g != w {
+			t.Fatalf("addr %08x: reused %d, dag %d", a, g, w)
+		}
+	}
+}

@@ -64,7 +64,8 @@ func (d *DAG) syncUpRec(cn *trie.Node, un *Node, addr uint32, q, plen int) *Node
 		return nil
 	}
 	if un == nil {
-		un = &Node{kind: kindUp}
+		un = d.newNode()
+		un.kind = kindUp
 	}
 	un.Label = cn.Label
 	if q == plen {
@@ -79,7 +80,7 @@ func (d *DAG) syncUpRec(cn *trie.Node, un *Node, addr uint32, q, plen int) *Node
 }
 
 // dropUp releases an abandoned up subtree, dereferencing every folded
-// sub-trie hanging below it.
+// sub-trie hanging below it and recycling the plain nodes.
 func (d *DAG) dropUp(n *Node) {
 	if n == nil {
 		return
@@ -88,8 +89,10 @@ func (d *DAG) dropUp(n *Node) {
 		d.release(n)
 		return
 	}
-	d.dropUp(n.Left)
-	d.dropUp(n.Right)
+	l, r := n.Left, n.Right
+	d.recycleNode(n)
+	d.dropUp(l)
+	d.dropUp(r)
 }
 
 // rebuildBelow handles an update at depth plen ≥ λ: walk the plain
@@ -118,7 +121,9 @@ func (d *DAG) rebuildBelow(addr uint32, plen int) {
 			return
 		}
 		if *uc == nil {
-			*uc = &Node{kind: kindUp}
+			nn := d.newNode()
+			nn.kind = kindUp
+			*uc = nn
 		}
 		cn, un = cc, *uc
 		un.Label = cn.Label
@@ -147,7 +152,7 @@ func (d *DAG) rebuildBelow(addr uint32, plen int) {
 // returned node carries one reference.
 func (d *DAG) foldFresh(cn *trie.Node, addr uint32, plen int, old *Node) *Node {
 	if old == nil || plen == d.Lambda {
-		fresh := d.fold(trie.LeafPushWithDefault(cn, fib.NoLabel))
+		fresh := d.foldPushed(cn, fib.NoLabel)
 		if old != nil {
 			d.release(old)
 		}
@@ -173,7 +178,7 @@ func (d *DAG) patch(v *Node, cn *trie.Node, addr uint32, q, plen int, def uint32
 		def = cn.Label
 	}
 	if q == plen {
-		fresh := d.fold(trie.LeafPushWithDefault(cn, def))
+		fresh := d.foldPushed(cn, def)
 		d.release(v)
 		return fresh
 	}

@@ -1,16 +1,26 @@
 // Package shardfib is the concurrent serving form of the compressed
 // FIB: the 32-bit address space is partitioned by the top k bits into
 // 2^k independent prefix-DAG shards, each published through an atomic
-// copy-on-write pointer. Lookups — single or batched — are lock-free:
-// they load the owning shard's current immutable snapshot and walk
-// it, so they scale across cores and are never blocked by route
-// churn. Set/Delete take a per-shard writer lock, patch that shard's
-// private mutable DAG in place (the near-optimal incremental update
-// of §4.3), freeze it into a fresh serialized blob (§5.3) and swap
-// the snapshot in with one atomic store. An update at depth ≥ k
-// therefore touches exactly one shard — re-publication cost is
-// 1/2^k of the table — and in-flight lookups keep reading the old
-// snapshot until the swap lands.
+// copy-on-write pointer, and every publish refreshes a merged serving
+// view — the live slice of each shard's serialized root array
+// concatenated into one FIB-wide root — so the read hot path touches
+// one array regardless of shard count. Lookups — single or batched —
+// are lock-free: they pin the current merged view with one validated
+// reference count and walk it, so they scale across cores and are
+// never blocked by route churn. Batched lookups are additionally
+// software-pipelined (pdag.LookupBatchMerged): a fetch pass overlaps
+// the root loads of the whole batch, and walks that descend below the
+// barrier advance through interleaved lanes whose dependent node
+// fetches are in flight concurrently.
+//
+// Set/Delete take a per-shard writer lock, patch that shard's private
+// mutable DAG in place (the near-optimal incremental update of §4.3)
+// and freeze it into a serialized blob (§5.3) — reusing the buffers
+// of the snapshot retired two publishes ago, so steady churn
+// allocates nothing — then splice the shard's root slice into the
+// next merged view. An update at depth ≥ k therefore re-serializes
+// 1/2^k of the table, and in-flight lookups keep reading the previous
+// view until the swap lands.
 //
 // Sharding preserves longest-prefix-match exactly: every prefix of an
 // address addr shares addr's top bits, so the shard owning addr holds
@@ -39,23 +49,42 @@ const MaxShards = 256
 // DefaultShards is the default partition: k=4, 16 shards.
 const DefaultShards = 16
 
+// mergedRootMaxLambda caps the barrier up to which publishes maintain
+// the merged root array: the merge copies 2^λ entries, so past 64 K
+// slots the copy would dominate the republish. Barriers outside
+// [k, mergedRootMaxLambda] serve through the per-snapshot fallback
+// path instead (correct, slower — never hit at the default λ=11).
+const mergedRootMaxLambda = 16
+
 // shard is one slice of the address space. cur is the published
-// immutable snapshot the lock-free read path walks; dag is the
-// writer-owned mutable prefix DAG (with its control trie inside),
-// guarded by mu together with the right to publish.
+// immutable snapshot; dag is the writer-owned mutable prefix DAG
+// (with its control trie inside), guarded by mu together with the
+// right to publish. spare (also under mu) is the snapshot retired by
+// the previous publish: once no reader or merged view pins it, the
+// next publish serializes into its buffers in place, so steady-churn
+// republishing is double-buffered and allocation-free.
 type shard struct {
-	mu  sync.Mutex
-	dag *pdag.DAG
-	cur atomic.Pointer[snapshot]
+	mu    sync.Mutex
+	dag   *pdag.DAG
+	spare *snapshot
+	cur   atomic.Pointer[snapshot]
 }
 
 // snapshot is the frozen serving form of one shard: the serialized
 // blob when the barrier admits one (λ ≤ 24, always at the default
 // λ=11), else a fresh fold of the shard's control trie. Either way it
 // shares no mutable state with the writer DAG.
+//
+// readers counts the holders of this snapshot — in-flight lookups and
+// the merged views referencing its buffers (see pin). The writer
+// recycles a retired snapshot's buffers only after observing
+// readers == 0, which the pin/validate protocol makes safe: a reader
+// that pins a snapshot after it was retired fails validation and
+// retries without ever dereferencing the contents.
 type snapshot struct {
-	blob *pdag.Blob
-	dag  *pdag.DAG
+	blob    *pdag.Blob
+	dag     *pdag.DAG
+	readers atomic.Int64
 }
 
 func (s *snapshot) lookup(addr uint32) uint32 {
@@ -65,21 +94,83 @@ func (s *snapshot) lookup(addr uint32) uint32 {
 	return s.dag.Lookup(addr)
 }
 
+// pin loads the shard's current snapshot and registers as a holder of
+// it. The increment-then-validate dance closes the recycle race: if
+// the snapshot was retired (and possibly already being overwritten)
+// between the load and the increment, the re-load observes a
+// different current pointer, and the caller unpins and retries having
+// never dereferenced the stale contents. Conversely, a successful
+// validation proves the increment landed before the snapshot was
+// retired, so the writer's readers==0 check cannot miss this holder.
+func (sh *shard) pin() *snapshot {
+	for {
+		s := sh.cur.Load()
+		s.readers.Add(1)
+		if sh.cur.Load() == s {
+			return s
+		}
+		s.readers.Add(-1)
+	}
+}
+
+func (s *snapshot) unpin() { s.readers.Add(-1) }
+
 // publish freezes the shard's writer DAG and swaps the published
-// snapshot. Serialization is the fast, common case; an unserializable
-// barrier (λ > 24) falls back to refolding the control trie (the
-// writer DAG itself must stay private and mutable). The fallback
-// cannot fail — Build already validated λ, the only FromTrie error —
-// so publication is infallible and Set/Delete share one contract.
+// snapshot, retiring the previous one. Serialization is the fast,
+// common case; an unserializable barrier (λ > 24) falls back to
+// refolding the control trie (the writer DAG itself must stay private
+// and mutable). The fallback cannot fail — Build already validated λ,
+// the only FromTrie error — so publication is infallible and
+// Set/Delete share one contract.
+//
+// The snapshot retired two publishes ago is reused as the write
+// buffer when nothing still pins it (lookups drain in one batch walk
+// and the merged view's pin is released when the view itself is
+// recycled, so under steady churn the spare is always free and the
+// republish allocates nothing); a pinned spare is simply dropped to
+// the garbage collector and a fresh buffer allocated.
 func (sh *shard) publish(lambda int) {
-	if blob, err := sh.dag.Serialize(); err == nil {
-		sh.cur.Store(&snapshot{blob: blob})
+	next := sh.spare
+	var buf *pdag.Blob
+	if next != nil && next.readers.Load() == 0 {
+		buf = next.blob
+		next.dag = nil
+	} else {
+		next = &snapshot{}
+	}
+	if blob, err := sh.dag.SerializeInto(buf); err == nil {
+		next.blob = blob
+		sh.spare = sh.cur.Swap(next)
 		return
 	}
 	if d, err := pdag.FromTrie(sh.dag.Control(), lambda); err == nil {
-		sh.cur.Store(&snapshot{dag: d})
+		next.blob, next.dag = nil, d
+		sh.spare = sh.cur.Swap(next)
 	}
 }
+
+// combined is the merged serving view the read paths walk: the live
+// 2^(λ-k) root slots of every shard's blob concatenated in shard
+// order (root), each shard's blob node words (nodes), and the backing
+// snapshots (snaps), which the view holds pinned for as long as it is
+// reachable so their buffers cannot be recycled under a reader. root
+// is empty when the barrier is outside [k, mergedRootMaxLambda] or a
+// shard fell back to a folded-DAG snapshot; lookups then resolve
+// per-address through snaps — still one pinned, consistent view.
+//
+// readers counts in-flight lookups, with the same pin/validate
+// recycling protocol as snapshots; recycling a retired view is what
+// finally unpins its snapshots.
+type combined struct {
+	root    []uint32
+	nodes   [][]uint32
+	snaps   []*snapshot
+	lambda  int
+	width   int
+	readers atomic.Int64
+}
+
+func (c *combined) unpin() { c.readers.Add(-1) }
 
 // FIB is a sharded, concurrently-updatable compressed FIB.
 type FIB struct {
@@ -87,6 +178,17 @@ type FIB struct {
 	shift     uint // fib.W - k; addr >> shift selects the shard
 	lambda    int
 	shards    []shard
+
+	comb atomic.Pointer[combined] // the published merged view
+
+	// combMu guards the merged view's double buffer: combSpare is the
+	// view retired by the last publish (its snapshot pins still held),
+	// combFree a drained view whose buffers the next rebuild reuses.
+	// Lock order: shard.mu before combMu; rebuilds never take shard
+	// locks.
+	combMu    sync.Mutex
+	combSpare *combined
+	combFree  *combined
 }
 
 // Build partitions a FIB table into `shards` prefix DAGs (a power of
@@ -109,6 +211,9 @@ func Build(t *fib.Table, lambda, shards int) (*FIB, error) {
 		f.shards[i].dag = d
 		f.shards[i].publish(lambda)
 	}
+	f.combMu.Lock()
+	f.rebuildCombined()
+	f.combMu.Unlock()
 	return f, nil
 }
 
@@ -152,18 +257,130 @@ func (f *FIB) Lambda() int { return f.lambda }
 // ShardOf reports the shard index owning an address.
 func (f *FIB) ShardOf(addr uint32) int { return int(addr >> f.shift) }
 
-// Lookup performs longest prefix match on the owning shard's current
-// snapshot. Lock-free: one atomic pointer load plus the O(W - λ)
-// serialized-blob walk, safe to call from any number of goroutines
-// concurrently with Set/Delete/Reload.
-func (f *FIB) Lookup(addr uint32) uint32 {
-	return f.shards[addr>>f.shift].cur.Load().lookup(addr)
+// pinCombined pins the current merged view, same protocol as
+// shard.pin.
+func (f *FIB) pinCombined() *combined {
+	for {
+		c := f.comb.Load()
+		c.readers.Add(1)
+		if f.comb.Load() == c {
+			return c
+		}
+		c.readers.Add(-1)
+	}
 }
 
-// LookupBatch resolves a batch of addresses, loading each shard's
-// published DAG at most once per batch so the atomic loads amortize
-// across the batch. The whole batch sees one consistent snapshot of
-// every shard it touches.
+// publishShard refreshes a shard's published snapshot and the merged
+// view. Called with sh.mu held. Reclaiming the retired view first
+// releases its snapshot pins, which is what lets publish reuse the
+// shard's spare buffers; the rebuild afterwards is a short merge
+// (2^λ root words plus per-shard slice headers) serialized across
+// shards by combMu.
+func (f *FIB) publishShard(sh *shard) {
+	f.combMu.Lock()
+	f.reclaimCombined()
+	f.combMu.Unlock()
+	sh.publish(f.lambda)
+	f.combMu.Lock()
+	f.rebuildCombined()
+	f.combMu.Unlock()
+}
+
+// reclaimCombined moves the retired merged view to the free slot once
+// no reader pins it, releasing its snapshot pins. Called with combMu
+// held.
+func (f *FIB) reclaimCombined() {
+	c := f.combSpare
+	if c == nil || c.readers.Load() != 0 {
+		return
+	}
+	for i, s := range c.snaps {
+		if s != nil {
+			s.unpin()
+			c.snaps[i] = nil
+		}
+	}
+	f.combSpare = nil
+	if f.combFree == nil {
+		f.combFree = c
+	}
+}
+
+// rebuildCombined publishes a fresh merged view of every shard's
+// current snapshot, reusing the drained view's buffers when one is
+// available. Called with combMu held. If the previous retired view is
+// still pinned when a new one retires, it is dropped to the garbage
+// collector with its snapshot pins intact — those pins are leaked
+// deliberately (the affected shards allocate one fresh buffer each on
+// their next publish); the window is a reader batch, so this is
+// effectively never hit.
+func (f *FIB) rebuildCombined() {
+	c := f.combFree
+	f.combFree = nil
+	if c == nil {
+		c = &combined{}
+	}
+	ns := len(f.shards)
+	if cap(c.snaps) < ns {
+		c.snaps = make([]*snapshot, ns)
+		c.nodes = make([][]uint32, ns)
+	}
+	c.snaps = c.snaps[:ns]
+	c.nodes = c.nodes[:ns]
+	merged := f.shardBits <= f.lambda && f.lambda <= mergedRootMaxLambda
+	for s := range f.shards {
+		snap := f.shards[s].pin() // held until the view is reclaimed
+		c.snaps[s] = snap
+		if snap.blob == nil {
+			c.nodes[s] = nil
+			merged = false
+			continue
+		}
+		c.nodes[s] = snap.blob.Nodes
+		c.lambda, c.width = snap.blob.Lambda, snap.blob.Width
+	}
+	c.root = c.root[:0]
+	if merged {
+		rootLen := 1 << uint(c.lambda)
+		if cap(c.root) < rootLen {
+			c.root = make([]uint32, rootLen)
+		}
+		c.root = c.root[:rootLen]
+		per := rootLen >> uint(f.shardBits)
+		for s := range f.shards {
+			lo := s * per
+			copy(c.root[lo:lo+per], c.snaps[s].blob.Root[lo:lo+per])
+		}
+	}
+	old := f.comb.Swap(c)
+	if old != nil {
+		// Interleaved publishes of different shards can land here with
+		// the previous retiree still in the spare slot: reclaim it if
+		// it drained (moving its buffers to the free slot for the next
+		// rebuild) so its snapshot pins are not leaked; only a spare
+		// that is genuinely still pinned is dropped.
+		f.reclaimCombined()
+		f.combSpare = old
+	}
+}
+
+// Lookup performs longest prefix match on the owning shard's current
+// snapshot. Lock-free: one pinned snapshot load plus the O(W - λ)
+// blob walk, safe to call from any number of goroutines concurrently
+// with Set/Delete/Reload. Scalar lookups pin per shard rather than
+// the merged view so concurrent single-address callers spread their
+// reader-count traffic across 2^k cache lines instead of contending
+// on one; batches amortize and use the view.
+func (f *FIB) Lookup(addr uint32) uint32 {
+	sh := &f.shards[addr>>f.shift]
+	s := sh.pin()
+	label := s.lookup(addr)
+	s.unpin()
+	return label
+}
+
+// LookupBatch resolves a batch of addresses against one consistent
+// merged view of every shard.
 func (f *FIB) LookupBatch(addrs []uint32) []uint32 {
 	out := make([]uint32, len(addrs))
 	f.LookupBatchInto(out, addrs)
@@ -172,25 +389,38 @@ func (f *FIB) LookupBatch(addrs []uint32) []uint32 {
 
 // LookupBatchInto is LookupBatch writing labels into dst, which must
 // be at least len(addrs) long; the allocation-free fast path the
-// serving loop uses.
+// serving loop uses. The whole batch runs against one pinned merged
+// view — two atomic operations per batch, no per-shard or per-address
+// snapshot traffic — through the software-pipelined
+// pdag.LookupBatchMerged walker. (A counting-sort bucketing pass was
+// measured first and lost: grouping cost four extra passes over the
+// batch, more than the per-shard dispatch it saved at any shard count
+// ≤ 256.)
 func (f *FIB) LookupBatchInto(dst, addrs []uint32) {
-	var snap [MaxShards]*snapshot
-	for i, a := range addrs {
-		s := a >> f.shift
-		d := snap[s]
-		if d == nil {
-			d = f.shards[s].cur.Load()
-			snap[s] = d
-		}
-		dst[i] = d.lookup(a)
+	n := len(addrs)
+	if n == 0 {
+		return
 	}
+	dst = dst[:n]
+	c := f.pinCombined()
+	if len(c.root) != 0 {
+		pdag.LookupBatchMerged(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda, c.width)
+	} else {
+		// Barrier outside [k, 16]: no merged root is maintained;
+		// resolve per address against the view's pinned snapshots
+		// (correctness path, never hit at serving barriers).
+		for i, a := range addrs {
+			dst[i] = c.snaps[a>>f.shift].lookup(a)
+		}
+	}
+	c.unpin()
 }
 
 // Set inserts or changes the association for prefix addr/plen. Each
 // covering shard (exactly one when plen ≥ k) is patched in place by
 // the incremental §4.3 update under its writer lock, then frozen and
-// republished with a single atomic store. Concurrent lookups are
-// never blocked; they read the previous snapshot until the store.
+// republished with a single atomic view swap. Concurrent lookups are
+// never blocked; they read the previous view until the swap.
 func (f *FIB) Set(addr uint32, plen int, label uint32) error {
 	if plen < 0 || plen > fib.W {
 		return fmt.Errorf("shardfib: prefix length %d out of range [0,%d]", plen, fib.W)
@@ -205,7 +435,7 @@ func (f *FIB) Set(addr uint32, plen int, label uint32) error {
 		sh.mu.Lock()
 		err := sh.dag.Set(addr, plen, label)
 		if err == nil {
-			sh.publish(f.lambda)
+			f.publishShard(sh)
 		}
 		sh.mu.Unlock()
 		if err != nil {
@@ -229,7 +459,7 @@ func (f *FIB) Delete(addr uint32, plen int) bool {
 		sh.mu.Lock()
 		if sh.dag.Delete(addr, plen) {
 			present = true
-			sh.publish(f.lambda)
+			f.publishShard(sh)
 		}
 		sh.mu.Unlock()
 	}
@@ -239,7 +469,7 @@ func (f *FIB) Delete(addr uint32, plen int) bool {
 // Reload atomically replaces the whole FIB shard by shard from a
 // fresh table — the hot-reload path behind fibserve's SIGHUP. Lookups
 // proceed throughout; each shard flips to the new table's routes the
-// moment its snapshot is stored.
+// moment its publish lands in the merged view.
 func (f *FIB) Reload(t *fib.Table) error {
 	for i, tr := range f.partition(t) {
 		d, err := pdag.FromTrie(tr, f.lambda)
@@ -249,7 +479,7 @@ func (f *FIB) Reload(t *fib.Table) error {
 		sh := &f.shards[i]
 		sh.mu.Lock()
 		sh.dag = d
-		sh.publish(f.lambda)
+		f.publishShard(sh)
 		sh.mu.Unlock()
 	}
 	return nil
@@ -277,12 +507,13 @@ func (f *FIB) ModelBytes() int {
 func (f *FIB) SizeBytes() int {
 	total := 0
 	for i := range f.shards {
-		s := f.shards[i].cur.Load()
+		s := f.shards[i].pin()
 		if s.blob != nil {
 			total += s.blob.SizeBytes()
 		} else {
 			total += s.dag.ModelBytes()
 		}
+		s.unpin()
 	}
 	return total
 }

@@ -15,51 +15,14 @@ import (
 // every node is a leaf or has two children, and only leaves carry
 // labels (label 0 marks address space with no route).
 func (t *Trie) LeafPush() *Trie {
-	root := pushDown(t.Root, fib.NoLabel)
-	root = mergeLeaves(root)
-	return &Trie{Root: root}
+	var a Arena // zero-value arena: plain allocation, nothing recycled
+	return &Trie{Root: a.LeafPushWithDefault(t.Root, fib.NoLabel)}
 }
 
-// LeafPushWithDefault normalizes the subtree with an inherited default
-// label, the leaf_push(u, l) primitive of the trie-folding algorithm
-// (§4.1).
-func LeafPushWithDefault(n *Node, def uint32) *Node {
-	return mergeLeaves(pushDown(n, def))
-}
-
-// pushDown returns a fresh proper trie in which every leaf carries the
-// label in force at that point of the address space (inherited labels
-// included). The input is not modified.
-func pushDown(n *Node, inherited uint32) *Node {
-	if n == nil {
-		return &Node{Label: inherited}
-	}
-	cur := inherited
-	if n.Label != fib.NoLabel {
-		cur = n.Label
-	}
-	if n.IsLeaf() {
-		return &Node{Label: cur}
-	}
-	return &Node{
-		Left:  pushDown(n.Left, cur),
-		Right: pushDown(n.Right, cur),
-	}
-}
-
-// mergeLeaves collapses parents of identically-labeled leaf pairs,
-// bottom-up.
-func mergeLeaves(n *Node) *Node {
-	if n == nil || n.IsLeaf() {
-		return n
-	}
-	n.Left = mergeLeaves(n.Left)
-	n.Right = mergeLeaves(n.Right)
-	if n.Left.IsLeaf() && n.Right.IsLeaf() && n.Left.Label == n.Right.Label {
-		return &Node{Label: n.Left.Label}
-	}
-	return n
-}
+// The push-down/merge primitive itself — leaf_push(u, l) of §4.1 —
+// lives on Arena (Arena.LeafPushWithDefault); the update hot path
+// calls it through a persistent arena so the scratch copies recycle
+// instead of allocating.
 
 // IsProperLeafLabeled verifies the invariants P1–P2 of §3: every node
 // is either a leaf or has exactly two children, and exactly the leaves

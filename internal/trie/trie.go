@@ -21,9 +21,13 @@ type Node struct {
 // IsLeaf reports whether the node has no children.
 func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
 
-// Trie is a binary prefix tree over the W-bit address space.
+// Trie is a binary prefix tree over the W-bit address space. Nodes
+// pruned by Delete are kept on an internal freelist and reused by
+// later Inserts, so steady route churn against a long-lived trie (the
+// control FIB of a prefix DAG) does not allocate.
 type Trie struct {
-	Root *Node
+	Root  *Node
+	arena Arena
 }
 
 // New returns an empty trie (a single unlabeled root).
@@ -46,12 +50,12 @@ func (t *Trie) Insert(addr uint32, plen int, label uint32) {
 	for q := 0; q < plen; q++ {
 		if fib.Bit(addr, q) == 0 {
 			if n.Left == nil {
-				n.Left = &Node{}
+				n.Left = t.arena.node(fib.NoLabel, nil, nil)
 			}
 			n = n.Left
 		} else {
 			if n.Right == nil {
-				n.Right = &Node{}
+				n.Right = t.arena.node(fib.NoLabel, nil, nil)
 			}
 			n = n.Right
 		}
@@ -62,7 +66,8 @@ func (t *Trie) Insert(addr uint32, plen int, label uint32) {
 // Delete removes the label of prefix addr/plen and prunes unlabeled
 // leaf chains. It reports whether a label was present.
 func (t *Trie) Delete(addr uint32, plen int) bool {
-	path := make([]*Node, 0, plen+1)
+	var pathBuf [fib.W + 1]*Node // on-stack: Delete must not allocate
+	path := pathBuf[:0]
 	n := t.Root
 	path = append(path, n)
 	for q := 0; q < plen; q++ {
@@ -80,7 +85,8 @@ func (t *Trie) Delete(addr uint32, plen int) bool {
 		return false
 	}
 	n.Label = fib.NoLabel
-	// Prune now-useless leaves bottom-up.
+	// Prune now-useless leaves bottom-up, recycling them into later
+	// Inserts.
 	for i := len(path) - 1; i > 0; i-- {
 		nd := path[i]
 		if !nd.IsLeaf() || nd.Label != fib.NoLabel {
@@ -92,6 +98,7 @@ func (t *Trie) Delete(addr uint32, plen int) bool {
 		} else {
 			parent.Right = nil
 		}
+		t.arena.recycleOne(nd)
 	}
 	return true
 }
