@@ -434,9 +434,9 @@ func BenchmarkServing_ParallelBatchFlat(b *testing.B) {
 	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 }
 
-func benchParallelBatchSharded(b *testing.B, shards int) {
+func benchParallelBatchSharded(b *testing.B, shards int, format shardfib.Format) {
 	t, keys, _ := benchFIB(b)
-	f, err := shardfib.Build(t, 11, shards)
+	f, err := shardfib.BuildFormat(t, 11, shards, format)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -451,8 +451,18 @@ func benchParallelBatchSharded(b *testing.B, shards int) {
 	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 }
 
-func BenchmarkServing_ParallelBatchSharded4(b *testing.B)  { benchParallelBatchSharded(b, 4) }
-func BenchmarkServing_ParallelBatchSharded16(b *testing.B) { benchParallelBatchSharded(b, 16) }
+func BenchmarkServing_ParallelBatchSharded4(b *testing.B) {
+	benchParallelBatchSharded(b, 4, shardfib.FormatV1)
+}
+func BenchmarkServing_ParallelBatchSharded16(b *testing.B) {
+	benchParallelBatchSharded(b, 16, shardfib.FormatV1)
+}
+
+// The V2 variant serves stride-compressed snapshots through the same
+// merged view — the bench smoke runs both formats side by side.
+func BenchmarkServing_ParallelBatchSharded16V2(b *testing.B) {
+	benchParallelBatchSharded(b, 16, shardfib.FormatV2)
+}
 
 // BenchmarkServing_ParallelBatchBlobLanes serves the flat serialized
 // blob through the software-pipelined batch walker — the single-shard
@@ -478,6 +488,92 @@ func BenchmarkServing_ParallelBatchBlobLanes(b *testing.B) {
 	})
 	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 }
+
+// BenchmarkServing_ParallelBatchBlobV2Lanes is the stride-compressed
+// counterpart of BlobLanes: same keys, same pipeline, but the folded
+// region is walked four levels per touch. On uniform keys the two are
+// close (most lookups resolve in the shared root array); the Deep
+// benchmarks below expose the chain-length difference.
+func BenchmarkServing_ParallelBatchBlobV2Lanes(b *testing.B) {
+	t, keys, _ := benchFIB(b)
+	d, err := pdag.Build(t, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := d.SerializeV2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := serveBatches(keys)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]uint32, serveBatch)
+		for i := 0; pb.Next(); i++ {
+			blob.LookupBatchInto(dst, batches[i%len(batches)])
+		}
+	})
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// The Deep benchmarks run the adversarial long-prefix workload of
+// gen.DeepFIB — every lookup walks the folded region to full depth —
+// the regime the ⌈(W−λ)/4⌉ stride chain is built for. The v1/v2 pair
+// shares table, keys and schedule; only the serialized format
+// differs.
+var (
+	deepOnce  sync.Once
+	deepTable *fib.Table
+	deepKeys  []uint32
+)
+
+func deepFIB(b *testing.B) (*fib.Table, []uint32) {
+	b.Helper()
+	deepOnce.Do(func() {
+		var err error
+		deepTable, deepKeys, err = gen.DeepFIB(rand.New(rand.NewSource(9)), 40000, 1<<14)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return deepTable, deepKeys
+}
+
+// batchBlob is what the deep benchmarks need from either serialized
+// format.
+type batchBlob interface {
+	LookupBatchInto(dst, addrs []uint32)
+	SizeBytes() int
+}
+
+func benchDeepBlob(b *testing.B, v2 bool) {
+	t, keys := deepFIB(b)
+	d, err := pdag.Build(t, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blob batchBlob
+	if v2 {
+		blob, err = d.SerializeV2()
+	} else {
+		blob, err = d.Serialize()
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(blob.SizeBytes()), "bytes")
+	batches := serveBatches(keys)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]uint32, serveBatch)
+		for i := 0; pb.Next(); i++ {
+			blob.LookupBatchInto(dst, batches[i%len(batches)])
+		}
+	})
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+func BenchmarkServing_DeepBatchBlobLanes(b *testing.B)   { benchDeepBlob(b, false) }
+func BenchmarkServing_DeepBatchBlobV2Lanes(b *testing.B) { benchDeepBlob(b, true) }
 
 func BenchmarkServing_ChurnBatchFlat(b *testing.B) {
 	t, keys, _ := benchFIB(b)
@@ -584,9 +680,12 @@ func BenchmarkServing_ChurnBatchSharded16(b *testing.B) {
 // warmup cycle applies every update before the clock starts, so the
 // measurement is steady-state churn — the regime the zero-allocation
 // republish contract covers — rather than first-touch table growth.
-func BenchmarkServing_ShardedUpdate16(b *testing.B) {
+func BenchmarkServing_ShardedUpdate16(b *testing.B)   { benchShardedUpdate(b, shardfib.FormatV1) }
+func BenchmarkServing_ShardedUpdate16V2(b *testing.B) { benchShardedUpdate(b, shardfib.FormatV2) }
+
+func benchShardedUpdate(b *testing.B, format shardfib.Format) {
 	t, _, _ := benchFIB(b)
-	f, err := shardfib.Build(t, 11, 16)
+	f, err := shardfib.BuildFormat(t, 11, 16, format)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -7,9 +7,11 @@
 //	fibbench -fig5 -runs 15 -updates 7500
 //	fibbench -serving -json BENCH_serving.json -label pr2
 //
-// -serving measures the serving hot paths (batched lookups, sharded
-// republish); with -json the results are appended to a trajectory
-// file, one labeled run per invocation, so PRs keep their
+// -serving measures the serving hot paths (batched lookups in both
+// serialized formats — v1 blob and stride-compressed BlobV2 — on
+// uniform and adversarial deep-walk workloads, plus the sharded
+// republish per format); with -json the results are appended to a
+// trajectory file, one labeled run per invocation, so PRs keep their
 // before/after numbers machine-readable.
 package main
 

@@ -6,8 +6,13 @@
 // When serving from a file, SIGHUP re-reads it and hot-swaps the FIB
 // without dropping a single in-flight lookup.
 //
+// -blobv2 serves the stride-compressed snapshot format (pdag.BlobV2):
+// four trie levels per memory touch below the barrier, the right
+// choice for long-prefix-heavy traffic; lookups are bit-identical in
+// both formats.
+//
 //	fibgen -profile access(v) > t.fib
-//	fibserve -listen 127.0.0.1:7000 -shards 16 t.fib &
+//	fibserve -listen 127.0.0.1:7000 -shards 16 -blobv2 t.fib &
 //	kill -HUP $!   # re-read t.fib, keep serving
 //	fibserve -query 10.0.0.1 -server 127.0.0.1:7000
 package main
@@ -32,6 +37,7 @@ func main() {
 		listen = flag.String("listen", "127.0.0.1:7000", "UDP address to serve on")
 		lambda = flag.Int("lambda", 11, "leaf-push barrier")
 		shards = flag.Int("shards", 1, "shard count (power of two; >1 serves the sharded concurrent engine)")
+		blobv2 = flag.Bool("blobv2", false, "serve the stride-compressed blob format (4 trie levels per memory touch below the barrier)")
 		query  = flag.String("query", "", "client mode: address to look up")
 		server = flag.String("server", "127.0.0.1:7000", "client mode: server address")
 		pprof  = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) to profile serving in place")
@@ -79,34 +85,60 @@ func main() {
 		fatal(err)
 	}
 
+	format := shardfib.FormatV1
+	if *blobv2 {
+		format = shardfib.FormatV2
+	}
+	// flatEngine folds a table into the single-shard serving form:
+	// the immutable line-card blob in the requested format when the
+	// barrier admits one, else the mutable DAG itself. served and
+	// size describe what is actually walked, so the banner cannot
+	// claim a blob the serializer declined (λ > 24 falls back to the
+	// DAG) and the v1/v2 byte sizes stay comparable across runs.
+	flatEngine := func(t *fib.Table) (eng lookupd.Lookuper, size int, served string, err error) {
+		d, err := pdag.Build(t, *lambda)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		if *blobv2 {
+			if blob, err := d.SerializeV2(); err == nil {
+				return blob, blob.SizeBytes(), "v2", nil
+			}
+		} else if blob, err := d.Serialize(); err == nil {
+			return blob, blob.SizeBytes(), "v1", nil
+		}
+		return d, d.ModelBytes(), "dag (unserialized)", nil
+	}
+
 	var (
 		sharded *shardfib.FIB
 		engine  lookupd.Lookuper
 		size    int
+		served  string
 	)
 	if *shards > 1 {
-		sharded, err = shardfib.Build(t, *lambda, *shards)
+		sharded, err = shardfib.BuildFormat(t, *lambda, *shards, format)
 		if err != nil {
 			fatal(err)
 		}
-		engine, size = sharded, sharded.ModelBytes()
+		engine, size, served = sharded, sharded.SizeBytes(), format.String()
+		if !sharded.SnapshotsSerialized() {
+			// The engine fell back to folded-DAG snapshots (barrier
+			// beyond the serializable range); say so.
+			served = "dag (unserialized)"
+		}
 	} else {
-		d, err := pdag.Build(t, *lambda)
+		engine, size, served, err = flatEngine(t)
 		if err != nil {
 			fatal(err)
-		}
-		size = d.ModelBytes()
-		engine = d
-		if blob, err := d.Serialize(); err == nil {
-			engine = blob // serve the immutable line-card form when it fits
 		}
 	}
 	s, err := lookupd.Listen(*listen, engine)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB (%d shard(s)), serving on %s\n",
-		t.N(), float64(size)/1024, *shards, s.Addr())
+	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB (%d shard(s), blob %s), serving on %s\n",
+		t.N(), float64(size)/1024, *shards, served, s.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
@@ -130,14 +162,10 @@ func main() {
 				continue
 			}
 		} else {
-			d, err := pdag.Build(t, *lambda)
+			next, _, _, err := flatEngine(t)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "fibserve: reload: %v (keeping old FIB)\n", err)
 				continue
-			}
-			var next lookupd.Lookuper = d
-			if blob, err := d.Serialize(); err == nil {
-				next = blob
 			}
 			s.Swap(next)
 		}

@@ -48,9 +48,11 @@ type servingFile struct {
 const servingBatch = 256
 
 // RunServing measures the serving hot paths — batched lookups through
-// the flat DAG, the flat serialized blob's pipelined walker, and the
-// sharded engine's merged view, plus the sharded steady-churn
-// republish — and prints one row each. The numbers are the living
+// the flat DAG, the flat serialized blobs' pipelined walkers in both
+// formats, and the sharded engine's merged view in both formats, on
+// the uniform-random workload and on the adversarial deep-walk
+// (long-prefix) workload, plus the sharded steady-churn republish per
+// format — and prints one row each. The numbers are the living
 // counterpart of the Serving_* Go benchmarks, packaged for machines.
 func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 	t, _, err := cfg.generate("taz")
@@ -73,7 +75,15 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	blob2, err := d.SerializeV2()
+	if err != nil {
+		return nil, err
+	}
 	f, err := shardfib.Build(t, 11, 16)
+	if err != nil {
+		return nil, err
+	}
+	f2, err := shardfib.BuildFormat(t, 11, 16, shardfib.FormatV2)
 	if err != nil {
 		return nil, err
 	}
@@ -95,45 +105,104 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 			SizeBytes: blob.SizeBytes(),
 		},
 		{
+			Name:      "flat-blob2-lanes",
+			MLps:      batchMLps(func(b []uint32) { blob2.LookupBatchInto(dst, b) }, batches, minDur),
+			SizeBytes: blob2.SizeBytes(),
+		},
+		{
 			Name:      "sharded16-lanes",
 			MLps:      batchMLps(func(b []uint32) { f.LookupBatchInto(dst, b) }, batches, minDur),
 			SizeBytes: f.SizeBytes(),
 		},
+		{
+			Name:      "sharded16-v2-lanes",
+			MLps:      batchMLps(func(b []uint32) { f2.LookupBatchInto(dst, b) }, batches, minDur),
+			SizeBytes: f2.SizeBytes(),
+		},
 	}
 
-	us := gen.RandomUpdates(rand.New(rand.NewSource(cfg.Seed+9)), t, 4096)
-	apply := func(u gen.Update) error {
-		if u.Withdraw {
-			f.Delete(u.Addr, u.Len)
-			return nil
-		}
-		return f.Set(u.Addr, u.Len, u.NextHop)
+	// The deep-walk workload: host-length routes hit exactly, so every
+	// lookup walks the folded region to full depth — the latency-chain
+	// regime where the stride compression of BlobV2 pays off (its
+	// headline acceptance number is the ratio of these two rows).
+	// The deep table is a fixed-size adversarial microbenchmark, not a
+	// scaled paper instance: 40 K host routes keep the folded region
+	// larger than cache so the walks are genuinely latency-bound.
+	dt, dkeys, err := gen.DeepFIB(rand.New(rand.NewSource(cfg.Seed+10)), 40000, 1<<14)
+	if err != nil {
+		return nil, err
 	}
-	for _, u := range us { // steady state: every update applied once
-		if err := apply(u); err != nil {
-			return nil, err
-		}
+	dd, err := pdag.Build(dt, 11)
+	if err != nil {
+		return nil, err
 	}
-	var ms0, ms1 runtime.MemStats
-	runtime.ReadMemStats(&ms0)
-	start := time.Now()
-	n := 0
-	for time.Since(start) < minDur {
-		if err := apply(us[n&4095]); err != nil {
-			return nil, err
-		}
-		n++
+	dblob, err := dd.Serialize()
+	if err != nil {
+		return nil, err
 	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&ms1)
-	results = append(results, ServingResult{
-		Name:        "sharded16-update",
-		UpdateUs:    float64(elapsed.Microseconds()) / float64(n),
-		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
-		SizeBytes:   f.ModelBytes(),
-	})
+	dblob2, err := dd.SerializeV2()
+	if err != nil {
+		return nil, err
+	}
+	var deepBatches [][]uint32
+	for i := 0; i+servingBatch <= len(dkeys); i += servingBatch {
+		deepBatches = append(deepBatches, dkeys[i:i+servingBatch])
+	}
+	results = append(results,
+		ServingResult{
+			Name:      "deep-blob-lanes",
+			MLps:      batchMLps(func(b []uint32) { dblob.LookupBatchInto(dst, b) }, deepBatches, minDur),
+			SizeBytes: dblob.SizeBytes(),
+		},
+		ServingResult{
+			Name:      "deep-blob2-lanes",
+			MLps:      batchMLps(func(b []uint32) { dblob2.LookupBatchInto(dst, b) }, deepBatches, minDur),
+			SizeBytes: dblob2.SizeBytes(),
+		},
+	)
 
-	fmt.Fprintf(w, "Serving engine (taz, scale %.3g, batch %d, 16 shards):\n", cfg.Scale, servingBatch)
+	for _, fmtRow := range []struct {
+		name string
+		fib  *shardfib.FIB
+	}{
+		{"sharded16-update", f},
+		{"sharded16-v2-update", f2},
+	} {
+		eng := fmtRow.fib
+		us := gen.RandomUpdates(rand.New(rand.NewSource(cfg.Seed+9)), t, 4096)
+		apply := func(u gen.Update) error {
+			if u.Withdraw {
+				eng.Delete(u.Addr, u.Len)
+				return nil
+			}
+			return eng.Set(u.Addr, u.Len, u.NextHop)
+		}
+		for _, u := range us { // steady state: every update applied once
+			if err := apply(u); err != nil {
+				return nil, err
+			}
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		n := 0
+		for time.Since(start) < minDur {
+			if err := apply(us[n&4095]); err != nil {
+				return nil, err
+			}
+			n++
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		results = append(results, ServingResult{
+			Name:        fmtRow.name,
+			UpdateUs:    float64(elapsed.Microseconds()) / float64(n),
+			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+			SizeBytes:   eng.ModelBytes(),
+		})
+	}
+
+	fmt.Fprintf(w, "Serving engine (taz, scale %.3g, batch %d, 16 shards, blob v1+v2):\n", cfg.Scale, servingBatch)
 	for _, r := range results {
 		if r.UpdateUs != 0 {
 			fmt.Fprintf(w, "  %-18s %8.1f µs/update  %6.2f allocs/op  %8.1f KB model\n",

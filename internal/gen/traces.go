@@ -3,6 +3,8 @@ package gen
 import (
 	"math"
 	"math/rand"
+
+	"fibcomp/internal/fib"
 )
 
 // UniformAddrs draws lookup keys uniformly from [0, 2^32), the
@@ -34,6 +36,34 @@ func ZipfTrace(rng *rand.Rand, count, flows int, s float64) []uint32 {
 		out[i] = dests[z.Uint64()]
 	}
 	return out
+}
+
+// DeepFIB builds the adversarial deep-walk serving workload: a table
+// dominated by host-length routes (/28../32 under a covering default)
+// and a key set that hits them exactly, so nearly every lookup walks
+// the folded region to full depth below any FIB-scale barrier. This
+// is the latency-chain-bound regime the interleaved lanes — and the
+// stride-compressed BlobV2 — exist for; uniform keys resolve mostly
+// in the root array and never expose it.
+func DeepFIB(rng *rand.Rand, n, keys int) (*fib.Table, []uint32, error) {
+	t := fib.New()
+	if err := t.Add(0, 0, 1); err != nil {
+		return nil, nil, err
+	}
+	routes := make([]uint32, 0, n)
+	for len(routes) < n {
+		plen := 28 + rng.Intn(5)
+		a := rng.Uint32() & fib.Mask(plen)
+		if err := t.Add(a, plen, 2+uint32(rng.Intn(200))); err != nil {
+			return nil, nil, err
+		}
+		routes = append(routes, a)
+	}
+	out := make([]uint32, keys)
+	for i := range out {
+		out[i] = routes[rng.Intn(len(routes))]
+	}
+	return t, out, nil
 }
 
 // TraceLocality measures the fraction of lookups going to the top-k

@@ -1,0 +1,190 @@
+package pdag
+
+import (
+	"math/rand"
+	"testing"
+
+	"fibcomp/internal/fib"
+)
+
+// TestLookupBatchV2MatchesScalar pins the v2 lane walker to scalar
+// BlobV2.Lookup (itself pinned to v1) across the barrier matrix and
+// the lane edge cases: empty batch, fewer walks than lanes, non-lane
+// multiples, many lane groups.
+func TestLookupBatchV2MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, lambda := range v2Lambdas {
+		d, err := Build(randomTable(rng, 4000, 7, true), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.SerializeV2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range batchSizes {
+			addrs := make([]uint32, n)
+			for i := range addrs {
+				addrs[i] = rng.Uint32()
+			}
+			got := make([]uint32, n)
+			b.LookupBatchInto(got, addrs)
+			for i, a := range addrs {
+				if want := b.Lookup(a); got[i] != want {
+					t.Fatalf("λ=%d batch=%d: addr %08x: v2 lanes gave %d, scalar %d",
+						lambda, n, a, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupBatchV2DeepWalks parks every lane: host routes under a
+// default force full-depth walks, the regime the stride lanes exist
+// for, and the non-multiple batch length leaves a partial lane group.
+func TestLookupBatchV2DeepWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	tab := fib.New()
+	tab.Add(0, 0, 1)
+	probes := make([]uint32, 0, 1024)
+	for i := 0; i < 400; i++ {
+		plen := 26 + rng.Intn(7)
+		a := rng.Uint32() & fib.Mask(plen)
+		tab.Add(a, plen, uint32(2+i%200))
+		probes = append(probes, a, a|1)
+	}
+	for _, lambda := range v2Lambdas {
+		d, err := Build(tab, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := d.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := d.SerializeV2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]uint32, len(probes))
+		v2.LookupBatchInto(got, probes[:len(probes)-3]) // non-multiple of 8
+		for i, a := range probes[:len(probes)-3] {
+			if want := v1.Lookup(a); got[i] != want {
+				t.Fatalf("λ=%d addr %08x: v2 lanes %d, v1 scalar %d", lambda, a, got[i], want)
+			}
+		}
+	}
+}
+
+// TestLookupBatchV2AfterUpdates re-pins equivalence on a v2 blob
+// serialized from a DAG that went through incremental updates, the
+// shape the sharded republish path produces.
+func TestLookupBatchV2AfterUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, lambda := range v2Lambdas {
+		d, err := Build(randomTable(rng, 1000, 5, false), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			plen := rng.Intn(fib.W + 1)
+			addr := rng.Uint32() & fib.Mask(plen)
+			if rng.Intn(4) == 0 {
+				d.Delete(addr, plen)
+			} else if err := d.Set(addr, plen, uint32(rng.Intn(5))+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v1, err := d.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := d.SerializeV2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := make([]uint32, 999)
+		for i := range addrs {
+			addrs[i] = rng.Uint32()
+		}
+		got := v2.LookupBatch(addrs)
+		for i, a := range addrs {
+			if want := v1.Lookup(a); got[i] != want {
+				t.Fatalf("λ=%d addr %08x: v2 batch %d, v1 scalar %d", lambda, a, got[i], want)
+			}
+		}
+	}
+}
+
+// TestLookupBatchV2StringWidths pins the walker on string-model blobs
+// whose width is not the IPv4 32 — in particular width−λ = 4, where
+// the whole folded region is one stride of inlined depth-4 leaves and
+// an early width cut-off in the batch path would drop them (a real
+// regression caught in review), and width−λ < 4 partial strides.
+func TestLookupBatchV2StringWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for _, width := range []int{6, 8, 10} {
+		s := make([]uint32, 1<<width)
+		for i := range s {
+			s[i] = uint32(rng.Intn(5))
+		}
+		for lambda := 0; lambda <= width; lambda++ {
+			d, err := BuildString(s, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2, err := d.SerializeV2()
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs := make([]uint32, len(s))
+			for i := range addrs {
+				addrs[i] = uint32(i) << uint(fib.W-width)
+			}
+			got := make([]uint32, len(addrs))
+			v2.LookupBatchInto(got, addrs)
+			for i, a := range addrs {
+				if want := v2.Lookup(a); got[i] != want {
+					t.Fatalf("width=%d λ=%d idx %d: batch %d, scalar %d", width, lambda, i, got[i], want)
+				}
+				if want := s[i] + 1; got[i] != want {
+					t.Fatalf("width=%d λ=%d idx %d: batch label %d, symbol+1 %d", width, lambda, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// FuzzLookupBatchV2 extends the batch fuzz harness to the v2 walker.
+func FuzzLookupBatchV2(f *testing.F) {
+	f.Add(uint64(1), uint32(0x0A000001), uint8(11))
+	f.Add(uint64(7), uint32(0xFFFFFFFF), uint8(0))
+	f.Add(uint64(42), uint32(0), uint8(16))
+	f.Fuzz(func(t *testing.T, seed uint64, addr0 uint32, lam uint8) {
+		lambda := int(lam) % (maxSerialLambda + 1)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		d, err := Build(randomTable(rng, 200, 4, seed%2 == 0), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := d.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := d.SerializeV2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := make([]uint32, int(seed%23))
+		for i := range addrs {
+			addrs[i] = addr0 + uint32(i)*0x9E3779B9
+		}
+		got := make([]uint32, len(addrs))
+		v2.LookupBatchInto(got, addrs)
+		for i, a := range addrs {
+			if want := v1.Lookup(a); got[i] != want {
+				t.Fatalf("λ=%d addr %08x: v2 batch %d, v1 scalar %d", lambda, a, got[i], want)
+			}
+		}
+	})
+}

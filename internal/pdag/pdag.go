@@ -65,12 +65,16 @@ type DAG struct {
 	leaves  map[uint32]*Node    // the leaf table lp
 	nextID  uint64
 
-	// Serialize scratch, reused across republishes (see SerializeInto):
-	// the current stamping epoch, the folded interiors in blob-index
-	// order, and the iterative DFS stack.
-	serialEpoch uint64
-	serialList  []*Node
-	serialStack []*Node
+	// Serialize scratch, reused across republishes (see SerializeInto
+	// and SerializeV2Into, which share it — the epoch bump isolates
+	// the two formats' stamps): the current stamping epoch, the folded
+	// interiors in emission order, the iterative DFS stack, plus the
+	// v2 serializer's word watermark and stride-expansion buffer.
+	serialEpoch     uint64
+	serialList      []*Node
+	serialStack     []*Node
+	serialWatermark uint32
+	serialExps      []strideExp
 
 	// Update-path recyclers: released DAG nodes chain through freeNode
 	// (linked via Left) and feed later acquires; scratch is the arena

@@ -80,7 +80,7 @@ func (d *DAG) SerializeInto(b *Blob) (*Blob, error) {
 	// assigns node indices on first contact with a folded subtree.
 	d.serialEpoch++
 	d.serialList = d.serialList[:0]
-	if err := d.fillRoot(b, d.root, 0, 0, fib.NoLabel); err != nil {
+	if err := d.fillRoot(b.Root, b.Lambda, d.root, 0, 0, fib.NoLabel, d.assign); err != nil {
 		return nil, err
 	}
 
@@ -103,39 +103,41 @@ func (d *DAG) SerializeInto(b *Blob) (*Blob, error) {
 // node n at depth, i.e. slots [v<<(λ-depth), (v+1)<<(λ-depth)). def is
 // the last label seen on the path, the inherited default packed into
 // bits 24..31 of each entry. Folded subtrees reached above the barrier
-// cover their whole slot range with one payload.
-func (d *DAG) fillRoot(b *Blob, n *Node, v uint32, depth int, def uint32) error {
-	lo := int(v) << uint(b.Lambda-depth)
-	hi := lo + 1<<uint(b.Lambda-depth)
+// cover their whole slot range with one payload: the index assign
+// gives their stride/interior node — both serialized formats share
+// the root-array encoding and differ only in what assign emits.
+func (d *DAG) fillRoot(root []uint32, lambda int, n *Node, v uint32, depth int, def uint32, assign func(*Node) (uint32, error)) error {
+	lo := int(v) << uint(lambda-depth)
+	hi := lo + 1<<uint(lambda-depth)
 	if n == nil {
-		fillWords(b.Root[lo:hi], def<<24|blobNone)
+		fillWords(root[lo:hi], def<<24|blobNone)
 		return nil
 	}
 	switch n.kind {
 	case kindLeaf:
-		fillWords(b.Root[lo:hi], def<<24|blobLeafFlag|(n.Label&0xFF))
+		fillWords(root[lo:hi], def<<24|blobLeafFlag|(n.Label&0xFF))
 		return nil
 	case kindInt:
-		idx, err := d.assign(n)
+		idx, err := assign(n)
 		if err != nil {
 			return err
 		}
-		fillWords(b.Root[lo:hi], def<<24|idx)
+		fillWords(root[lo:hi], def<<24|idx)
 		return nil
 	}
 	if n.Label != fib.NoLabel {
 		def = n.Label
 	}
-	if depth == b.Lambda {
+	if depth == lambda {
 		// A plain node at the barrier: nothing folded hangs here (the
 		// builder folds exactly at λ), only the default applies.
-		b.Root[lo] = def<<24 | blobNone
+		root[lo] = def<<24 | blobNone
 		return nil
 	}
-	if err := d.fillRoot(b, n.Left, 2*v, depth+1, def); err != nil {
+	if err := d.fillRoot(root, lambda, n.Left, 2*v, depth+1, def, assign); err != nil {
 		return err
 	}
-	return d.fillRoot(b, n.Right, 2*v+1, depth+1, def)
+	return d.fillRoot(root, lambda, n.Right, 2*v+1, depth+1, def, assign)
 }
 
 // assign gives a folded subtree dense preorder indices, stamping each
@@ -190,7 +192,7 @@ func (d *DAG) assign(root *Node) (uint32, error) {
 // stamp assigns n the next dense index under epoch.
 func (d *DAG) stamp(n *Node, epoch uint64) error {
 	if len(d.serialList) > maxBlobIdx {
-		return fmt.Errorf("pdag: too many folded nodes to serialize (%d)", len(d.sub))
+		return fmt.Errorf("pdag: too many folded nodes to serialize (%d)", len(d.serialList))
 	}
 	n.serialEpoch, n.serialIdx = epoch, uint32(len(d.serialList))
 	d.serialList = append(d.serialList, n)
@@ -213,54 +215,38 @@ func fillWords(s []uint32, v uint32) {
 	}
 }
 
-// Lookup performs longest prefix match on the serialized form: one
-// root-array access plus one word access per level below the barrier.
-func (b *Blob) Lookup(addr uint32) uint32 {
-	e := b.Root[addr>>uint(fib.W-b.Lambda)]
+// lookupWalk is the one scalar walk of the v1 blob; the three public
+// entry points are thin wrappers over it instead of hand-maintained
+// copies. It returns the matched label and the number of node words
+// touched below the root array (the "depth" of Table 2). A non-nil
+// visit receives the byte offset of every word read, in order; the
+// nil checks are perfectly predicted branches in the plain-Lookup
+// instantiation, measured at zero cost next to the walk's loads.
+func lookupWalk(b *Blob, addr uint32, visit func(byteOffset int)) (label uint32, depth int) {
+	ri := int(addr >> uint(fib.W-b.Lambda))
+	if visit != nil {
+		visit(ri * 4)
+	}
+	e := b.Root[ri]
 	best := e >> 24
-	p := e & 0x00FFFFFF
-	if p == blobNone {
-		return best
-	}
-	if p&blobLeafFlag != 0 {
-		if l := p & 0xFF; l != fib.NoLabel {
-			best = l
-		}
-		return best
-	}
-	idx := p
-	for q := b.Lambda; q < b.Width; q++ {
-		w := b.Nodes[2*idx+fib.Bit(addr, q)]
-		if w&wordLeafFlag != 0 {
-			if l := w & 0xFF; l != fib.NoLabel {
-				best = l
-			}
-			return best
-		}
-		idx = w
-	}
-	return best
-}
-
-// LookupDepth is Lookup instrumented with the number of node words
-// touched below the root array, the "depth" of Table 2.
-func (b *Blob) LookupDepth(addr uint32) (label uint32, depth int) {
-	e := b.Root[addr>>uint(fib.W-b.Lambda)]
-	best := e >> 24
-	p := e & 0x00FFFFFF
-	if p == blobNone {
+	pay := e & 0x00FFFFFF
+	if pay == blobNone {
 		return best, 0
 	}
-	if p&blobLeafFlag != 0 {
-		if l := p & 0xFF; l != fib.NoLabel {
+	if pay&blobLeafFlag != 0 {
+		if l := pay & 0xFF; l != fib.NoLabel {
 			best = l
 		}
 		return best, 0
 	}
-	idx := p
+	idx := pay
 	for q := b.Lambda; q < b.Width; q++ {
 		depth++
-		w := b.Nodes[2*idx+fib.Bit(addr, q)]
+		wi := 2*idx + fib.Bit(addr, q)
+		if visit != nil {
+			visit(len(b.Root)*4 + int(wi)*4)
+		}
+		w := b.Nodes[wi]
 		if w&wordLeafFlag != 0 {
 			if l := w & 0xFF; l != fib.NoLabel {
 				best = l
@@ -272,40 +258,26 @@ func (b *Blob) LookupDepth(addr uint32) (label uint32, depth int) {
 	return best, depth
 }
 
+// Lookup performs longest prefix match on the serialized form: one
+// root-array access plus one word access per level below the barrier.
+func (b *Blob) Lookup(addr uint32) uint32 {
+	label, _ := lookupWalk(b, addr, nil)
+	return label
+}
+
+// LookupDepth is Lookup instrumented with the number of node words
+// touched below the root array, the "depth" of Table 2.
+func (b *Blob) LookupDepth(addr uint32) (label uint32, depth int) {
+	return lookupWalk(b, addr, nil)
+}
+
 // LookupTrace runs Lookup reporting every byte offset read from the
 // blob, in order, to the callback; the cache and FPGA simulators feed
 // on this access stream. The root array starts at offset 0 and node
 // words follow it.
 func (b *Blob) LookupTrace(addr uint32, visit func(byteOffset int)) uint32 {
-	ri := int(addr >> uint(fib.W-b.Lambda))
-	visit(ri * 4)
-	e := b.Root[ri]
-	best := e >> 24
-	p := e & 0x00FFFFFF
-	if p == blobNone {
-		return best
-	}
-	if p&blobLeafFlag != 0 {
-		if l := p & 0xFF; l != fib.NoLabel {
-			best = l
-		}
-		return best
-	}
-	base := len(b.Root) * 4
-	idx := p
-	for q := b.Lambda; q < b.Width; q++ {
-		wi := int(2*idx + fib.Bit(addr, q))
-		visit(base + wi*4)
-		w := b.Nodes[wi]
-		if w&wordLeafFlag != 0 {
-			if l := w & 0xFF; l != fib.NoLabel {
-				best = l
-			}
-			return best
-		}
-		idx = w
-	}
-	return best
+	label, _ := lookupWalk(b, addr, visit)
+	return label
 }
 
 // SizeBytes reports the byte size of the serialized structure.

@@ -1,0 +1,336 @@
+package pdag
+
+import (
+	"math/rand"
+	"testing"
+
+	"fibcomp/internal/fib"
+)
+
+// v2Lambdas are the barriers the stride-compressed format is pinned
+// against the v1 blob on, per the acceptance matrix: λ=0 (everything
+// folded), λ=2 (folded region not stride-aligned at the bottom), the
+// paper's λ=11, and λ=8/16 (stride-aligned folded depths).
+var v2Lambdas = []int{0, 2, 8, 11, 16}
+
+// TestLookupV2MatchesV1 is the headline differential check: on random
+// tables across the barrier matrix, BlobV2.Lookup must be
+// bit-identical to Blob.Lookup (itself pinned to the DAG) on random
+// and structured probe addresses.
+func TestLookupV2MatchesV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, lambda := range v2Lambdas {
+		for _, dense := range []bool{false, true} {
+			d, err := Build(randomTable(rng, 3000, 7, dense), lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1, err := d.Serialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2, err := d.SerializeV2()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20000; i++ {
+				a := rng.Uint32()
+				want := v1.Lookup(a)
+				if got := v2.Lookup(a); got != want {
+					t.Fatalf("λ=%d dense=%v addr %08x: v2 %d, v1 %d", lambda, dense, a, got, want)
+				}
+			}
+			// Structured probes: walk every table prefix and its
+			// neighborhood so deep paths are guaranteed coverage.
+			for i := uint32(0); i < 1<<12; i++ {
+				a := i << 20 // sweep the top bits, hitting every root slot range
+				if got, want := v2.Lookup(a), v1.Lookup(a); got != want {
+					t.Fatalf("λ=%d dense=%v addr %08x: v2 %d, v1 %d", lambda, dense, a, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupV2DeepPaths forces maximal-depth walks: host routes (/32)
+// under a covering default make the folded region as deep as it gets,
+// including the partial final stride when (W−λ)%4 ≠ 0.
+func TestLookupV2DeepPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, lambda := range v2Lambdas {
+		tab := fib.New()
+		tab.Add(0, 0, 1)
+		addrs := make([]uint32, 0, 600)
+		for i := 0; i < 200; i++ {
+			a := rng.Uint32()
+			plen := 25 + rng.Intn(8) // /25../32: leaves near depth W
+			a &= fib.Mask(plen)
+			tab.Add(a, plen, uint32(2+i%250))
+			addrs = append(addrs, a, a|^fib.Mask(plen), a^1<<(32-uint32(plen)))
+		}
+		d, err := Build(tab, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := d.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := d.SerializeV2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range addrs {
+			if got, want := v2.Lookup(a), v1.Lookup(a); got != want {
+				t.Fatalf("λ=%d addr %08x: v2 %d, v1 %d", lambda, a, got, want)
+			}
+			if got, want := v2.Lookup(a), d.Lookup(a); got != want {
+				t.Fatalf("λ=%d addr %08x: v2 %d, dag %d", lambda, a, got, want)
+			}
+		}
+	}
+}
+
+// TestLookupDepthV2 checks the instrumented walk: depth must be the
+// stride-node count, consistent with ⌈v1depth/4⌉ on every probe, and
+// LookupTrace must report byte offsets inside the blob in a
+// root-then-words order whose label agrees with Lookup.
+func TestLookupDepthV2(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	d, err := Build(randomTable(rng, 2000, 6, true), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := d.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := d.SerializeV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		a := rng.Uint32()
+		l1, d1 := v1.LookupDepth(a)
+		l2, d2 := v2.LookupDepth(a)
+		if l1 != l2 {
+			t.Fatalf("addr %08x: v2 label %d, v1 %d", a, l2, l1)
+		}
+		if want := (d1 + 3) / 4; d2 != want {
+			t.Fatalf("addr %08x: v2 depth %d, want ⌈%d/4⌉ = %d", a, d2, d1, want)
+		}
+		var offs []int
+		lt := v2.LookupTrace(a, func(off int) { offs = append(offs, off) })
+		if lt != l2 {
+			t.Fatalf("addr %08x: trace label %d, lookup %d", a, lt, l2)
+		}
+		if len(offs) == 0 || offs[0] != int(a>>21)*4 {
+			t.Fatalf("addr %08x: trace misses the root access: %v", a, offs)
+		}
+		for _, off := range offs {
+			if off < 0 || off >= v2.SizeBytes() || off%4 != 0 {
+				t.Fatalf("addr %08x: trace offset %d outside the blob (size %d)", a, off, v2.SizeBytes())
+			}
+		}
+	}
+}
+
+// TestSerializeV2IntoMatchesFresh republishes into a reused v2 blob
+// after update bursts and checks it stays lookup-identical to a fresh
+// serialization and to the DAG.
+func TestSerializeV2IntoMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for _, lambda := range v2Lambdas {
+		d, err := Build(randomTable(rng, 2000, 6, true), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reused *BlobV2
+		for round := 0; round < 8; round++ {
+			for i := 0; i < 100; i++ {
+				plen := rng.Intn(fib.W + 1)
+				addr := rng.Uint32() & fib.Mask(plen)
+				if rng.Intn(3) == 0 {
+					d.Delete(addr, plen)
+				} else if err := d.Set(addr, plen, uint32(rng.Intn(6))+1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			reused, err = d.SerializeV2Into(reused)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := d.SerializeV2()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reused.SizeBytes() != fresh.SizeBytes() {
+				t.Fatalf("λ=%d round %d: reused %d bytes, fresh %d", lambda, round, reused.SizeBytes(), fresh.SizeBytes())
+			}
+			for i := 0; i < 2000; i++ {
+				a := rng.Uint32()
+				if g, w := reused.Lookup(a), fresh.Lookup(a); g != w {
+					t.Fatalf("λ=%d round %d addr %08x: reused %d, fresh %d", lambda, round, a, g, w)
+				}
+				if g, w := reused.Lookup(a), d.Lookup(a); g != w {
+					t.Fatalf("λ=%d round %d addr %08x: reused %d, dag %d", lambda, round, a, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSerializeV2IntoZeroAllocs proves a steady-state v2 republish —
+// same barrier, folded region not growing past the high-water mark —
+// touches the heap zero times, the contract the sharded engine's
+// double-buffered publish relies on.
+func TestSerializeV2IntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	d, err := Build(randomTable(rng, 3000, 6, true), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.SerializeV2Into(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SerializeV2Into(blob); err != nil { // warm the scratch high-water marks
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := d.SerializeV2Into(blob); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SerializeV2Into allocated %.1f times per republish, want 0", allocs)
+	}
+}
+
+// TestSerializeV2AlternatingFormats interleaves v1 and v2 republishes
+// of one DAG — the epoch bump must keep the two formats' stamps from
+// contaminating each other.
+func TestSerializeV2AlternatingFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	d, err := Build(randomTable(rng, 1500, 5, false), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1 *Blob
+	var b2 *BlobV2
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 50; i++ {
+			plen := rng.Intn(fib.W + 1)
+			addr := rng.Uint32() & fib.Mask(plen)
+			if err := d.Set(addr, plen, uint32(rng.Intn(6))+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if b1, err = d.SerializeInto(b1); err != nil {
+			t.Fatal(err)
+		}
+		if b2, err = d.SerializeV2Into(b2); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3000; i++ {
+			a := rng.Uint32()
+			if g, w := b2.Lookup(a), b1.Lookup(a); g != w {
+				t.Fatalf("round %d addr %08x: v2 %d, v1 %d", round, a, g, w)
+			}
+		}
+	}
+}
+
+// TestSerializeV2Shrinks reuses a large v2 blob for a much smaller
+// DAG and checks the slices are resliced, not leaked at full length.
+func TestSerializeV2Shrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	big, err := Build(randomTable(rng, 5000, 6, true), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := big.SerializeV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Build(fib.MustParse("0.0.0.0/0 1", "10.0.0.0/8 2"), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err = small.SerializeV2Into(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := small.SerializeV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob.SizeBytes() != fresh.SizeBytes() {
+		t.Fatalf("reused blob reports %d bytes, fresh %d", blob.SizeBytes(), fresh.SizeBytes())
+	}
+	for i := 0; i < 5000; i++ {
+		a := rng.Uint32()
+		if g, w := blob.Lookup(a), small.Lookup(a); g != w {
+			t.Fatalf("addr %08x: reused %d, dag %d", a, g, w)
+		}
+	}
+}
+
+// TestBlobV2SharingPreserved checks the v2 serializer keeps the
+// hash-consed sharing of the DAG: a table whose folded subtrees
+// repeat must serialize each shared stride subtree once. With two
+// labels alternating on /24 boundaries below 10/8, the folded
+// subtrees are massively shared, so the words region must stay far
+// below the unshared expansion.
+func TestBlobV2SharingPreserved(t *testing.T) {
+	tab := fib.New()
+	tab.Add(0, 0, 1)
+	for i := uint32(0); i < 256; i++ {
+		tab.Add(0x0A000000|i<<8, 24, 2+i%2)
+	}
+	d, err := Build(tab, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := d.SerializeV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256 structurally identical /24 subtrees (two variants) fold into
+	// a couple of shared stride chains; far under one chain per slot.
+	if len(v2.Words) > 200 {
+		t.Fatalf("shared table serialized to %d words; sharing lost", len(v2.Words))
+	}
+}
+
+// FuzzLookupV2 extends the differential fuzz harness to the v2
+// format: arbitrary tables and barriers, v2 pinned to v1 scalar.
+func FuzzLookupV2(f *testing.F) {
+	f.Add(uint64(1), uint32(0x0A000001), uint8(11))
+	f.Add(uint64(7), uint32(0xFFFFFFFF), uint8(0))
+	f.Add(uint64(42), uint32(0), uint8(16))
+	f.Add(uint64(3), uint32(0x80000000), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, addr0 uint32, lam uint8) {
+		lambda := int(lam) % (maxSerialLambda + 1)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		d, err := Build(randomTable(rng, 200, 4, seed%2 == 0), lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := d.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := d.SerializeV2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := addr0
+		for i := 0; i < 64; i++ {
+			if got, want := v2.Lookup(a), v1.Lookup(a); got != want {
+				t.Fatalf("λ=%d addr %08x: v2 %d, v1 %d", lambda, a, got, want)
+			}
+			a += 0x9E3779B9
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package shardfib
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/gen"
+	"fibcomp/internal/pdag"
+)
+
+// TestFormatV2EquivalenceMatrix is the v2 acceptance matrix: for
+// λ∈{0,2,8,11,16}×shards{4,16} the stride-compressed engine must be
+// bit-identical to the flat prefix DAG on scalar, batched and
+// post-update lookups — the same pin the v1 engine carries, plus a
+// v1-engine cross-check so both formats are held to one oracle.
+func TestFormatV2EquivalenceMatrix(t *testing.T) {
+	tab := testTable(t, 3000, 31)
+	rng := rand.New(rand.NewSource(32))
+	addrs := gen.UniformAddrs(rng, 4096)
+	for _, lambda := range []int{0, 2, 8, 11, 16} {
+		for _, shards := range []int{4, 16} {
+			flat, err := pdag.Build(tab, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1, err := BuildFormat(tab, lambda, shards, FormatV1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2, err := BuildFormat(tab, lambda, shards, FormatV2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v2.Format() != FormatV2 || v1.Format() != FormatV1 {
+				t.Fatalf("format accessors: v1=%v v2=%v", v1.Format(), v2.Format())
+			}
+			dst := make([]uint32, len(addrs))
+			v2.LookupBatchInto(dst, addrs)
+			for i, a := range addrs {
+				want := flat.Lookup(a)
+				if dst[i] != want {
+					t.Fatalf("λ=%d shards=%d v2 batch addr %08x: got %d, want %d", lambda, shards, a, dst[i], want)
+				}
+				if got := v2.Lookup(a); got != want {
+					t.Fatalf("λ=%d shards=%d v2 scalar addr %08x: got %d, want %d", lambda, shards, a, got, want)
+				}
+				if got := v1.Lookup(a); got != want {
+					t.Fatalf("λ=%d shards=%d v1 scalar addr %08x: got %d, want %d", lambda, shards, a, got, want)
+				}
+			}
+			// Updates must keep the formats equivalent through the
+			// republish path, including sub-k prefixes fanning out.
+			for j := 0; j < 60; j++ {
+				plen := 1 + rng.Intn(fib.W)
+				addr := rng.Uint32() & fib.Mask(plen)
+				label := 1 + uint32(rng.Intn(50))
+				for _, e := range []interface {
+					Set(uint32, int, uint32) error
+				}{flat, v1, v2} {
+					if err := e.Set(addr, plen, label); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			v2.LookupBatchInto(dst[:512], addrs[:512])
+			for i, a := range addrs[:512] {
+				want := flat.Lookup(a)
+				if dst[i] != want {
+					t.Fatalf("λ=%d shards=%d post-update v2 addr %08x: got %d, want %d", lambda, shards, a, dst[i], want)
+				}
+				if got := v1.Lookup(a); got != want {
+					t.Fatalf("λ=%d shards=%d post-update v1 addr %08x: got %d, want %d", lambda, shards, a, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFormatV2FallbackLambda runs the v2 engine at λ=26 > 24, where
+// no blob exists and snapshots fall back to folded DAGs — the merged
+// root is absent and the per-snapshot path must still serve.
+func TestFormatV2FallbackLambda(t *testing.T) {
+	tab := testTable(t, 1500, 33)
+	flat, err := pdag.Build(tab, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := BuildFormat(tab, 26, 4, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := gen.UniformAddrs(rand.New(rand.NewSource(34)), 2048)
+	dst := make([]uint32, len(addrs))
+	f.LookupBatchInto(dst, addrs)
+	for i, a := range addrs {
+		if want := flat.Lookup(a); dst[i] != want {
+			t.Fatalf("λ=26 fallback addr %08x: got %d, want %d", a, dst[i], want)
+		}
+	}
+}
+
+// TestFormatV2RepublishZeroAllocs extends the write-side contract to
+// the stride-compressed format: once every shard has retired a v2
+// buffer, steady churn republishes with zero heap allocations.
+func TestFormatV2RepublishZeroAllocs(t *testing.T) {
+	tab := testTable(t, 4000, 35)
+	f, err := BuildFormat(tab, 11, 16, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(36))
+	us := gen.RandomUpdates(rng, tab, 2048)
+	apply := func(u gen.Update) {
+		if u.Withdraw {
+			f.Delete(u.Addr, u.Len)
+		} else if err := f.Set(u.Addr, u.Len, u.NextHop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, u := range us { // warm every shard's double buffer
+		apply(u)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		apply(us[i&2047])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-churn v2 republish allocated %.2f times per update, want 0", allocs)
+	}
+}
+
+// TestFormatV2BatchZeroAllocs pins the v2 read-side contract.
+func TestFormatV2BatchZeroAllocs(t *testing.T) {
+	tab := testTable(t, 4000, 37)
+	f, err := BuildFormat(tab, 11, 16, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := gen.UniformAddrs(rand.New(rand.NewSource(38)), 256)
+	dst := make([]uint32, len(addrs))
+	f.LookupBatchInto(dst, addrs)
+	allocs := testing.AllocsPerRun(500, func() {
+		f.LookupBatchInto(dst, addrs)
+	})
+	if allocs != 0 {
+		t.Fatalf("v2 batch lookup allocated %.2f times per batch, want 0", allocs)
+	}
+}
+
+// TestFormatV2RecycleUnderReaders is the buffer-recycling race stress
+// for the v2 publish path: batched readers pin views while a writer
+// churns hard enough that every publish wants the retired v2 buffers
+// back. Run with -race; label-alphabet and post-churn flat-DAG checks
+// catch torn walks the detector might miss.
+func TestFormatV2RecycleUnderReaders(t *testing.T) {
+	tab := testTable(t, 2000, 39)
+	f, err := BuildFormat(tab, 11, 4, FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := pdag.Build(tab, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := gen.UniformAddrs(rand.New(rand.NewSource(40)), 1024)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]uint32, 256)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := (i * 256) % len(addrs)
+				f.LookupBatchInto(dst, addrs[off:off+256])
+				for j, label := range dst {
+					if label > fib.MaxLabel {
+						t.Errorf("addr %08x: label %d outside alphabet", addrs[off+j], label)
+						return
+					}
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 3000; i++ {
+		plen := 8 + rng.Intn(25)
+		addr := rng.Uint32() & fib.Mask(plen)
+		if i%3 == 0 {
+			f.Delete(addr, plen)
+			flat.Delete(addr, plen)
+		} else {
+			label := 1 + uint32(rng.Intn(100))
+			if err := f.Set(addr, plen, label); err != nil {
+				t.Fatal(err)
+			}
+			if err := flat.Set(addr, plen, label); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	got := f.LookupBatch(addrs)
+	for i, a := range addrs {
+		if want := flat.Lookup(a); got[i] != want {
+			t.Fatalf("post-churn addr %08x: v2 sharded %d, flat %d", a, got[i], want)
+		}
+	}
+}
+
+// TestBuildFormatValidation rejects unknown formats.
+func TestBuildFormatValidation(t *testing.T) {
+	tab := fib.MustParse("10.0.0.0/8 1")
+	if _, err := BuildFormat(tab, 11, 4, Format(7)); err == nil {
+		t.Fatal("format 7 accepted")
+	}
+	if FormatV1.String() != "v1" || FormatV2.String() != "v2" {
+		t.Fatalf("format strings: %v %v", FormatV1, FormatV2)
+	}
+}

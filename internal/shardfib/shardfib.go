@@ -42,6 +42,31 @@ import (
 	"fibcomp/internal/trie"
 )
 
+// Format selects the serialized snapshot format the shards publish
+// and the merged view serves. Both formats share the root-array
+// encoding — the merged root splice and the fetch pass are format
+// blind — and both are pinned bit-identical to the flat prefix DAG;
+// they differ only in how the folded region below the barrier is
+// walked.
+type Format int
+
+const (
+	// FormatV1 is the §5.3 blob: two 32-bit words per folded interior
+	// node, one dependent memory touch per trie level below λ.
+	FormatV1 Format = iota
+	// FormatV2 is the stride-compressed blob (pdag.BlobV2): stride-4
+	// tree-bitmap nodes, one dependent touch per four levels — the
+	// format of choice for deep-walk-heavy (long-prefix) traffic.
+	FormatV2
+)
+
+func (f Format) String() string {
+	if f == FormatV2 {
+		return "v2"
+	}
+	return "v1"
+}
+
 // MaxShards bounds the shard count; 256 shards (k=8) is already far
 // past the point of diminishing returns for IPv4 serving.
 const MaxShards = 256
@@ -71,9 +96,10 @@ type shard struct {
 }
 
 // snapshot is the frozen serving form of one shard: the serialized
-// blob when the barrier admits one (λ ≤ 24, always at the default
-// λ=11), else a fresh fold of the shard's control trie. Either way it
-// shares no mutable state with the writer DAG.
+// blob in the FIB's format when the barrier admits one (λ ≤ 24,
+// always at the default λ=11), else a fresh fold of the shard's
+// control trie. Exactly one of blob, blob2 and dag is non-nil; either
+// way it shares no mutable state with the writer DAG.
 //
 // readers counts the holders of this snapshot — in-flight lookups and
 // the merged views referencing its buffers (see pin). The writer
@@ -83,6 +109,7 @@ type shard struct {
 // retries without ever dereferencing the contents.
 type snapshot struct {
 	blob    *pdag.Blob
+	blob2   *pdag.BlobV2
 	dag     *pdag.DAG
 	readers atomic.Int64
 }
@@ -91,7 +118,23 @@ func (s *snapshot) lookup(addr uint32) uint32 {
 	if s.blob != nil {
 		return s.blob.Lookup(addr)
 	}
+	if s.blob2 != nil {
+		return s.blob2.Lookup(addr)
+	}
 	return s.dag.Lookup(addr)
+}
+
+// rootArray exposes the snapshot's 2^λ root entries — the encoding
+// the two blob formats share — for the merged-root splice; nil for a
+// folded-DAG fallback snapshot.
+func (s *snapshot) rootArray() []uint32 {
+	if s.blob != nil {
+		return s.blob.Root
+	}
+	if s.blob2 != nil {
+		return s.blob2.Root
+	}
+	return nil
 }
 
 // pin loads the shard's current snapshot and registers as a holder of
@@ -129,29 +172,37 @@ func (s *snapshot) unpin() { s.readers.Add(-1) }
 // recycled, so under steady churn the spare is always free and the
 // republish allocates nothing); a pinned spare is simply dropped to
 // the garbage collector and a fresh buffer allocated.
-func (sh *shard) publish(lambda int) {
+func (sh *shard) publish(lambda int, format Format) {
 	next := sh.spare
 	var buf *pdag.Blob
+	var buf2 *pdag.BlobV2
 	if next != nil && next.readers.Load() == 0 {
-		buf = next.blob
+		buf, buf2 = next.blob, next.blob2
 		next.dag = nil
 	} else {
 		next = &snapshot{}
 	}
-	if blob, err := sh.dag.SerializeInto(buf); err == nil {
-		next.blob = blob
+	if format == FormatV2 {
+		if blob2, err := sh.dag.SerializeV2Into(buf2); err == nil {
+			next.blob, next.blob2 = nil, blob2
+			sh.spare = sh.cur.Swap(next)
+			return
+		}
+	} else if blob, err := sh.dag.SerializeInto(buf); err == nil {
+		next.blob, next.blob2 = blob, nil
 		sh.spare = sh.cur.Swap(next)
 		return
 	}
 	if d, err := pdag.FromTrie(sh.dag.Control(), lambda); err == nil {
-		next.blob, next.dag = nil, d
+		next.blob, next.blob2, next.dag = nil, nil, d
 		sh.spare = sh.cur.Swap(next)
 	}
 }
 
 // combined is the merged serving view the read paths walk: the live
 // 2^(λ-k) root slots of every shard's blob concatenated in shard
-// order (root), each shard's blob node words (nodes), and the backing
+// order (root), each shard's folded-region words (nodes — v1 node
+// pairs or v2 stride records, per the FIB's format), and the backing
 // snapshots (snaps), which the view holds pinned for as long as it is
 // reachable so their buffers cannot be recycled under a reader. root
 // is empty when the barrier is outside [k, mergedRootMaxLambda] or a
@@ -177,6 +228,7 @@ type FIB struct {
 	shardBits int  // k
 	shift     uint // fib.W - k; addr >> shift selects the shard
 	lambda    int
+	format    Format
 	shards    []shard
 
 	comb atomic.Pointer[combined] // the published merged view
@@ -192,14 +244,27 @@ type FIB struct {
 }
 
 // Build partitions a FIB table into `shards` prefix DAGs (a power of
-// two in [1, MaxShards]) folded with leaf-push barrier lambda.
+// two in [1, MaxShards]) folded with leaf-push barrier lambda,
+// serving v1 snapshots.
 func Build(t *fib.Table, lambda, shards int) (*FIB, error) {
+	return BuildFormat(t, lambda, shards, FormatV1)
+}
+
+// BuildFormat is Build with an explicit snapshot format. The format
+// is fixed for the FIB's lifetime: every publish — initial build,
+// Set/Delete republish, Reload — freezes its shard into that format,
+// and the merged view walks it with the matching batch engine.
+func BuildFormat(t *fib.Table, lambda, shards int, format Format) (*FIB, error) {
 	if shards < 1 || shards > MaxShards || shards&(shards-1) != 0 {
 		return nil, fmt.Errorf("shardfib: shard count %d not a power of two in [1,%d]", shards, MaxShards)
+	}
+	if format != FormatV1 && format != FormatV2 {
+		return nil, fmt.Errorf("shardfib: unknown snapshot format %d", format)
 	}
 	f := &FIB{
 		shardBits: bits.TrailingZeros(uint(shards)),
 		lambda:    lambda,
+		format:    format,
 		shards:    make([]shard, shards),
 	}
 	f.shift = uint(fib.W - f.shardBits)
@@ -209,7 +274,7 @@ func Build(t *fib.Table, lambda, shards int) (*FIB, error) {
 			return nil, err
 		}
 		f.shards[i].dag = d
-		f.shards[i].publish(lambda)
+		f.shards[i].publish(lambda, format)
 	}
 	f.combMu.Lock()
 	f.rebuildCombined()
@@ -254,6 +319,27 @@ func (f *FIB) ShardBits() int { return f.shardBits }
 // Lambda reports the leaf-push barrier the shards fold with.
 func (f *FIB) Lambda() int { return f.lambda }
 
+// Format reports the serialized snapshot format the FIB serves.
+func (f *FIB) Format() Format { return f.format }
+
+// SnapshotsSerialized reports whether every shard currently serves a
+// serialized blob of the FIB's format. False means at least one shard
+// fell back to an unserialized folded-DAG snapshot (barrier beyond
+// the serializable range, or a folded region too large for the blob
+// index space) — correct but slower, and worth surfacing to an
+// operator who asked for a specific blob format.
+func (f *FIB) SnapshotsSerialized() bool {
+	for i := range f.shards {
+		s := f.shards[i].pin()
+		serialized := s.blob != nil || s.blob2 != nil
+		s.unpin()
+		if !serialized {
+			return false
+		}
+	}
+	return true
+}
+
 // ShardOf reports the shard index owning an address.
 func (f *FIB) ShardOf(addr uint32) int { return int(addr >> f.shift) }
 
@@ -280,7 +366,7 @@ func (f *FIB) publishShard(sh *shard) {
 	f.combMu.Lock()
 	f.reclaimCombined()
 	f.combMu.Unlock()
-	sh.publish(f.lambda)
+	sh.publish(f.lambda, f.format)
 	f.combMu.Lock()
 	f.rebuildCombined()
 	f.combMu.Unlock()
@@ -331,13 +417,17 @@ func (f *FIB) rebuildCombined() {
 	for s := range f.shards {
 		snap := f.shards[s].pin() // held until the view is reclaimed
 		c.snaps[s] = snap
-		if snap.blob == nil {
+		switch {
+		case snap.blob != nil:
+			c.nodes[s] = snap.blob.Nodes
+			c.lambda, c.width = snap.blob.Lambda, snap.blob.Width
+		case snap.blob2 != nil:
+			c.nodes[s] = snap.blob2.Words
+			c.lambda, c.width = snap.blob2.Lambda, snap.blob2.Width
+		default:
 			c.nodes[s] = nil
 			merged = false
-			continue
 		}
-		c.nodes[s] = snap.blob.Nodes
-		c.lambda, c.width = snap.blob.Lambda, snap.blob.Width
 	}
 	c.root = c.root[:0]
 	if merged {
@@ -349,7 +439,7 @@ func (f *FIB) rebuildCombined() {
 		per := rootLen >> uint(f.shardBits)
 		for s := range f.shards {
 			lo := s * per
-			copy(c.root[lo:lo+per], c.snaps[s].blob.Root[lo:lo+per])
+			copy(c.root[lo:lo+per], c.snaps[s].rootArray()[lo:lo+per])
 		}
 	}
 	old := f.comb.Swap(c)
@@ -404,7 +494,11 @@ func (f *FIB) LookupBatchInto(dst, addrs []uint32) {
 	dst = dst[:n]
 	c := f.pinCombined()
 	if len(c.root) != 0 {
-		pdag.LookupBatchMerged(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda, c.width)
+		if f.format == FormatV2 {
+			pdag.LookupBatchMergedV2(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda, c.width)
+		} else {
+			pdag.LookupBatchMerged(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda, c.width)
+		}
 	} else {
 		// Barrier outside [k, 16]: no merged root is maintained;
 		// resolve per address against the view's pinned snapshots
@@ -508,9 +602,12 @@ func (f *FIB) SizeBytes() int {
 	total := 0
 	for i := range f.shards {
 		s := f.shards[i].pin()
-		if s.blob != nil {
+		switch {
+		case s.blob != nil:
 			total += s.blob.SizeBytes()
-		} else {
+		case s.blob2 != nil:
+			total += s.blob2.SizeBytes()
+		default:
 			total += s.dag.ModelBytes()
 		}
 		s.unpin()
