@@ -12,7 +12,9 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
+	"fibcomp/internal/experiments"
 	"fibcomp/internal/fib"
 	"fibcomp/internal/gen"
 	"fibcomp/internal/hwsim"
@@ -22,6 +24,7 @@ import (
 	"fibcomp/internal/ortc"
 	"fibcomp/internal/patricia"
 	"fibcomp/internal/pdag"
+	"fibcomp/internal/ribd"
 	"fibcomp/internal/shardfib"
 	"fibcomp/internal/trie"
 	"fibcomp/internal/xbw"
@@ -673,6 +676,58 @@ func BenchmarkServing_ChurnBatchSharded16(b *testing.B) {
 	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 	b.ReportMetric(float64(nup)/b.Elapsed().Seconds(), "updates/s")
 }
+
+// The ChurnRibd benchmarks are the churn-under-load scenario of the
+// live route-update plane: concurrent peers push updates at a fixed
+// combined rate through ribd's coalescing queue and paced republish
+// while the merged batch-lookup path is measured. Reported next to
+// lookups/s: the applied (post-coalescing) update rate the engine
+// absorbed during the measurement window.
+func benchRibdChurn(b *testing.B, format shardfib.Format) {
+	t, keys, _ := benchFIB(b)
+	f, err := shardfib.BuildFormat(t, 11, 16, format)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := ribd.New(f, ribd.Options{})
+	// BGP-like churn (long-prefix-biased, announce-dominated): the
+	// Fig 5 feed shape, whose incremental patches stay small and deep.
+	us := gen.BGPUpdates(rand.New(rand.NewSource(8)), t, 1<<14)
+	// Apply the whole feed once before timing, so the measured window
+	// serves the steady-state table shape. (A BGP feed adds long
+	// prefixes, deepening uniform lookups; without this warmup the
+	// bench would charge that table change to the live plane. The
+	// matching idle baseline is the sharded16-ribd-idle row of
+	// fibbench -serving.)
+	p.EnqueueBatch(us)
+	p.Sync()
+	// The offered load (peers x rate, owed-based pacing) is shared
+	// with fibbench -serving via experiments.ChurnLoad, so the
+	// go-bench and harness rows measure the same scenario.
+	stop := experiments.ChurnLoad(p, us, experiments.ChurnPeers, experiments.ChurnRate)
+	time.Sleep(100 * time.Millisecond) // reach steady churn before measuring
+	st0 := p.Stats()
+	batches := serveBatches(keys)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]uint32, serveBatch)
+		for i := 0; pb.Next(); i++ {
+			f.LookupBatchInto(dst, batches[i%len(batches)])
+		}
+	})
+	b.StopTimer()
+	st1 := p.Stats()
+	stop()
+	if err := p.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	b.ReportMetric(float64(st1.Applied-st0.Applied)/b.Elapsed().Seconds(), "applied/s")
+	b.ReportMetric(float64(st1.Mutated-st0.Mutated)/b.Elapsed().Seconds(), "mutated/s")
+}
+
+func BenchmarkServing_ChurnRibdSharded16(b *testing.B)   { benchRibdChurn(b, shardfib.FormatV1) }
+func BenchmarkServing_ChurnRibdSharded16V2(b *testing.B) { benchRibdChurn(b, shardfib.FormatV2) }
 
 // BenchmarkServing_ShardedUpdate measures the write-side price of
 // copy-on-write sharding: one Set = one shard republish (1/16 of the

@@ -9,10 +9,13 @@
 //
 // -serving measures the serving hot paths (batched lookups in both
 // serialized formats — v1 blob and stride-compressed BlobV2 — on
-// uniform and adversarial deep-walk workloads, plus the sharded
-// republish per format); with -json the results are appended to a
-// trajectory file, one labeled run per invocation, so PRs keep their
-// before/after numbers machine-readable.
+// uniform and adversarial deep-walk workloads, the sharded republish
+// per format, and the ribd churn-under-load scenario: lookup
+// throughput while concurrent peers stream BGP-like updates through
+// the coalescing plane, next to its steady-state idle baseline); with
+// -json the results are appended to a trajectory file, one labeled
+// run per invocation, so PRs keep their before/after numbers
+// machine-readable.
 package main
 
 import (

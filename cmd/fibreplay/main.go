@@ -3,21 +3,34 @@
 // incrementally maintained prefix DAG stays forwarding-equivalent to
 // its control FIB — the Fig 5 experiment as a reusable tool.
 //
+// -stream pushes the feed at a *live* fibserve (its ribd -updates
+// listener) instead of replaying offline, measures the convergence
+// lag — the time from the last update sent to the server's sync
+// barrier confirming everything is applied and published — and then
+// sweeps the server's UDP lookup port against the offline-replayed
+// control FIB, proving the live engine converged to the bit-identical
+// table.
+//
 //	fibgen -profile taz > taz.fib
 //	fibreplay -fib taz.fib -synth 100000          # synthesize + replay
 //	fibreplay -fib taz.fib -feed updates.log      # replay a saved feed
 //	fibreplay -fib taz.fib -synth 5000 -emit feed.log   # save a feed
+//	fibreplay -fib taz.fib -feed feed.log -stream 127.0.0.1:7001 -server 127.0.0.1:7000
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
+	"strings"
 	"time"
 
 	"fibcomp/internal/fib"
 	"fibcomp/internal/gen"
+	"fibcomp/internal/lookupd"
 	"fibcomp/internal/pdag"
 )
 
@@ -30,6 +43,8 @@ func main() {
 		lambda  = flag.Int("lambda", 11, "leaf-push barrier")
 		seed    = flag.Int64("seed", 1, "synthesis seed")
 		verify  = flag.Int("verify", 100000, "post-replay verification probes (0 to skip)")
+		stream  = flag.String("stream", "", "stream the feed at a live fibserve's -updates address instead of replaying offline")
+		server  = flag.String("server", "", "-stream: the server's UDP lookup address, for the differential verification sweep")
 	)
 	flag.Parse()
 	if *fibPath == "" {
@@ -75,6 +90,11 @@ func main() {
 		return
 	}
 
+	if *stream != "" {
+		streamFeed(table, updates, *stream, *server, *lambda, *verify, *seed)
+		return
+	}
+
 	d, err := pdag.Build(table, *lambda)
 	if err != nil {
 		fatal(err)
@@ -112,6 +132,91 @@ func main() {
 		}
 		fmt.Printf("fibreplay: verified against control FIB on %d probes\n", *verify)
 	}
+}
+
+// streamFeed pushes the update feed at a live server's ribd listener,
+// measures convergence, and (with -server set and verify > 0) proves
+// the post-feed engine bit-identical to the offline control replay by
+// a differential lookup sweep over the server's UDP port.
+func streamFeed(table *fib.Table, updates []gen.Update, stream, server string, lambda, verify int, seed int64) {
+	conn, err := net.Dial("tcp", stream)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+
+	t0 := time.Now()
+	if err := gen.WriteUpdates(conn, updates); err != nil {
+		fatal(err)
+	}
+	sent := time.Now()
+	if _, err := fmt.Fprintf(conn, "sync end\n"); err != nil {
+		fatal(err)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		fatal(fmt.Errorf("sync reply: %v", err))
+	}
+	synced := time.Now()
+	reply = strings.TrimSpace(reply)
+	if !strings.HasPrefix(reply, "synced end") {
+		fatal(fmt.Errorf("server rejected the feed: %s", reply))
+	}
+
+	// Convergence lag: from the last update written to the server
+	// confirming the whole feed is applied and published. The server
+	// reports its configured staleness bound in the sync reply.
+	total := synced.Sub(t0)
+	fmt.Printf("fibreplay: streamed %d updates in %v (%.0f updates/s), convergence lag %v\n",
+		len(updates), total.Round(time.Millisecond),
+		float64(len(updates))/total.Seconds(), synced.Sub(sent).Round(time.Microsecond))
+	fmt.Printf("fibreplay: server: %s\n", reply)
+
+	if verify <= 0 {
+		return
+	}
+	if server == "" {
+		fmt.Println("fibreplay: no -server lookup address; skipping the verification sweep")
+		return
+	}
+	// Offline control replay: the same feed applied to a flat control
+	// DAG (itself pinned to the tabular FIB by the replay tests).
+	d, err := pdag.Build(table, lambda)
+	if err != nil {
+		fatal(err)
+	}
+	for _, u := range updates {
+		if u.Withdraw {
+			d.Delete(u.Addr, u.Len)
+		} else if err := d.Set(u.Addr, u.Len, u.NextHop); err != nil {
+			fatal(err)
+		}
+	}
+	c, err := lookupd.Dial(server)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(seed + 1))
+	batch := make([]uint32, lookupd.MaxBatch)
+	for done := 0; done < verify; {
+		n := min(len(batch), verify-done)
+		for i := 0; i < n; i++ {
+			batch[i] = rng.Uint32()
+		}
+		labels, err := c.LookupBatch(batch[:n])
+		if err != nil {
+			fatal(err)
+		}
+		for i, label := range labels {
+			if want := d.Lookup(batch[i]); label != want {
+				fatal(fmt.Errorf("live engine diverges from control replay at %08x: %d != %d",
+					batch[i], label, want))
+			}
+		}
+		done += n
+	}
+	fmt.Printf("fibreplay: live engine bit-identical to the offline control replay on %d probes\n", verify)
 }
 
 func fatal(err error) {

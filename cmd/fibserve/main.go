@@ -11,8 +11,18 @@
 // choice for long-prefix-heavy traffic; lookups are bit-identical in
 // both formats.
 //
+// -updates attaches the live route-update plane (internal/ribd): a
+// TCP listener accepting "announce prefix label" / "withdraw prefix"
+// feeds from concurrent peers, coalescing them per shard and
+// republishing at a paced rate, so the FIB converges while serving
+// (SIGHUP whole-file reload remains as the fallback). It implies the
+// sharded engine, even at -shards 1. SIGINT/SIGTERM shut down
+// gracefully: stop accepting peers, drain the pending update batch,
+// answer the in-flight lookup, then exit.
+//
 //	fibgen -profile access(v) > t.fib
-//	fibserve -listen 127.0.0.1:7000 -shards 16 -blobv2 t.fib &
+//	fibserve -listen 127.0.0.1:7000 -updates 127.0.0.1:7001 -shards 16 t.fib &
+//	fibreplay -fib t.fib -synth 100000 -stream 127.0.0.1:7001 -server 127.0.0.1:7000
 //	kill -HUP $!   # re-read t.fib, keep serving
 //	fibserve -query 10.0.0.1 -server 127.0.0.1:7000
 package main
@@ -29,18 +39,21 @@ import (
 	"fibcomp/internal/fib"
 	"fibcomp/internal/lookupd"
 	"fibcomp/internal/pdag"
+	"fibcomp/internal/ribd"
 	"fibcomp/internal/shardfib"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7000", "UDP address to serve on")
-		lambda = flag.Int("lambda", 11, "leaf-push barrier")
-		shards = flag.Int("shards", 1, "shard count (power of two; >1 serves the sharded concurrent engine)")
-		blobv2 = flag.Bool("blobv2", false, "serve the stride-compressed blob format (4 trie levels per memory touch below the barrier)")
-		query  = flag.String("query", "", "client mode: address to look up")
-		server = flag.String("server", "127.0.0.1:7000", "client mode: server address")
-		pprof  = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) to profile serving in place")
+		listen  = flag.String("listen", "127.0.0.1:7000", "UDP address to serve on")
+		lambda  = flag.Int("lambda", 11, "leaf-push barrier")
+		shards  = flag.Int("shards", 1, "shard count (power of two; >1 serves the sharded concurrent engine)")
+		blobv2  = flag.Bool("blobv2", false, "serve the stride-compressed blob format (4 trie levels per memory touch below the barrier)")
+		updates = flag.String("updates", "", "TCP address for the live route-update plane (ribd); implies the sharded engine")
+		stale   = flag.Duration("max-staleness", ribd.DefaultMaxStaleness, "update plane: staleness bound on paced republish")
+		query   = flag.String("query", "", "client mode: address to look up")
+		server  = flag.String("server", "127.0.0.1:7000", "client mode: server address")
+		pprof   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) to profile serving in place")
 	)
 	flag.Parse()
 
@@ -116,7 +129,10 @@ func main() {
 		size    int
 		served  string
 	)
-	if *shards > 1 {
+	if *shards > 1 || *updates != "" {
+		// The live update plane needs the incrementally-updatable
+		// sharded engine; -updates therefore implies it even at one
+		// shard.
 		sharded, err = shardfib.BuildFormat(t, *lambda, *shards, format)
 		if err != nil {
 			fatal(err)
@@ -139,6 +155,22 @@ func main() {
 	}
 	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB (%d shard(s), blob %s), serving on %s\n",
 		t.N(), float64(size)/1024, *shards, served, s.Addr())
+
+	// The live route-update plane: TCP peer sessions feeding the
+	// coalescing queue and paced republisher over the sharded engine.
+	var (
+		plane *ribd.Plane
+		upd   *ribd.Server
+	)
+	if *updates != "" {
+		plane = ribd.New(sharded, ribd.Options{MaxStaleness: *stale})
+		upd, err = ribd.Serve(plane, *updates)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fibserve: route-update plane on %s (staleness bound %s)\n",
+			upd.Addr(), plane.MaxStaleness())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
@@ -171,9 +203,22 @@ func main() {
 		}
 		fmt.Printf("fibserve: reloaded %d prefixes from %s\n", t.N(), path)
 	}
+	// Graceful shutdown (SIGINT/SIGTERM): stop accepting update
+	// peers, drain and publish the pending coalesced batch, then let
+	// the in-flight lookup datagram complete before the socket
+	// closes.
+	if upd != nil {
+		upd.Close()
+	}
+	if plane != nil {
+		plane.Close()
+		st := plane.Stats()
+		fmt.Printf("fibserve: update plane: %d peers, %d received, %d coalesced, %d applied, %d flushes\n",
+			upd.Peers(), st.Received, st.Coalesced, st.Applied, st.Flushes)
+	}
+	s.Shutdown()
 	fmt.Printf("fibserve: %d requests, %d lookups, %d errors\n",
 		s.Requests.Load(), s.Lookups.Load(), s.Errors.Load())
-	s.Close()
 }
 
 func readFIB(path string) (*fib.Table, error) {

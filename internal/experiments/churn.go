@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"fibcomp/internal/gen"
+	"fibcomp/internal/ribd"
+)
+
+// Churn-under-load scenario parameters, shared between the fibbench
+// -serving harness (RunServing) and the root ChurnRibd go-benchmarks
+// so both measure the same offered load.
+const (
+	// ChurnPeers is how many concurrent feeders push updates.
+	ChurnPeers = 4
+	// ChurnRate is the combined offered rate across peers, updates/s.
+	ChurnRate = 80000.0
+	// churnTick is the pacing granularity. A coarse tick keeps the
+	// wakeup rate (and the L1/L2 refill tax every context switch
+	// charges the lookup core) low; owed-based pacing keeps the rate
+	// exact anyway.
+	churnTick = 10 * time.Millisecond
+)
+
+// ChurnLoad starts peers goroutines pushing the update set through
+// the plane at a combined target of rate updates per second, each
+// peer recycling its own len(us)/peers-wide window so peers do not
+// announce each other's prefixes. It returns a stop function that
+// halts the feeders and blocks until they exit.
+//
+// Peers pace by wall-clock owed count, not per-tick constants: on a
+// saturated box tickers drop ticks, and a fixed batch per tick would
+// silently undershoot the offered rate. Each catch-up burst is one
+// EnqueueBatch queue handoff.
+func ChurnLoad(plane *ribd.Plane, us []gen.Update, peers int, rate float64) (stop func()) {
+	if len(us) == 0 {
+		return func() {}
+	}
+	if peers > len(us) {
+		peers = len(us) // every peer needs a non-empty window
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	window := len(us) / peers
+	for pi := 0; pi < peers; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			tk := time.NewTicker(churnTick)
+			defer tk.Stop()
+			base := pi * window
+			start := time.Now()
+			sent, off := 0, 0
+			for {
+				select {
+				case <-done:
+					return
+				case <-tk.C:
+				}
+				owed := int(rate/float64(peers)*time.Since(start).Seconds()) - sent
+				for owed > 0 {
+					// Wrap the window at its edge.
+					n := min(owed, window-off)
+					plane.EnqueueBatch(us[base+off : base+off+n])
+					off = (off + n) % window
+					sent += n
+					owed -= n
+				}
+			}
+		}(pi)
+	}
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

@@ -11,16 +11,21 @@ import (
 
 	"fibcomp/internal/gen"
 	"fibcomp/internal/pdag"
+	"fibcomp/internal/ribd"
 	"fibcomp/internal/shardfib"
 )
 
 // ServingResult is one measured row of the serving-engine benchmark:
 // lookup rows carry MLps, update rows carry the republish cost and
-// its steady-state allocation count.
+// its steady-state allocation count, and the churn-under-load rows
+// carry both — lookup throughput measured while ribd applies
+// UpdatesPerS coalesced updates per second in the background.
 type ServingResult struct {
 	Name        string  `json:"name"`
 	MLps        float64 `json:"mlps,omitempty"`
 	UpdateUs    float64 `json:"update_us,omitempty"`
+	UpdatesPerS float64 `json:"updates_per_s,omitempty"`
+	MutatedPerS float64 `json:"mutated_per_s,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	SizeBytes   int     `json:"size_bytes,omitempty"`
 }
@@ -52,8 +57,10 @@ const servingBatch = 256
 // formats, and the sharded engine's merged view in both formats, on
 // the uniform-random workload and on the adversarial deep-walk
 // (long-prefix) workload, plus the sharded steady-churn republish per
-// format — and prints one row each. The numbers are the living
-// counterpart of the Serving_* Go benchmarks, packaged for machines.
+// format and the churn-under-load scenario (lookup throughput while
+// concurrent peers push updates through the ribd coalescing plane) —
+// and prints one row each. The numbers are the living counterpart of
+// the Serving_* Go benchmarks, packaged for machines.
 func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 	t, _, err := cfg.generate("taz")
 	if err != nil {
@@ -202,13 +209,84 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 		})
 	}
 
+	// ---- Churn-under-load: the PR 4 acceptance scenario. N peers
+	// push route updates through the ribd coalescing plane at a fixed
+	// combined rate while the merged batch-lookup hot loop is
+	// measured — serving throughput under live convergence, per
+	// snapshot format, with the per-applied-update allocation count
+	// of the whole ingest-coalesce-apply-republish path.
+	//
+	// The baseline each churn row is judged against is the *-ribd-idle
+	// row: the same engine after the feed reached steady state, with
+	// the plane quiescent. Comparing against the pristine-table
+	// sharded16-lanes row would conflate the plane's cost with the
+	// table's shape — a BGP feed adds thousands of long prefixes, so
+	// uniform lookups legitimately walk deeper once the routes land,
+	// churning or not.
+	for _, fmtRow := range []struct {
+		name   string
+		format shardfib.Format
+	}{
+		{"sharded16-ribd", shardfib.FormatV1},
+		{"sharded16-v2-ribd", shardfib.FormatV2},
+	} {
+		eng, err := shardfib.BuildFormat(t, 11, 16, fmtRow.format)
+		if err != nil {
+			return nil, err
+		}
+		plane := ribd.New(eng, ribd.Options{})
+		// BGP-like churn (long-prefix-biased, announce-dominated): the
+		// Fig 5 feed shape, whose incremental patches stay small and
+		// deep — the workload the live plane is built for.
+		us := gen.BGPUpdates(rand.New(rand.NewSource(cfg.Seed+11)), t, 1<<14)
+		// Steady state first: the whole feed applied once, so idle
+		// baseline and churn measurement share one table shape.
+		plane.EnqueueBatch(us)
+		plane.Sync()
+		results = append(results, ServingResult{
+			Name:      fmtRow.name + "-idle",
+			MLps:      batchMLps(func(b []uint32) { eng.LookupBatchInto(dst, b) }, batches, minDur),
+			SizeBytes: eng.SizeBytes(),
+		})
+		stop := ChurnLoad(plane, us, ChurnPeers, ChurnRate)
+		time.Sleep(100 * time.Millisecond) // let the paced flush cycle reach its cadence
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		st0 := plane.Stats()
+		w0 := time.Now()
+		mlps := batchMLps(func(b []uint32) { eng.LookupBatchInto(dst, b) }, batches, minDur)
+		elapsed := time.Since(w0)
+		st1 := plane.Stats()
+		runtime.ReadMemStats(&ms1)
+		stop()
+		if err := plane.Close(); err != nil {
+			return nil, err
+		}
+		applied := st1.Applied - st0.Applied
+		row := ServingResult{
+			Name:        fmtRow.name + "-churn",
+			MLps:        mlps,
+			UpdatesPerS: float64(applied) / elapsed.Seconds(),
+			MutatedPerS: float64(st1.Mutated-st0.Mutated) / elapsed.Seconds(),
+			SizeBytes:   eng.SizeBytes(),
+		}
+		if applied > 0 {
+			row.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(applied)
+		}
+		results = append(results, row)
+	}
+
 	fmt.Fprintf(w, "Serving engine (taz, scale %.3g, batch %d, 16 shards, blob v1+v2):\n", cfg.Scale, servingBatch)
 	for _, r := range results {
-		if r.UpdateUs != 0 {
-			fmt.Fprintf(w, "  %-18s %8.1f µs/update  %6.2f allocs/op  %8.1f KB model\n",
+		switch {
+		case r.UpdatesPerS != 0:
+			fmt.Fprintf(w, "  %-20s %8.1f Mlps  %8.0f applied/s (%.0f mutated/s)  %6.2f allocs/upd\n",
+				r.Name, r.MLps, r.UpdatesPerS, r.MutatedPerS, r.AllocsPerOp)
+		case r.UpdateUs != 0:
+			fmt.Fprintf(w, "  %-20s %8.1f µs/update  %6.2f allocs/op  %8.1f KB model\n",
 				r.Name, r.UpdateUs, r.AllocsPerOp, float64(r.SizeBytes)/1024)
-		} else {
-			fmt.Fprintf(w, "  %-18s %8.1f Mlps  %8.1f KB\n", r.Name, r.MLps, float64(r.SizeBytes)/1024)
+		default:
+			fmt.Fprintf(w, "  %-20s %8.1f Mlps  %8.1f KB\n", r.Name, r.MLps, float64(r.SizeBytes)/1024)
 		}
 	}
 	return results, nil

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -266,9 +267,23 @@ func TestFeedRejectsGarbage(t *testing.T) {
 		"withdraw 10.0.0.0/8 1",  // extra field
 		"frobnicate 10.0.0.0/8",  // unknown verb
 	} {
-		if _, err := ReadUpdates(strings.NewReader(bad)); err == nil {
+		// The bad line sits at line 3 of a well-formed feed; the error
+		// must name both the line number and the offending text, so a
+		// broken line can be located in a 100k-line feed.
+		feed := "# header\nannounce 10.0.0.0/8 3\n" + bad + "\n"
+		_, err := ReadUpdates(strings.NewReader(feed))
+		if err == nil {
 			t.Fatalf("ReadUpdates(%q) should fail", bad)
 		}
+		if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), strconv.Quote(bad)) {
+			t.Fatalf("ReadUpdates(%q) error %q does not locate the bad line", bad, err)
+		}
+		if _, err := ParseUpdate(bad); err == nil {
+			t.Fatalf("ParseUpdate(%q) should fail", bad)
+		}
+	}
+	if u, err := ParseUpdate("announce 10.1.0.0/16 3"); err != nil || u.Addr != 0x0A010000 || u.Len != 16 || u.NextHop != 3 {
+		t.Fatalf("ParseUpdate: %+v, %v", u, err)
 	}
 	// Comments and blanks are fine.
 	us, err := ReadUpdates(strings.NewReader("# hi\n\nannounce 10.0.0.0/8 3\nwithdraw 10.0.0.0/8\n"))

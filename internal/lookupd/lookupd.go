@@ -12,6 +12,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Lookuper is any longest-prefix-match engine.
@@ -101,7 +102,9 @@ func (s *Server) Swap(l Lookuper) {
 	}
 }
 
-// Close stops the server and releases the socket.
+// Close stops the server immediately and releases the socket. An
+// in-flight request may lose its reply; use Shutdown for a graceful
+// stop.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
@@ -109,6 +112,20 @@ func (s *Server) Close() error {
 	err := s.conn.Close()
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown stops the server gracefully: no further datagrams are
+// read, but the request in flight (if any) completes and its reply is
+// sent before the socket closes — the drain fibserve performs on
+// SIGINT/SIGTERM. The read deadline unblocks the serve loop without
+// closing the socket, so the loop's pending write still succeeds.
+func (s *Server) Shutdown() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.conn.SetReadDeadline(time.Now())
+	s.wg.Wait()
+	return s.conn.Close()
 }
 
 func (s *Server) serve() {

@@ -279,6 +279,40 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 }
 
+// TestShutdownGraceful: Shutdown answers requests already accepted,
+// refuses new ones, and is idempotent with Close in either order.
+func TestShutdownGraceful(t *testing.T) {
+	d, _ := testDAG(t)
+	s, c := startServer(t, d)
+	// Traffic beforehand proves the serve loop is live.
+	if _, err := c.Lookup(0x0A000001); err != nil {
+		t.Fatal(err)
+	}
+	served := s.Lookups.Load()
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Lookups.Load(); got != served {
+		t.Fatalf("lookups changed across an idle shutdown: %d != %d", got, served)
+	}
+	// The socket is gone: a new request cannot be answered.
+	c2, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := c2.Lookup(0x0A000001); err == nil {
+		t.Fatal("lookup served after Shutdown")
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal("second shutdown should be a no-op")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("close after shutdown should be a no-op")
+	}
+}
+
 // TestHandleZeroAllocs pins the serve loop's contract: once the wire
 // pool is warm, processing a full-size datagram against a batch
 // engine touches the heap zero times.

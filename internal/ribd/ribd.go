@@ -1,0 +1,449 @@
+// Package ribd is the live route-update plane: the control-plane
+// subsystem that turns the sharded serving engine into a router that
+// converges while it serves. It has three layers:
+//
+//   - a session layer (session.go) accepting update feeds from
+//     concurrent TCP peers and from files, speaking the gen feed text
+//     format ("announce 10.1.0.0/16 3" / "withdraw 10.1.0.0/16"),
+//     with per-peer sequence tracking and a sync barrier verb;
+//   - a coalescing queue: every accepted update lands in the pending
+//     map of its owning shard, keyed by prefix, squashing redundant
+//     churn — repeated announces of a prefix, announce-then-withdraw
+//     — so a burst costs one DAG mutation per distinct prefix no
+//     matter how hot the feed;
+//   - a paced republisher decoupling the update-apply rate from the
+//     snapshot-publish rate: an idle plane publishes an update
+//     immediately, a churning plane batches pending prefixes and
+//     flushes them through shardfib.ApplyBatch (one serialization per
+//     changed shard, one merged-view rebuild per flush) at an
+//     adaptive interval that grows with the observed batch size and
+//     the measured flush cost (see pacerHeavyBatch, pacerDutyFactor)
+//     up to Options.MaxStaleness. An accepted update is therefore
+//     visible to lookups within MaxStaleness plus one flush duration,
+//     the plane's staleness bound.
+//
+// One goroutine (the flusher) owns the pending maps, so the hot
+// ingest path is a channel send and the steady-state flush cycle
+// reuses every buffer it needs: with the engine's double-buffered
+// snapshots this keeps continuous churn at zero allocations per
+// applied update.
+package ribd
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/gen"
+	"fibcomp/internal/shardfib"
+)
+
+// Options tunes the plane. The zero value is ready to use.
+type Options struct {
+	// MaxStaleness caps the pacing interval: under arbitrarily heavy
+	// churn, a flush starts at most this long after the previous one
+	// ended, so an accepted update waits at most MaxStaleness plus
+	// one flush duration before lookups see it.
+	// Default DefaultMaxStaleness.
+	MaxStaleness time.Duration
+	// MinInterval floors the pacing interval, for operators who want
+	// to cap the publish rate even when the plane is idle. Default 0:
+	// an idle plane publishes immediately.
+	MinInterval time.Duration
+	// MaxPending flushes early once this many distinct prefixes are
+	// pending, bounding the coalescing maps' footprint regardless of
+	// pacing. Default DefaultMaxPending.
+	MaxPending int
+	// Queue is the ingest channel depth; sessions enqueueing into a
+	// full queue block (backpressure on the feed socket). Default
+	// DefaultQueue.
+	Queue int
+}
+
+// Defaults for the zero Options value.
+const (
+	DefaultMaxStaleness = 50 * time.Millisecond
+	DefaultMaxPending   = 1 << 15
+	DefaultQueue        = 4096
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxStaleness <= 0 {
+		o.MaxStaleness = DefaultMaxStaleness
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = DefaultMaxPending
+	}
+	if o.Queue <= 0 {
+		o.Queue = DefaultQueue
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the plane's counters. The
+// conservation law Received = Coalesced + Applied + (still pending)
+// holds at every barrier.
+type Stats struct {
+	Received    uint64 // updates accepted into the plane
+	Coalesced   uint64 // updates squashed into an already-pending prefix
+	Applied     uint64 // coalesced updates handed to the engine
+	Mutated     uint64 // applied updates that actually changed the engine (the rest were no-op re-announcements it squashed)
+	Rejected    uint64 // updates dropped for invalid prefix/label
+	Flushes     uint64 // paced batch publishes
+	ApplyErrors uint64 // engine errors during a flush (should stay 0)
+}
+
+// item is one unit on the ingest channel: a single update, a burst of
+// updates (batch non-nil; pool non-nil when the buffer returns to
+// sessionPool after absorption), or a sync barrier (done non-nil).
+type item struct {
+	u     gen.Update
+	batch []gen.Update
+	pool  *[]gen.Update
+	done  chan struct{}
+}
+
+// sessionBatch is how many parsed updates a session accumulates
+// before handing them to the flusher in one queue operation. Bursty
+// feeds would otherwise wake the flusher once per update — tens of
+// thousands of scheduler round trips per second that starve the
+// lookup threads they share cores with.
+const sessionBatch = 128
+
+var sessionPool = sync.Pool{New: func() any {
+	s := make([]gen.Update, 0, sessionBatch)
+	return &s
+}}
+
+// Plane is the live route-update plane over one sharded engine.
+// Create with New, feed with Enqueue / Feed / a session Server, stop
+// with Close (which drains and applies everything already accepted).
+type Plane struct {
+	eng  *shardfib.FIB
+	opts Options
+
+	in   chan item
+	quit chan struct{}
+	done chan struct{}
+	stop sync.Once
+
+	// Flusher-owned state: the per-shard coalescing maps (prefix key
+	// → pending label, fib.NoLabel = withdraw), their total size, and
+	// the reusable flush batch.
+	pending   []map[uint64]uint32
+	npending  int
+	ops       []shardfib.Op
+	lastEnd   time.Time
+	lastDur   time.Duration
+	lastBatch int
+
+	received    atomic.Uint64
+	coalesced   atomic.Uint64
+	applied     atomic.Uint64
+	mutated     atomic.Uint64
+	rejected    atomic.Uint64
+	flushes     atomic.Uint64
+	applyErrors atomic.Uint64
+}
+
+// New starts a plane over eng. The caller keeps ownership of eng for
+// lookups; the plane only writes through ApplyBatch, which composes
+// with concurrent Set/Delete/Reload callers.
+func New(eng *shardfib.FIB, opts Options) *Plane {
+	opts = opts.withDefaults()
+	p := &Plane{
+		eng:     eng,
+		opts:    opts,
+		in:      make(chan item, opts.Queue),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		pending: make([]map[uint64]uint32, eng.Shards()),
+		lastEnd: time.Now(),
+	}
+	go p.run()
+	return p
+}
+
+// MaxStaleness reports the plane's configured staleness cap, for
+// surfacing the bound to peers and operators.
+func (p *Plane) MaxStaleness() time.Duration { return p.opts.MaxStaleness }
+
+// Enqueue accepts one update into the coalescing queue. Invalid
+// updates (prefix length or label out of range) are counted as
+// rejected and dropped — a session's parser never produces them, but
+// the API is open to direct callers. Blocks only when the ingest
+// queue is full; after Close it is a no-op.
+func (p *Plane) Enqueue(u gen.Update) {
+	select {
+	case p.in <- item{u: u}:
+	case <-p.quit:
+	}
+}
+
+// EnqueueBatch accepts a burst of updates with a single queue
+// handoff — the hot ingest path for in-process feeders (and, via the
+// pooled variant, sessions): one flusher wakeup per burst instead of
+// one per update. The slice is handed off to the plane; the caller
+// must not modify it afterwards.
+func (p *Plane) EnqueueBatch(us []gen.Update) {
+	if len(us) == 0 {
+		return
+	}
+	select {
+	case p.in <- item{batch: us}:
+	case <-p.quit:
+	}
+}
+
+// enqueuePooled is EnqueueBatch for a sessionPool-owned buffer: the
+// flusher returns it to the pool after absorbing it.
+func (p *Plane) enqueuePooled(bp *[]gen.Update) {
+	if len(*bp) == 0 {
+		sessionPool.Put(bp)
+		return
+	}
+	select {
+	case p.in <- item{batch: *bp, pool: bp}:
+	case <-p.quit:
+	}
+}
+
+// Sync blocks until every update enqueued before the call has been
+// applied and published — the convergence barrier behind the feed
+// protocol's "sync" verb. Returns immediately if the plane is closed.
+func (p *Plane) Sync() {
+	ch := make(chan struct{})
+	select {
+	case p.in <- item{done: ch}:
+		select {
+		case <-ch:
+		case <-p.done:
+		}
+	case <-p.quit:
+	}
+}
+
+// Close stops the plane after draining: updates already accepted are
+// coalesced, applied and published before Close returns.
+func (p *Plane) Close() error {
+	p.stop.Do(func() { close(p.quit) })
+	<-p.done
+	return nil
+}
+
+// Stats snapshots the plane's counters.
+func (p *Plane) Stats() Stats {
+	return Stats{
+		Received:    p.received.Load(),
+		Coalesced:   p.coalesced.Load(),
+		Applied:     p.applied.Load(),
+		Mutated:     p.mutated.Load(),
+		Rejected:    p.rejected.Load(),
+		Flushes:     p.flushes.Load(),
+		ApplyErrors: p.applyErrors.Load(),
+	}
+}
+
+// run is the flusher: the single goroutine that owns the pending
+// maps, absorbs the ingest channel and paces the publishes.
+func (p *Plane) run() {
+	defer close(p.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			<-timer.C
+		}
+		armed = false
+	}
+	for {
+		select {
+		case it := <-p.in:
+			p.absorb(it)
+			// Drain the burst that queued behind this item before
+			// deciding, so a hot feed coalesces in bulk instead of
+			// re-evaluating the pacer per update. Bounded per round:
+			// a producer fast enough to keep the queue non-empty
+			// must not starve the pacing decision below, or nothing
+			// would publish until the feed pauses.
+		burst:
+			for i := 0; i < cap(p.in); i++ {
+				select {
+				case it := <-p.in:
+					p.absorb(it)
+				default:
+					break burst
+				}
+			}
+		case <-timer.C:
+			armed = false
+		case <-p.quit:
+			// Drain whatever made it into the queue, then flush and
+			// exit: Close's contract is that accepted updates land.
+		drain:
+			for {
+				select {
+				case it := <-p.in:
+					p.absorb(it)
+				default:
+					break drain
+				}
+			}
+			disarm()
+			p.flush()
+			return
+		}
+		if p.npending == 0 {
+			disarm()
+			continue
+		}
+		if p.npending >= p.opts.MaxPending {
+			disarm()
+			p.flush()
+			continue
+		}
+		wait := time.Until(p.lastEnd.Add(p.interval()))
+		if wait <= 0 {
+			disarm()
+			p.flush()
+		} else if !armed {
+			timer.Reset(wait)
+			armed = true
+		}
+	}
+}
+
+// Pacer constants.
+//
+// pacerDutyFactor: the pacer waits at least this many multiples of
+// the previous flush's duration, capping apply+republish work at
+// ~1/(1+factor) of wall time even when individual flushes are
+// expensive (huge shards, λ near the serializable edge).
+//
+// pacerHeavyBatch: the batch size at which churn counts as "heavy"
+// and the pacer stretches to the full staleness window. A flush has a
+// per-publish fixed cost — one serialization per touched shard plus
+// the merged-view rebuild — that batch size amortizes; flushing a
+// 2^k-shard engine more often than the fixed cost warrants burns CPU
+// *and* thrashes the lookup cores' caches with rewritten blobs. Below
+// the knee the interval shrinks proportionally, down to
+// publish-immediately when a single update trickles in.
+const (
+	pacerDutyFactor = 4
+	pacerHeavyBatch = 256
+)
+
+// interval is the current pacing gap between flushes: the adaptive
+// middle ground between "publish immediately when idle" and "never
+// exceed the staleness bound". An idle plane has lastBatch ≈ 0 and
+// lastDur ≈ 0 and publishes at once; as churn grows, the gap scales
+// with the observed batch size (up to MaxStaleness once batches pass
+// the pacerHeavyBatch knee) and with the measured flush cost, so
+// convergence lag stays bounded no matter the load while heavy churn
+// is absorbed in staleness-window-sized batches.
+func (p *Plane) interval() time.Duration {
+	iv := time.Duration(p.lastBatch) * p.opts.MaxStaleness / pacerHeavyBatch
+	if d := p.lastDur * pacerDutyFactor; d > iv {
+		iv = d
+	}
+	if iv < p.opts.MinInterval {
+		iv = p.opts.MinInterval
+	}
+	if iv > p.opts.MaxStaleness {
+		iv = p.opts.MaxStaleness
+	}
+	return iv
+}
+
+// absorb folds one ingest item into the pending maps; a barrier item
+// forces a flush of everything before it and signals its waiter.
+func (p *Plane) absorb(it item) {
+	if it.done != nil {
+		p.flush()
+		close(it.done)
+		return
+	}
+	if it.batch != nil {
+		for _, u := range it.batch {
+			p.absorbUpdate(u)
+		}
+		if it.pool != nil {
+			*it.pool = (*it.pool)[:0]
+			sessionPool.Put(it.pool)
+		}
+		return
+	}
+	p.absorbUpdate(it.u)
+}
+
+// absorbUpdate validates and coalesces one update into the pending
+// map of its owning shard (the low covering shard for prefixes
+// shorter than the shard index).
+func (p *Plane) absorbUpdate(u gen.Update) {
+	if u.Len < 0 || u.Len > fib.W ||
+		(!u.Withdraw && (u.NextHop == fib.NoLabel || u.NextHop > fib.MaxLabel)) {
+		p.rejected.Add(1)
+		return
+	}
+	p.received.Add(1)
+	addr := u.Addr & fib.Mask(u.Len)
+	key := uint64(addr)<<6 | uint64(u.Len)
+	s := p.eng.ShardOf(addr)
+	m := p.pending[s]
+	if m == nil {
+		m = make(map[uint64]uint32)
+		p.pending[s] = m
+	}
+	if _, dup := m[key]; dup {
+		p.coalesced.Add(1)
+	} else {
+		p.npending++
+	}
+	if u.Withdraw {
+		m[key] = fib.NoLabel
+	} else {
+		m[key] = u.NextHop
+	}
+}
+
+// flush converts the pending maps into one ApplyBatch — one DAG
+// mutation per distinct pending prefix, one republish per touched
+// shard, one merged-view rebuild — and resets the coalescing state.
+// Map iteration order is immaterial: distinct prefixes commute, and
+// per-prefix ordering was already resolved by the map itself.
+func (p *Plane) flush() {
+	if p.npending == 0 {
+		return
+	}
+	start := time.Now()
+	ops := p.ops[:0]
+	for _, m := range p.pending {
+		for key, label := range m {
+			ops = append(ops, shardfib.Op{
+				Addr:  uint32(key >> 6),
+				Len:   int(key & 63),
+				Label: label,
+			})
+		}
+		clear(m)
+	}
+	m, err := p.eng.ApplyBatch(ops)
+	if err != nil {
+		// absorbUpdate validated every update, so this is unreachable;
+		// count it rather than crash the plane if it ever fires.
+		p.applyErrors.Add(1)
+	}
+	p.ops = ops
+	p.applied.Add(uint64(len(ops)))
+	p.mutated.Add(uint64(m))
+	p.flushes.Add(1)
+	p.lastBatch = len(ops)
+	p.npending = 0
+	now := time.Now()
+	p.lastDur = now.Sub(start)
+	p.lastEnd = now
+}

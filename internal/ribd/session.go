@@ -1,0 +1,220 @@
+package ribd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fibcomp/internal/gen"
+)
+
+// The session wire protocol is the gen feed text format, line by
+// line, plus one control verb:
+//
+//	announce 10.1.0.0/16 3
+//	withdraw 10.1.0.0/16
+//	sync <token>
+//	# comments and blank lines are ignored
+//
+// "sync" blocks the session until every update the plane accepted
+// before it has been applied and published, then answers
+//
+//	synced <token> seq=<peer-updates> applied=<n> coalesced=<n> staleness_bound=<dur>
+//
+// — the convergence barrier fibreplay -stream uses to measure lag. A
+// malformed line is answered with "error line <n>: <text>: <reason>"
+// and closes the session: a desynchronized peer must reconnect and
+// replay, exactly like a real BGP session reset.
+
+// Server accepts peer update sessions over TCP and feeds them into
+// one Plane.
+type Server struct {
+	p  *Plane
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	peers         atomic.Uint64 // sessions accepted (lifetime)
+	sessionErrors atomic.Uint64 // sessions dropped on a malformed line
+}
+
+// Serve listens on a TCP address ("127.0.0.1:0" picks an ephemeral
+// port) and accepts peer sessions into p.
+func Serve(p *Plane, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ribd: %v", err)
+	}
+	s := &Server{p: p, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Peers reports the number of sessions accepted over the server's
+// lifetime.
+func (s *Server) Peers() uint64 { return s.peers.Load() }
+
+// SessionErrors reports how many sessions were dropped on a
+// malformed feed line.
+func (s *Server) SessionErrors() uint64 { return s.sessionErrors.Load() }
+
+// Close stops accepting, closes every live session and waits for the
+// handlers to finish. It does not touch the plane: callers drain it
+// separately (Plane.Close), so updates already parsed are still
+// applied.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) accept() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.peers.Add(1)
+		s.wg.Add(1)
+		go s.session(c)
+	}
+}
+
+// session speaks the feed protocol with one peer. seq is the peer's
+// sequence number — updates accepted from this session — reported on
+// every sync reply so a peer can detect lost lines.
+//
+// Parsed updates accumulate in a pooled buffer handed to the plane
+// in bursts: when the buffer fills, when the read buffer drains (the
+// end of a network burst — so a trickling peer still sees per-line
+// latency), and before any sync barrier.
+func (s *Server) session(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReaderSize(c, 1<<16)
+	bp := sessionPool.Get().(*[]gen.Update)
+	flush := func() {
+		if len(*bp) > 0 {
+			s.p.enqueuePooled(bp)
+			bp = sessionPool.Get().(*[]gen.Update)
+		}
+	}
+	defer func() { flush(); sessionPool.Put(bp) }()
+	line, seq := 0, uint64(0)
+	for {
+		raw, err := br.ReadString('\n')
+		if raw != "" {
+			line++
+			text := strings.TrimSpace(raw)
+			switch {
+			case text == "" || strings.HasPrefix(text, "#"):
+			// The verb test must not allocate on the per-update hot
+			// path (strings.Fields would); the sync branch itself is
+			// rare and may.
+			case text == "sync" || strings.HasPrefix(text, "sync ") || strings.HasPrefix(text, "sync\t"):
+				token := ""
+				if fields := strings.Fields(text); len(fields) > 1 {
+					token = fields[1]
+				}
+				flush()
+				s.p.Sync()
+				st := s.p.Stats()
+				fmt.Fprintf(c, "synced %s seq=%d applied=%d coalesced=%d staleness_bound=%s\n",
+					token, seq, st.Applied, st.Coalesced, s.p.MaxStaleness())
+			default:
+				u, perr := gen.ParseUpdate(text)
+				if perr != nil {
+					s.sessionErrors.Add(1)
+					fmt.Fprintf(c, "error line %d: %q: %v\n", line, text, perr)
+					return
+				}
+				seq++
+				*bp = append(*bp, u)
+				if len(*bp) == cap(*bp) {
+					flush()
+				}
+			}
+		}
+		if err != nil {
+			return // EOF or connection error; deferred flush drains the tail
+		}
+		if br.Buffered() == 0 {
+			flush()
+		}
+	}
+}
+
+// Feed streams an update feed from r into the plane — the file-fed
+// twin of a TCP session, batching parsed updates into pooled bursts
+// the same way sessions do (one queue handoff per sessionBatch, not
+// one flusher wakeup per line). It returns the number of updates
+// enqueued; a parse error names the offending line number and text.
+// Feed does not wait for the updates to publish; follow with Sync for
+// a convergence barrier.
+func (p *Plane) Feed(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	bp := sessionPool.Get().(*[]gen.Update)
+	defer func() { p.enqueuePooled(bp) }()
+	n, line := 0, 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		u, err := gen.ParseUpdate(text)
+		if err != nil {
+			return n, fmt.Errorf("ribd: line %d: %q: %v", line, text, err)
+		}
+		*bp = append(*bp, u)
+		if len(*bp) == cap(*bp) {
+			p.enqueuePooled(bp)
+			bp = sessionPool.Get().(*[]gen.Update)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("ribd: %v", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,211 @@
+package shardfib
+
+import (
+	"math/rand"
+	"testing"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/gen"
+)
+
+// opsFromUpdates converts a generated update sequence into engine ops.
+func opsFromUpdates(us []gen.Update) []Op {
+	ops := make([]Op, len(us))
+	for i, u := range us {
+		ops[i] = Op{Addr: u.Addr, Len: u.Len, Label: u.NextHop}
+		if u.Withdraw {
+			ops[i].Label = fib.NoLabel
+		}
+	}
+	return ops
+}
+
+// TestApplyBatchMatchesSequential proves the batched write path is
+// forwarding-equivalent to the per-update Set/Delete path: the same
+// update stream pushed through both engines — in batches of varying
+// size on one side, one at a time on the other — yields bit-identical
+// lookups, across barriers, shard counts and both snapshot formats.
+func TestApplyBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tab := testTable(t, 3000, 21)
+	for _, cfg := range []struct {
+		lambda, shards int
+		format         Format
+	}{
+		{8, 4, FormatV1},
+		{11, 16, FormatV1},
+		{11, 16, FormatV2},
+		{2, 4, FormatV1}, // short barrier: exercises replicated short prefixes
+	} {
+		batched, err := BuildFormat(tab, cfg.lambda, cfg.shards, cfg.format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := BuildFormat(tab, cfg.lambda, cfg.shards, cfg.format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us := gen.BGPUpdates(rng, tab, 1500)
+		// Mix in short prefixes so batches hit the multi-shard
+		// covering path.
+		for i := 0; i < 40; i++ {
+			plen := rng.Intn(5)
+			us = append(us, gen.Update{
+				Addr:    rng.Uint32() & fib.Mask(plen),
+				Len:     plen,
+				NextHop: uint32(1 + rng.Intn(4)),
+			})
+		}
+		ops := opsFromUpdates(us)
+		for lo := 0; lo < len(ops); {
+			hi := lo + 1 + rng.Intn(200)
+			if hi > len(ops) {
+				hi = len(ops)
+			}
+			if _, err := batched.ApplyBatch(ops[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			lo = hi
+		}
+		for _, u := range us {
+			if u.Withdraw {
+				serial.Delete(u.Addr, u.Len)
+			} else if err := serial.Set(u.Addr, u.Len, u.NextHop); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 20000; i++ {
+			a := rng.Uint32()
+			if got, want := batched.Lookup(a), serial.Lookup(a); got != want {
+				t.Fatalf("λ=%d shards=%d %v: ApplyBatch diverges at %08x: %d != %d",
+					cfg.lambda, cfg.shards, cfg.format, a, got, want)
+			}
+		}
+		// The batch read path must agree too.
+		addrs := gen.UniformAddrs(rng, 512)
+		got, want := batched.LookupBatch(addrs), serial.LookupBatch(addrs)
+		for i := range addrs {
+			if got[i] != want[i] {
+				t.Fatalf("λ=%d shards=%d %v: batch lookup diverges at %08x",
+					cfg.lambda, cfg.shards, cfg.format, addrs[i])
+			}
+		}
+	}
+}
+
+// TestApplyBatchLastOpWins pins the in-order semantics: two ops on
+// the same prefix inside one batch resolve to the later one.
+func TestApplyBatchLastOpWins(t *testing.T) {
+	tab := fib.MustParse("0.0.0.0/0 1")
+	f, err := Build(tab, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, err := f.ApplyBatch([]Op{
+		{Addr: 0x0A000000, Len: 8, Label: 2},
+		{Addr: 0x0A000000, Len: 8, Label: 3},
+		{Addr: 0x0B000000, Len: 8, Label: 4},
+		{Addr: 0x0B000000, Len: 8, Label: fib.NoLabel}, // announce then withdraw
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutated != 4 {
+		t.Fatalf("mutated = %d, want 4 (every op changed state)", mutated)
+	}
+	if got := f.Lookup(0x0A000001); got != 3 {
+		t.Fatalf("10.0.0.1 -> %d, want 3 (later op wins)", got)
+	}
+	if got := f.Lookup(0x0B000001); got != 1 {
+		t.Fatalf("11.0.0.1 -> %d, want 1 (withdrawn, default route)", got)
+	}
+	// A short prefix is replicated into every covering shard but is
+	// one logical route change: mutated counts it once.
+	mutated, err = f.ApplyBatch([]Op{{Addr: 0, Len: 0, Label: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutated != 1 {
+		t.Fatalf("mutated = %d for one default-route change, want 1", mutated)
+	}
+	// Re-announcing it identically is a no-op everywhere.
+	mutated, err = f.ApplyBatch([]Op{{Addr: 0, Len: 0, Label: 7}})
+	if err != nil || mutated != 0 {
+		t.Fatalf("redundant re-announce: mutated = %d, err = %v, want 0, nil", mutated, err)
+	}
+}
+
+// TestApplyBatchRejectsInvalid: an invalid op fails the whole batch
+// before any shard is touched.
+func TestApplyBatchRejectsInvalid(t *testing.T) {
+	tab := fib.MustParse("0.0.0.0/0 1")
+	f, err := Build(tab, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Op{
+		{Addr: 0, Len: 33, Label: 2},
+		{Addr: 0, Len: -1, Label: 2},
+		{Addr: 0, Len: 8, Label: fib.MaxLabel + 1},
+	} {
+		batch := []Op{{Addr: 0x0A000000, Len: 8, Label: 2}, bad}
+		if _, err := f.ApplyBatch(batch); err == nil {
+			t.Fatalf("ApplyBatch(%+v) should fail", bad)
+		}
+		if got := f.Lookup(0x0A000001); got != 1 {
+			t.Fatalf("failed batch mutated the engine: 10.0.0.1 -> %d", got)
+		}
+	}
+	if _, err := f.ApplyBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestApplyBatchZeroAllocs extends the steady-churn zero-allocation
+// contract to the batched path: once the double buffers and the
+// grouping scratch are warm, a recycled batch applies and republishes
+// without heap allocations.
+func TestApplyBatchZeroAllocs(t *testing.T) {
+	tab := testTable(t, 4000, 22)
+	for _, format := range []Format{FormatV1, FormatV2} {
+		f, err := BuildFormat(tab, 11, 16, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us := gen.RandomUpdates(rand.New(rand.NewSource(23)), tab, 512)
+		// Two variants of the batch with different labels per prefix
+		// (withdraws become announces in the twin), alternated so
+		// every op is a genuine mutation — a recycled identical batch
+		// would be squashed by the no-op detector and publish nothing.
+		opsA := opsFromUpdates(us)
+		opsB := make([]Op, len(opsA))
+		for i, op := range opsA {
+			op.Label = op.Label%254 + 1
+			opsB[i] = op
+		}
+		// Warm every shard's double buffer, the serializer high-water
+		// marks and the grouping scratch.
+		for i := 0; i < 4; i++ {
+			if _, err := f.ApplyBatch(opsA); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.ApplyBatch(opsB); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(50, func() {
+			ops := opsA
+			if i&1 == 1 {
+				ops = opsB
+			}
+			i++
+			if m, err := f.ApplyBatch(ops); err != nil || m == 0 {
+				t.Fatalf("mutated %d, err %v", m, err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: steady batched republish allocated %.2f times per batch, want 0", format, allocs)
+		}
+	}
+}

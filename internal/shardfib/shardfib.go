@@ -241,6 +241,13 @@ type FIB struct {
 	combMu    sync.Mutex
 	combSpare *combined
 	combFree  *combined
+
+	// applyMu serializes ApplyBatch callers over the per-shard
+	// grouping scratch, so steady batched churn reuses one set of
+	// buffers instead of allocating per batch.
+	applyMu      sync.Mutex
+	applyScratch [][]Op
+	applyTouched []int
 }
 
 // Build partitions a FIB table into `shards` prefix DAGs (a power of
@@ -558,6 +565,125 @@ func (f *FIB) Delete(addr uint32, plen int) bool {
 		sh.mu.Unlock()
 	}
 	return present
+}
+
+// Op is one route-update operation in the engine's own vocabulary:
+// set prefix Addr/Len to Label, or withdraw it when Label is
+// fib.NoLabel. It is the unit ApplyBatch consumes, deliberately free
+// of any feed-format baggage.
+type Op struct {
+	Addr  uint32
+	Len   int
+	Label uint32
+}
+
+// ApplyBatch applies a batch of updates with one republish per
+// *changed shard* and one merged-view rebuild per *batch*, instead of
+// Set/Delete's one republish and rebuild per update — the write path
+// the ribd coalescing plane drives, where a burst of B updates
+// landing in the same shard costs B cheap DAG patches and a single
+// serialization. Ops are validated up front (an invalid op fails the
+// whole batch before any shard is mutated) and applied in order, so
+// two ops on the same prefix resolve to the later one.
+//
+// No-op updates — a re-announcement of the exact route already
+// installed, or a withdrawal of an absent prefix — are detected
+// against the shard's control FIB (an O(plen) exact-match walk) and
+// skipped before the §4.3 patch machinery runs; a shard whose ops all
+// turn out to be no-ops is not republished at all. Real BGP feeds are
+// dominated by such redundant churn (a flapping peer re-announcing
+// its table), so this is where the coalescing plane's "one DAG
+// mutation per changed prefix" promise is enforced against engine
+// state, not just within a batch. The returned count is the number of
+// updates that actually mutated a shard.
+//
+// Concurrent lookups are never blocked; as with Set, each shard's
+// readers flip to the new routes the moment the final rebuild lands.
+func (f *FIB) ApplyBatch(ops []Op) (int, error) {
+	for _, op := range ops {
+		if op.Len < 0 || op.Len > fib.W {
+			return 0, fmt.Errorf("shardfib: prefix length %d out of range [0,%d]", op.Len, fib.W)
+		}
+		if op.Label > fib.MaxLabel {
+			return 0, fmt.Errorf("shardfib: label %d out of range [1,%d]", op.Label, fib.MaxLabel)
+		}
+	}
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	f.applyMu.Lock()
+	defer f.applyMu.Unlock()
+	if f.applyScratch == nil {
+		f.applyScratch = make([][]Op, len(f.shards))
+	}
+	touched := f.applyTouched[:0]
+	for _, op := range ops {
+		op.Addr &= fib.Mask(op.Len)
+		lo, hi := f.covering(op.Addr, op.Len)
+		for s := lo; s <= hi; s++ {
+			if len(f.applyScratch[s]) == 0 {
+				touched = append(touched, s)
+			}
+			f.applyScratch[s] = append(f.applyScratch[s], op)
+		}
+	}
+	f.applyTouched = touched
+	// Reclaim the retired merged view once up front: that releases
+	// its snapshot pins, so each changed shard's publish below can
+	// serialize into its spare buffers (the batch-granular version of
+	// publishShard's reclaim-publish-rebuild cycle).
+	f.combMu.Lock()
+	f.reclaimCombined()
+	f.combMu.Unlock()
+	mutated, published := 0, false
+	var firstErr error
+	for _, s := range touched {
+		sh := &f.shards[s]
+		sh.mu.Lock()
+		changed := false
+		for _, op := range f.applyScratch[s] {
+			// Every covering shard holds the same exact-prefix state
+			// (partition and every write path touch all of them), so
+			// counting a replicated short-prefix op only in its
+			// owning shard keeps mutated ≤ len(ops) — one count per
+			// logical route change, not per replica.
+			owner := int(op.Addr>>f.shift) == s
+			if op.Label == fib.NoLabel {
+				if sh.dag.Delete(op.Addr, op.Len) {
+					changed = true
+					if owner {
+						mutated++
+					}
+				}
+			} else if sh.dag.Control().Get(op.Addr, op.Len) != op.Label {
+				if err := sh.dag.Set(op.Addr, op.Len, op.Label); err != nil {
+					// Unreachable after the validation pass; if it
+					// ever fires, finish publishing so readers still
+					// see a consistent (partially applied) view.
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					changed = true
+					if owner {
+						mutated++
+					}
+				}
+			}
+		}
+		if changed {
+			sh.publish(f.lambda, f.format)
+			published = true
+		}
+		sh.mu.Unlock()
+		f.applyScratch[s] = f.applyScratch[s][:0]
+	}
+	if published {
+		f.combMu.Lock()
+		f.rebuildCombined()
+		f.combMu.Unlock()
+	}
+	return mutated, firstErr
 }
 
 // Reload atomically replaces the whole FIB shard by shard from a

@@ -103,6 +103,26 @@ func (t *Trie) Delete(addr uint32, plen int) bool {
 	return true
 }
 
+// Get reports the label stored at exactly prefix addr/plen
+// (fib.NoLabel when absent) — the exact-match complement of Lookup,
+// O(plen) with no allocation. The serving engine uses it to detect
+// no-op route updates (a re-announcement of the route already
+// installed) before paying for a DAG patch and republish.
+func (t *Trie) Get(addr uint32, plen int) uint32 {
+	n := t.Root
+	for q := 0; q < plen; q++ {
+		if fib.Bit(addr, q) == 0 {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+		if n == nil {
+			return fib.NoLabel
+		}
+	}
+	return n.Label
+}
+
 // Lookup performs longest prefix match: walk the bits of addr and
 // return the last label seen (§2). It runs in O(W).
 func (t *Trie) Lookup(addr uint32) uint32 {
