@@ -763,6 +763,87 @@ func benchShardedUpdate(b *testing.B, format shardfib.Format) {
 	b.ReportMetric(float64(f.ModelBytes()), "bytes")
 }
 
+// ---- IPv6 dual-stack serving: the ip6 blob's interleaved lanes flat
+// and through the sharded v6 engine, plus the sharded steady-churn
+// update cost — the go-bench counterpart of the fibbench -serving
+// ip6-* rows.
+
+func serve6Batches(keys []ip6.Addr) [][]ip6.Addr {
+	batches := make([][]ip6.Addr, 0, len(keys)/serveBatch)
+	for i := 0; i+serveBatch <= len(keys); i += serveBatch {
+		batches = append(batches, keys[i:i+serveBatch])
+	}
+	return batches
+}
+
+func BenchmarkServing_IP6ParallelBatchBlobLanes(b *testing.B) {
+	t, keys := bench6(b)
+	d, err := ip6.Build(t, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := d.Serialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := serve6Batches(keys)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]uint32, serveBatch)
+		for i := 0; pb.Next(); i++ {
+			blob.LookupBatchInto(dst, batches[i%len(batches)])
+		}
+	})
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+func BenchmarkServing_IP6ParallelBatchSharded16(b *testing.B) {
+	t, keys := bench6(b)
+	f, err := shardfib.Build6(t, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := serve6Batches(keys)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]uint32, serveBatch)
+		for i := 0; pb.Next(); i++ {
+			f.LookupBatchInto(dst, batches[i%len(batches)])
+		}
+	})
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+func BenchmarkServing_IP6ShardedUpdate16(b *testing.B) {
+	t, _ := bench6(b)
+	f, err := shardfib.Build6(t, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	us := gen.BGPUpdates6(rand.New(rand.NewSource(7)), t, 4096)
+	apply := func(u gen.Update) {
+		if u.Withdraw {
+			f.Delete(u.Addr6, u.Len)
+		} else if err := f.Set(u.Addr6, u.Len, u.NextHop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Two passes: both halves of every shard's double buffer reach the
+	// feed's high-water blob size before the timer starts.
+	for pass := 0; pass < 2; pass++ {
+		for _, u := range us {
+			apply(u)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apply(us[i&4095])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(f.ModelBytes()), "bytes")
+}
+
 func BenchmarkBaseline_PatriciaLookup(b *testing.B) {
 	t, keys, _ := benchFIB(b)
 	p := patricia.Build(t)

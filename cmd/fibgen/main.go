@@ -1,9 +1,12 @@
 // Command fibgen generates synthetic FIBs in the library's text format
 // ("a.b.c.d/len label" lines): either a named Table 1 profile or a
-// custom split FIB.
+// custom split FIB. -6 generates an IPv6 table instead ("2001:db8::/32
+// label" lines), drawn from the global unicast space with the
+// provider-allocation length bias of real v6 tables.
 //
 //	fibgen -profile taz > taz.fib
 //	fibgen -n 600000 -delta 5 -h0 1.06 > fib_600k.fib
+//	fibgen -6 -n 150000 -delta 4 > t6.fib
 package main
 
 import (
@@ -14,12 +17,14 @@ import (
 	"os"
 
 	"fibcomp/internal/gen"
+	"fibcomp/internal/ip6"
 )
 
 func main() {
 	var (
 		profile = flag.String("profile", "", "Table 1 profile name (taz, hbone, access(d), ...)")
 		list    = flag.Bool("list", false, "list available profiles")
+		v6      = flag.Bool("6", false, "generate an IPv6 FIB (custom split only; profiles are IPv4)")
 		n       = flag.Int("n", 100000, "custom FIB: number of prefixes")
 		delta   = flag.Int("delta", 4, "custom FIB: number of next-hops")
 		h0      = flag.Float64("h0", 1.0, "custom FIB: target next-hop entropy")
@@ -38,6 +43,24 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
+
+	if *v6 {
+		if *profile != "" {
+			fatal(fmt.Errorf("-6 and -profile are mutually exclusive (profiles are IPv4 tables)"))
+		}
+		dist, err := gen.SkewedDist(*delta, *h0)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := ip6.SplitFIB(rng, *n, dist)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Write(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *profile != "" {
 		p, err := gen.ProfileByName(*profile)

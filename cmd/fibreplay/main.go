@@ -11,11 +11,17 @@
 // control FIB, proving the live engine converged to the bit-identical
 // table.
 //
+// -6 runs the IPv6 twin end-to-end: -fib names an IPv6 table, the
+// synthetic feed is v6 BGP-like churn, the offline replay drives the
+// ip6 prefix DAG, and the -stream differential sweep speaks the
+// AF-tagged v6 datagram framing at the server's lookup port.
+//
 //	fibgen -profile taz > taz.fib
 //	fibreplay -fib taz.fib -synth 100000          # synthesize + replay
 //	fibreplay -fib taz.fib -feed updates.log      # replay a saved feed
 //	fibreplay -fib taz.fib -synth 5000 -emit feed.log   # save a feed
 //	fibreplay -fib taz.fib -feed feed.log -stream 127.0.0.1:7001 -server 127.0.0.1:7000
+//	fibreplay -6 -fib t6.fib -synth 5000 -stream 127.0.0.1:7001 -server 127.0.0.1:7000
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 
 	"fibcomp/internal/fib"
 	"fibcomp/internal/gen"
+	"fibcomp/internal/ip6"
 	"fibcomp/internal/lookupd"
 	"fibcomp/internal/pdag"
 )
@@ -37,10 +44,12 @@ import (
 func main() {
 	var (
 		fibPath = flag.String("fib", "", "FIB file (text format); required")
+		v6      = flag.Bool("6", false, "IPv6 mode: -fib is an IPv6 table, the feed is v6 churn, verification speaks the AF-tagged framing")
 		feed    = flag.String("feed", "", "update feed to replay (default: synthesize)")
 		synth   = flag.Int("synth", 10000, "number of synthetic BGP-like updates")
 		emit    = flag.String("emit", "", "write the synthetic feed here instead of replaying")
-		lambda  = flag.Int("lambda", 11, "leaf-push barrier")
+		lambda  = flag.Int("lambda", 11, "leaf-push barrier (IPv4 mode)")
+		lambda6 = flag.Int("lambda6", 16, "leaf-push barrier (IPv6 mode)")
 		seed    = flag.Int64("seed", 1, "synthesis seed")
 		verify  = flag.Int("verify", 100000, "post-replay verification probes (0 to skip)")
 		stream  = flag.String("stream", "", "stream the feed at a live fibserve's -updates address instead of replaying offline")
@@ -49,6 +58,10 @@ func main() {
 	flag.Parse()
 	if *fibPath == "" {
 		fatal(fmt.Errorf("-fib is required"))
+	}
+	if *v6 {
+		replay6(*fibPath, *feed, *emit, *stream, *server, *synth, *lambda6, *verify, *seed)
+		return
 	}
 	f, err := os.Open(*fibPath)
 	if err != nil {
@@ -217,6 +230,174 @@ func streamFeed(table *fib.Table, updates []gen.Update, stream, server string, l
 		done += n
 	}
 	fmt.Printf("fibreplay: live engine bit-identical to the offline control replay on %d probes\n", verify)
+}
+
+// replay6 is the IPv6 mode: synthesize or load a v6 feed, then either
+// replay it offline against the ip6 prefix DAG (verifying against the
+// control FIB) or stream it at a live dual-stack server and prove the
+// served engine bit-identical to the offline control replay over the
+// AF-tagged lookup framing.
+func replay6(fibPath, feed, emit, stream, server string, synth, lambda, verify int, seed int64) {
+	f, err := os.Open(fibPath)
+	if err != nil {
+		fatal(err)
+	}
+	table, err := ip6.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var updates []gen.Update
+	if feed != "" {
+		uf, err := os.Open(feed)
+		if err != nil {
+			fatal(err)
+		}
+		updates, err = gen.ReadUpdates(uf)
+		uf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		for i, u := range updates {
+			if !u.V6 {
+				fatal(fmt.Errorf("feed %s: update %d is IPv4; -6 replays v6 feeds", feed, i+1))
+			}
+		}
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		updates = gen.BGPUpdates6(rng, table, synth)
+	}
+	if emit != "" {
+		out, err := os.Create(emit)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gen.WriteUpdates(out, updates); err != nil {
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fibreplay: wrote %d IPv6 updates to %s\n", len(updates), emit)
+		return
+	}
+
+	// The offline control replay both modes verify against.
+	control := func() *ip6.DAG {
+		d, err := ip6.Build(table, lambda)
+		if err != nil {
+			fatal(err)
+		}
+		for _, u := range updates {
+			if u.Withdraw {
+				d.Delete(u.Addr6, u.Len)
+			} else if err := d.Set(u.Addr6, u.Len, u.NextHop); err != nil {
+				fatal(err)
+			}
+		}
+		return d
+	}
+
+	if stream != "" {
+		conn, err := net.Dial("tcp", stream)
+		if err != nil {
+			fatal(err)
+		}
+		defer conn.Close()
+		t0 := time.Now()
+		if err := gen.WriteUpdates(conn, updates); err != nil {
+			fatal(err)
+		}
+		sent := time.Now()
+		if _, err := fmt.Fprintf(conn, "sync end\n"); err != nil {
+			fatal(err)
+		}
+		reply, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			fatal(fmt.Errorf("sync reply: %v", err))
+		}
+		synced := time.Now()
+		reply = strings.TrimSpace(reply)
+		if !strings.HasPrefix(reply, "synced end") {
+			fatal(fmt.Errorf("server rejected the feed: %s", reply))
+		}
+		total := synced.Sub(t0)
+		fmt.Printf("fibreplay: streamed %d IPv6 updates in %v (%.0f updates/s), convergence lag %v\n",
+			len(updates), total.Round(time.Millisecond),
+			float64(len(updates))/total.Seconds(), synced.Sub(sent).Round(time.Microsecond))
+		fmt.Printf("fibreplay: server: %s\n", reply)
+		if verify <= 0 {
+			return
+		}
+		if server == "" {
+			fmt.Println("fibreplay: no -server lookup address; skipping the verification sweep")
+			return
+		}
+		d := control()
+		c, err := lookupd.Dial(server)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(seed + 1))
+		batch := make([]ip6.Addr, lookupd.MaxBatch)
+		for done := 0; done < verify; {
+			n := min(len(batch), verify-done)
+			for i := 0; i < n; i++ {
+				batch[i] = ip6.Addr{Hi: 0x2000000000000000 | rng.Uint64()>>3, Lo: rng.Uint64()}
+			}
+			labels, err := c.LookupBatch6(batch[:n])
+			if err != nil {
+				fatal(err)
+			}
+			for i, label := range labels {
+				if want := d.Lookup(batch[i]); label != want {
+					fatal(fmt.Errorf("live v6 engine diverges from control replay at %s: %d != %d",
+						batch[i], label, want))
+				}
+			}
+			done += n
+		}
+		fmt.Printf("fibreplay: live v6 engine bit-identical to the offline control replay on %d probes\n", verify)
+		return
+	}
+
+	d, err := ip6.Build(table, lambda)
+	if err != nil {
+		fatal(err)
+	}
+	before := d.ModelBytes()
+	start := time.Now()
+	applied, withdrawn := 0, 0
+	for _, u := range updates {
+		if u.Withdraw {
+			if d.Delete(u.Addr6, u.Len) {
+				withdrawn++
+			}
+		} else {
+			if err := d.Set(u.Addr6, u.Len, u.NextHop); err != nil {
+				fatal(err)
+			}
+			applied++
+		}
+	}
+	dur := time.Since(start)
+	fmt.Printf("fibreplay: %d v6 announces + %d withdraws in %v (%.0f updates/s, mean %.2f µs)\n",
+		applied, withdrawn, dur.Round(time.Millisecond),
+		float64(len(updates))/dur.Seconds(),
+		float64(dur.Microseconds())/float64(len(updates)))
+	fmt.Printf("fibreplay: v6 DAG %0.1f KB before, %0.1f KB after (λ=%d)\n",
+		float64(before)/1024, float64(d.ModelBytes())/1024, lambda)
+	if verify > 0 {
+		rng := rand.New(rand.NewSource(seed + 1))
+		for _, a := range ip6.RandomAddrs(rng, verify) {
+			if d.Lookup(a) != d.Control().Lookup(a) {
+				fatal(fmt.Errorf("divergence from control FIB at %s", a))
+			}
+		}
+		fmt.Printf("fibreplay: verified against control FIB on %d probes\n", verify)
+	}
 }
 
 func fatal(err error) {

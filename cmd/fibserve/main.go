@@ -20,11 +20,21 @@
 // gracefully: stop accepting peers, drain the pending update batch,
 // answer the in-flight lookup, then exit.
 //
+// -fib6 serves IPv6 alongside IPv4 from the same UDP socket: the v6
+// table is folded into its own sharded engine (ip6 serialized blobs
+// behind the same pin/validate republish machinery), v6 datagrams are
+// AF-tagged on the wire while untagged v4 requests stay exactly the
+// PR 1 format, the update plane accepts interleaved dual-stack feeds,
+// and SIGHUP reloads both files.
+//
 //	fibgen -profile access(v) > t.fib
-//	fibserve -listen 127.0.0.1:7000 -updates 127.0.0.1:7001 -shards 16 t.fib &
+//	fibgen -6 -n 150000 > t6.fib
+//	fibserve -listen 127.0.0.1:7000 -updates 127.0.0.1:7001 -shards 16 -fib6 t6.fib t.fib &
 //	fibreplay -fib t.fib -synth 100000 -stream 127.0.0.1:7001 -server 127.0.0.1:7000
-//	kill -HUP $!   # re-read t.fib, keep serving
+//	fibreplay -6 -fib t6.fib -synth 100000 -stream 127.0.0.1:7001 -server 127.0.0.1:7000
+//	kill -HUP $!   # re-read t.fib and t6.fib, keep serving
 //	fibserve -query 10.0.0.1 -server 127.0.0.1:7000
+//	fibserve -query 2001:db8::1 -server 127.0.0.1:7000
 package main
 
 import (
@@ -34,9 +44,11 @@ import (
 	_ "net/http/pprof" // -pprof exposes the serving hot paths
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"fibcomp/internal/fib"
+	"fibcomp/internal/ip6"
 	"fibcomp/internal/lookupd"
 	"fibcomp/internal/pdag"
 	"fibcomp/internal/ribd"
@@ -48,10 +60,12 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:7000", "UDP address to serve on")
 		lambda  = flag.Int("lambda", 11, "leaf-push barrier")
 		shards  = flag.Int("shards", 1, "shard count (power of two; >1 serves the sharded concurrent engine)")
-		blobv2  = flag.Bool("blobv2", false, "serve the stride-compressed blob format (4 trie levels per memory touch below the barrier)")
+		blobv2  = flag.Bool("blobv2", false, "serve the stride-compressed blob format for IPv4 (4 trie levels per memory touch below the barrier)")
+		fib6    = flag.String("fib6", "", "IPv6 FIB file: serve dual-stack (AF-tagged v6 datagrams next to untagged v4)")
+		lambda6 = flag.Int("lambda6", 16, "IPv6 leaf-push barrier")
 		updates = flag.String("updates", "", "TCP address for the live route-update plane (ribd); implies the sharded engine")
 		stale   = flag.Duration("max-staleness", ribd.DefaultMaxStaleness, "update plane: staleness bound on paced republish")
-		query   = flag.String("query", "", "client mode: address to look up")
+		query   = flag.String("query", "", "client mode: address to look up (IPv4 or IPv6)")
 		server  = flag.String("server", "127.0.0.1:7000", "client mode: server address")
 		pprof   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) to profile serving in place")
 	)
@@ -68,20 +82,37 @@ func main() {
 	}
 
 	if *query != "" {
-		addr, err := fib.ParseAddr(*query)
-		if err != nil {
-			fatal(err)
-		}
 		c, err := lookupd.Dial(*server)
 		if err != nil {
 			fatal(err)
 		}
 		defer c.Close()
-		label, err := c.Lookup(addr)
-		if err != nil {
-			fatal(err)
+		var (
+			label   uint32
+			noRoute bool
+		)
+		if strings.Contains(*query, ":") {
+			addr, err := ip6.ParseAddr(*query)
+			if err != nil {
+				fatal(err)
+			}
+			label, err = c.Lookup6(addr)
+			if err != nil {
+				fatal(err)
+			}
+			noRoute = label == ip6.NoLabel
+		} else {
+			addr, err := fib.ParseAddr(*query)
+			if err != nil {
+				fatal(err)
+			}
+			label, err = c.Lookup(addr)
+			if err != nil {
+				fatal(err)
+			}
+			noRoute = label == fib.NoLabel
 		}
-		if label == fib.NoLabel {
+		if noRoute {
 			fmt.Printf("%s: no route\n", *query)
 			os.Exit(2)
 		}
@@ -149,12 +180,44 @@ func main() {
 			fatal(err)
 		}
 	}
-	s, err := lookupd.Listen(*listen, engine)
+
+	// The IPv6 engine: always the sharded serving form (its serialized
+	// blobs ride the same pin/validate republish machinery), built
+	// from its own table file. eng6 stays a nil interface — not a
+	// typed nil — when v6 is unconfigured, so the server's nil check
+	// answers "no route" instead of dispatching into a nil engine.
+	var (
+		sharded6 *shardfib.FIB6
+		n6       int
+		eng6     lookupd.Lookuper6
+	)
+	if *fib6 != "" {
+		tab6, err := readFIB6(*fib6)
+		if err != nil {
+			fatal(err)
+		}
+		sharded6, err = shardfib.Build6(tab6, *lambda6, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		eng6 = sharded6
+		n6 = tab6.N()
+	}
+
+	s, err := lookupd.ListenDual(*listen, engine, eng6)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB (%d shard(s), blob %s), serving on %s\n",
 		t.N(), float64(size)/1024, *shards, served, s.Addr())
+	if sharded6 != nil {
+		served6 := "ip6"
+		if !sharded6.SnapshotsSerialized() {
+			served6 = "dag (unserialized)"
+		}
+		fmt.Printf("fibserve: dual-stack: %d IPv6 prefixes compressed to %.1f KB (λ6=%d, blob %s)\n",
+			n6, float64(sharded6.SizeBytes())/1024, *lambda6, served6)
+	}
 
 	// The live route-update plane: TCP peer sessions feeding the
 	// coalescing queue and paced republisher over the sharded engine.
@@ -163,13 +226,17 @@ func main() {
 		upd   *ribd.Server
 	)
 	if *updates != "" {
-		plane = ribd.New(sharded, ribd.Options{MaxStaleness: *stale})
+		plane = ribd.NewDual(sharded, sharded6, ribd.Options{MaxStaleness: *stale})
 		upd, err = ribd.Serve(plane, *updates)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("fibserve: route-update plane on %s (staleness bound %s)\n",
-			upd.Addr(), plane.MaxStaleness())
+		families := "v4"
+		if sharded6 != nil {
+			families = "dual-stack"
+		}
+		fmt.Printf("fibserve: route-update plane on %s (%s, staleness bound %s)\n",
+			upd.Addr(), families, plane.MaxStaleness())
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -202,6 +269,18 @@ func main() {
 			s.Swap(next)
 		}
 		fmt.Printf("fibserve: reloaded %d prefixes from %s\n", t.N(), path)
+		if sharded6 != nil {
+			tab6, err := readFIB6(*fib6)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fibserve: reload: %v (keeping old IPv6 FIB)\n", err)
+				continue
+			}
+			if err := sharded6.Reload(tab6); err != nil {
+				fmt.Fprintf(os.Stderr, "fibserve: reload: %v (keeping old IPv6 FIB)\n", err)
+				continue
+			}
+			fmt.Printf("fibserve: reloaded %d IPv6 prefixes from %s\n", tab6.N(), *fib6)
+		}
 	}
 	// Graceful shutdown (SIGINT/SIGTERM): stop accepting update
 	// peers, drain and publish the pending coalesced batch, then let
@@ -231,6 +310,15 @@ func readFIB(path string) (*fib.Table, error) {
 	}
 	defer f.Close()
 	return fib.Read(f)
+}
+
+func readFIB6(path string) (*ip6.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ip6.Read(f)
 }
 
 func fatal(err error) {

@@ -9,7 +9,9 @@ import (
 	"runtime"
 	"time"
 
+	"fibcomp/internal/fib"
 	"fibcomp/internal/gen"
+	"fibcomp/internal/ip6"
 	"fibcomp/internal/pdag"
 	"fibcomp/internal/ribd"
 	"fibcomp/internal/shardfib"
@@ -276,7 +278,152 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 		results = append(results, row)
 	}
 
-	fmt.Fprintf(w, "Serving engine (taz, scale %.3g, batch %d, 16 shards, blob v1+v2):\n", cfg.Scale, servingBatch)
+	// ---- IPv6 rows: the dual-stack serving engine. A synthetic v6
+	// table at the same scale knob, served through the ip6 blob's
+	// lanes flat and sharded, plus the per-update republish cost and
+	// the v6 churn-under-load scenario through the dual ribd plane.
+	rng6 := rand.New(rand.NewSource(cfg.Seed + 12))
+	n6 := int(150000 * cfg.Scale)
+	if n6 < 1000 {
+		n6 = 1000
+	}
+	t6, err := ip6.SplitFIB(rng6, n6, []float64{0.5, 0.3, 0.15, 0.05})
+	if err != nil {
+		return nil, err
+	}
+	keys6 := ip6.RandomAddrs(rng6, 1<<14)
+	var batches6 [][]ip6.Addr
+	for i := 0; i+servingBatch <= len(keys6); i += servingBatch {
+		batches6 = append(batches6, keys6[i:i+servingBatch])
+	}
+	const lambda6 = 16
+	d6, err := ip6.Build(t6, lambda6)
+	if err != nil {
+		return nil, err
+	}
+	blob6, err := d6.Serialize()
+	if err != nil {
+		return nil, err
+	}
+	f6, err := shardfib.Build6(t6, lambda6, 16)
+	if err != nil {
+		return nil, err
+	}
+	batch6MLps := func(fn func(b []ip6.Addr)) float64 {
+		for i := 0; i < len(batches6); i++ {
+			fn(batches6[i])
+		}
+		start := time.Now()
+		n := 0
+		for time.Since(start) < minDur {
+			fn(batches6[n%len(batches6)])
+			n++
+		}
+		return float64(n) * servingBatch / time.Since(start).Seconds() / 1e6
+	}
+	results = append(results,
+		ServingResult{
+			Name:      "ip6-blob-lanes",
+			MLps:      batch6MLps(func(b []ip6.Addr) { blob6.LookupBatchInto(dst, b) }),
+			SizeBytes: blob6.SizeBytes(),
+		},
+		ServingResult{
+			Name:      "ip6-sharded16-lanes",
+			MLps:      batch6MLps(func(b []ip6.Addr) { f6.LookupBatchInto(dst, b) }),
+			SizeBytes: f6.SizeBytes(),
+		},
+	)
+	{
+		us6 := gen.BGPUpdates6(rand.New(rand.NewSource(cfg.Seed+13)), t6, 4096)
+		apply := func(u gen.Update) error {
+			if u.Withdraw {
+				f6.Delete(u.Addr6, u.Len)
+				return nil
+			}
+			return f6.Set(u.Addr6, u.Len, u.NextHop)
+		}
+		// Steady state: two full passes, so both snapshots of every
+		// shard's double buffer have met the feed's high-water blob
+		// size and the measured loop re-applies a periodic sequence.
+		for pass := 0; pass < 2; pass++ {
+			for _, u := range us6 {
+				if err := apply(u); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		n := 0
+		for time.Since(start) < minDur {
+			if err := apply(us6[n&4095]); err != nil {
+				return nil, err
+			}
+			n++
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		results = append(results, ServingResult{
+			Name:        "ip6-sharded16-update",
+			UpdateUs:    float64(elapsed.Microseconds()) / float64(n),
+			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+			SizeBytes:   f6.ModelBytes(),
+		})
+	}
+	{
+		// Churn-under-load, v6: peers stream a v6 BGP-like feed
+		// through the dual plane while the v6 merged batch loop is
+		// measured, against its own post-feed idle baseline.
+		eng6, err := shardfib.Build6(t6, lambda6, 16)
+		if err != nil {
+			return nil, err
+		}
+		eng4, err := shardfib.Build(fib.MustParse("0.0.0.0/0 1"), 11, 1)
+		if err != nil {
+			return nil, err
+		}
+		plane := ribd.NewDual(eng4, eng6, ribd.Options{})
+		us6 := gen.BGPUpdates6(rand.New(rand.NewSource(cfg.Seed+14)), t6, 1<<14)
+		plane.EnqueueBatch(us6)
+		plane.Sync()
+		results = append(results, ServingResult{
+			Name:      "ip6-sharded16-ribd-idle",
+			MLps:      batch6MLps(func(b []ip6.Addr) { eng6.LookupBatchInto(dst, b) }),
+			SizeBytes: eng6.SizeBytes(),
+		})
+		stop := ChurnLoad(plane, us6, ChurnPeers, ChurnRate)
+		// Longer settle than the v4 rows: the v6 flush cycle must also
+		// regrow each shard's double-buffered blobs to the live feed's
+		// high-water before the allocation count means anything.
+		time.Sleep(300 * time.Millisecond)
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		st0 := plane.Stats()
+		w0 := time.Now()
+		mlps := batch6MLps(func(b []ip6.Addr) { eng6.LookupBatchInto(dst, b) })
+		elapsed := time.Since(w0)
+		st1 := plane.Stats()
+		runtime.ReadMemStats(&ms1)
+		stop()
+		if err := plane.Close(); err != nil {
+			return nil, err
+		}
+		applied := st1.Applied - st0.Applied
+		row := ServingResult{
+			Name:        "ip6-sharded16-ribd-churn",
+			MLps:        mlps,
+			UpdatesPerS: float64(applied) / elapsed.Seconds(),
+			MutatedPerS: float64(st1.Mutated-st0.Mutated) / elapsed.Seconds(),
+			SizeBytes:   eng6.SizeBytes(),
+		}
+		if applied > 0 {
+			row.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(applied)
+		}
+		results = append(results, row)
+	}
+
+	fmt.Fprintf(w, "Serving engine (taz + ip6 split, scale %.3g, batch %d, 16 shards, blob v1+v2+ip6):\n", cfg.Scale, servingBatch)
 	for _, r := range results {
 		switch {
 		case r.UpdatesPerS != 0:

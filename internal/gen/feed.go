@@ -8,12 +8,18 @@ import (
 	"strings"
 
 	"fibcomp/internal/fib"
+	"fibcomp/internal/ip6"
 )
 
-// The update-feed text format mirrors a simplified RouteViews log:
+// The update-feed text format mirrors a simplified RouteViews log,
+// dual-stack: the address family of a line is carried by the prefix
+// notation itself (a ':' marks IPv6), so v4 and v6 updates interleave
+// freely in one feed and v4-only feeds stay byte-identical to PR 4:
 //
 //	announce 10.1.0.0/16 3
 //	withdraw 10.1.0.0/16
+//	announce 2001:db8::/32 5
+//	withdraw 2001:db8::/32
 //	# comments and blank lines are ignored
 //
 // It is what cmd/fibreplay consumes and what WriteUpdates emits, so
@@ -23,12 +29,17 @@ import (
 func WriteUpdates(w io.Writer, us []Update) error {
 	bw := bufio.NewWriter(w)
 	for _, u := range us {
-		e := fib.Entry{Addr: u.Addr, Len: u.Len}
+		prefix := ""
+		if u.V6 {
+			prefix = ip6.Entry{Addr: u.Addr6, Len: u.Len}.Prefix()
+		} else {
+			prefix = fib.Entry{Addr: u.Addr, Len: u.Len}.Prefix()
+		}
 		var err error
 		if u.Withdraw {
-			_, err = fmt.Fprintf(bw, "withdraw %s\n", e.Prefix())
+			_, err = fmt.Fprintf(bw, "withdraw %s\n", prefix)
 		} else {
-			_, err = fmt.Fprintf(bw, "announce %s %d\n", e.Prefix(), u.NextHop)
+			_, err = fmt.Fprintf(bw, "announce %s %d\n", prefix, u.NextHop)
 		}
 		if err != nil {
 			return err
@@ -58,27 +69,53 @@ func parseUpdate(text string) (Update, error) {
 		if len(fields) != 3 {
 			return Update{}, fmt.Errorf("want 'announce prefix label'")
 		}
-		addr, plen, err := fib.ParsePrefix(fields[1])
+		u, err := parsePrefixUpdate(fields[1])
 		if err != nil {
 			return Update{}, err
 		}
+		maxLabel := uint64(fib.MaxLabel)
+		if u.V6 {
+			maxLabel = uint64(ip6.MaxLabel)
+		}
 		nh, err := strconv.ParseUint(fields[2], 10, 32)
-		if err != nil || nh == 0 || nh > uint64(fib.MaxLabel) {
+		if err != nil || nh == 0 || nh > maxLabel {
 			return Update{}, fmt.Errorf("bad label %q", fields[2])
 		}
-		return Update{Addr: addr, Len: plen, NextHop: uint32(nh)}, nil
+		u.NextHop = uint32(nh)
+		return u, nil
 	case "withdraw":
 		if len(fields) != 2 {
 			return Update{}, fmt.Errorf("want 'withdraw prefix'")
 		}
-		addr, plen, err := fib.ParsePrefix(fields[1])
+		u, err := parsePrefixUpdate(fields[1])
 		if err != nil {
 			return Update{}, err
 		}
-		return Update{Addr: addr, Len: plen, Withdraw: true}, nil
+		u.Withdraw = true
+		return u, nil
 	default:
 		return Update{}, fmt.Errorf("unknown verb %q", fields[0])
 	}
+}
+
+// parsePrefixUpdate dispatches on the prefix notation: a ':' marks an
+// IPv6 prefix, anything else parses as IPv4 — so family errors come
+// out of the family's own parser ("ip6: bad hextet ..." vs "fib: bad
+// prefix ..."), and the streaming consumers' line-number+text
+// reporting wraps either identically.
+func parsePrefixUpdate(prefix string) (Update, error) {
+	if strings.Contains(prefix, ":") {
+		addr, plen, err := ip6.ParsePrefix(prefix)
+		if err != nil {
+			return Update{}, err
+		}
+		return Update{Addr6: addr, Len: plen, V6: true}, nil
+	}
+	addr, plen, err := fib.ParsePrefix(prefix)
+	if err != nil {
+		return Update{}, err
+	}
+	return Update{Addr: addr, Len: plen}, nil
 }
 
 // ReadUpdates parses an update feed. A parse error names both the

@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fibcomp/internal/ip6"
+)
+
+// TestFeed6RoundTrip writes a mixed dual-stack feed and reads it
+// back: family, prefix and label survive, and v4-only slices stay
+// byte-identical to the PR 4 format.
+func TestFeed6RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tb4, _ := SplitFIB(rng, 800, []float64{0.7, 0.3})
+	tb6, err := ip6.SplitFIB(rng, 800, []float64{0.6, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us4 := BGPUpdates(rng, tb4, 200)
+	us6 := BGPUpdates6(rng, tb6, 200)
+	var us []Update
+	for i := range us4 {
+		us = append(us, us4[i], us6[i])
+	}
+	var buf bytes.Buffer
+	if err := WriteUpdates(&buf, us); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUpdates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(us) {
+		t.Fatalf("round trip lost updates: %d != %d", len(back), len(us))
+	}
+	for i := range us {
+		a, b := us[i], back[i]
+		if a.V6 != b.V6 || a.Addr != b.Addr || a.Addr6 != b.Addr6 || a.Len != b.Len || a.Withdraw != b.Withdraw {
+			t.Fatalf("update %d: %+v != %+v", i, a, b)
+		}
+		if !a.Withdraw && a.NextHop != b.NextHop {
+			t.Fatalf("update %d: label %d != %d", i, a.NextHop, b.NextHop)
+		}
+	}
+}
+
+// TestParseUpdate6 pins the v6 happy path: the ':' in the prefix
+// selects the family, the parsed prefix is canonicalized.
+func TestParseUpdate6(t *testing.T) {
+	u, err := ParseUpdate("announce 2001:db8::/32 5")
+	if err != nil || !u.V6 || u.Len != 32 || u.NextHop != 5 {
+		t.Fatalf("ParseUpdate: %+v, %v", u, err)
+	}
+	if want := (ip6.Addr{Hi: 0x20010db8 << 32}); u.Addr6 != want {
+		t.Fatalf("Addr6 = %+v, want %+v", u.Addr6, want)
+	}
+	w, err := ParseUpdate("withdraw 2001:db8::/32")
+	if err != nil || !w.V6 || !w.Withdraw || w.Len != 32 {
+		t.Fatalf("ParseUpdate withdraw: %+v, %v", w, err)
+	}
+}
+
+// TestFeed6RejectsGarbage locks the error-message format for bad v6
+// lines: the streaming consumers' reporting must name the line
+// number, the offending text verbatim, and the family parser's own
+// reason — so a bad v6 line in a 100k-line dual-stack feed is located
+// exactly like a bad v4 line.
+func TestFeed6RejectsGarbage(t *testing.T) {
+	for _, tc := range []struct {
+		bad    string
+		reason string // substring the family parser must contribute
+	}{
+		{"announce 2001:zz::/32 3", `ip6: bad hextet "zz"`},
+		{"announce 2001:db8::/129 3", `ip6: bad prefix length in "2001:db8::/129"`},
+		{"announce 2001:db8::/32", ""}, // missing label
+		{"announce 2001:db8::/32 0", `bad label "0"`},
+		{"announce 1::2::3/16 4", `ip6: "1::2::3" has multiple '::'`},
+		{"withdraw 2001:db8::/32 9", ""}, // extra field
+	} {
+		feed := "# header\nannounce 2001:db8::/32 3\n" + tc.bad + "\n"
+		_, err := ReadUpdates(strings.NewReader(feed))
+		if err == nil {
+			t.Fatalf("ReadUpdates(%q) should fail", tc.bad)
+		}
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "gen: line 3: "+strconv.Quote(tc.bad)+": ") {
+			t.Fatalf("ReadUpdates(%q) error %q does not lead with the line number and text", tc.bad, msg)
+		}
+		if tc.reason != "" && !strings.Contains(msg, tc.reason) {
+			t.Fatalf("ReadUpdates(%q) error %q lacks the family parser's reason %q", tc.bad, msg, tc.reason)
+		}
+		if _, err := ParseUpdate(tc.bad); err == nil {
+			t.Fatalf("ParseUpdate(%q) should fail", tc.bad)
+		}
+	}
+}
+
+// TestBGPUpdates6Shape sanity-checks the synthetic v6 feed: all
+// updates are v6, announce-dominated, with the length mass in the
+// /32–/64 band around the RouteViews-like mean.
+func TestBGPUpdates6Shape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tb, err := ip6.SplitFIB(rng, 2000, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := BGPUpdates6(rng, tb, 4000)
+	withdraws, lenSum := 0, 0
+	for _, u := range us {
+		if !u.V6 {
+			t.Fatal("v4 update in a v6 feed")
+		}
+		if u.Len < 16 || u.Len > 64 {
+			t.Fatalf("prefix length %d outside the v6 band", u.Len)
+		}
+		if u.Withdraw {
+			withdraws++
+		} else if u.NextHop == ip6.NoLabel || u.NextHop > ip6.MaxLabel {
+			t.Fatalf("label %d out of range", u.NextHop)
+		}
+		lenSum += u.Len
+	}
+	if withdraws == 0 || withdraws > len(us)/4 {
+		t.Fatalf("withdraw mix %d/%d out of the BGP-like band", withdraws, len(us))
+	}
+	mean := float64(lenSum) / float64(len(us))
+	if mean < BGP6MeanPrefixLen-4 || mean > BGP6MeanPrefixLen+4 {
+		t.Fatalf("mean prefix length %.1f too far from %.1f", mean, BGP6MeanPrefixLen)
+	}
+}

@@ -5,15 +5,22 @@ import (
 	"math/rand"
 
 	"fibcomp/internal/fib"
+	"fibcomp/internal/ip6"
 )
 
 // Update is one FIB update event: an announcement (Set) or a
-// withdrawal (Delete).
+// withdrawal (Delete). V6 selects the address family: Addr6 carries
+// the 128-bit prefix of a v6 update, Addr the 32-bit prefix of a v4
+// one — Len, NextHop and Withdraw are family-blind, so the feed
+// format, the coalescing plane and the replay tools move dual-stack
+// streams through one type.
 type Update struct {
 	Addr     uint32
+	Addr6    ip6.Addr
 	Len      int
 	NextHop  uint32
 	Withdraw bool
+	V6       bool
 }
 
 // RandomUpdates produces the synthetic sequence of §5.1: prefixes
@@ -92,6 +99,76 @@ func MeanLen(us []Update) float64 {
 		total += u.Len
 	}
 	return float64(total) / float64(len(us))
+}
+
+// BGP6MeanPrefixLen approximates the mean announced IPv6 prefix
+// length of a RouteViews v6 feed: mass concentrated in the /32–/48
+// provider-allocation band.
+const BGP6MeanPrefixLen = 44.0
+
+// BGPUpdates6 is the IPv6 twin of BGPUpdates: announce-dominated
+// churn whose prefix lengths follow a clipped normal around the v6
+// feed mean, targeting existing table entries of that length when
+// they exist, with a small withdrawal fraction of previously
+// announced prefixes. Fresh prefixes are drawn inside the global
+// unicast space (2000::/3), where ip6.SplitFIB concentrates its
+// tables.
+func BGPUpdates6(rng *rand.Rand, t *ip6.Table, count int) []Update {
+	labels := weightedLabels6(t)
+	byLen := make([][]ip6.Entry, ip6.W+1)
+	for _, e := range t.Entries {
+		byLen[e.Len] = append(byLen[e.Len], e)
+	}
+	var announced []Update
+	out := make([]Update, count)
+	for i := range out {
+		if len(announced) > 0 && rng.Float64() < 0.1 {
+			j := rng.Intn(len(announced))
+			u := announced[j]
+			u.Withdraw = true
+			announced = append(announced[:j], announced[j+1:]...)
+			out[i] = u
+			continue
+		}
+		plen := clampedNormalLen6(rng, BGP6MeanPrefixLen, 6.0)
+		var u Update
+		if es := byLen[plen]; len(es) > 0 && rng.Float64() < 0.8 {
+			e := es[rng.Intn(len(es))]
+			u = Update{Addr6: e.Addr, Len: e.Len, V6: true}
+		} else {
+			a := ip6.Addr{Hi: 0x2000000000000000 | rng.Uint64()>>3, Lo: rng.Uint64()}
+			u = Update{Addr6: ip6.Canonical(a, plen), Len: plen, V6: true}
+		}
+		u.NextHop = labels[rng.Intn(len(labels))]
+		out[i] = u
+		announced = append(announced, u)
+		if len(announced) > 4096 {
+			announced = announced[1:]
+		}
+	}
+	return out
+}
+
+func clampedNormalLen6(rng *rand.Rand, mean, sigma float64) int {
+	for {
+		v := rng.NormFloat64()*sigma + mean
+		l := int(math.Round(v))
+		if l >= 16 && l <= 64 {
+			return l
+		}
+	}
+}
+
+// weightedLabels6 mirrors weightedLabels for IPv6 tables.
+func weightedLabels6(t *ip6.Table) []uint32 {
+	if t.N() == 0 {
+		return []uint32{1}
+	}
+	out := make([]uint32, 0, t.N())
+	for _, e := range t.Entries {
+		out = append(out, e.NextHop)
+	}
+	return out
 }
 
 func clampedNormalLen(rng *rand.Rand, mean, sigma float64) int {

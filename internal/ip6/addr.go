@@ -7,7 +7,9 @@
 package ip6
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 )
@@ -200,6 +202,11 @@ type Entry struct {
 	NextHop uint32
 }
 
+// Prefix renders the entry's prefix in "addr/len" notation.
+func (e Entry) Prefix() string {
+	return fmt.Sprintf("%s/%d", e.Addr, e.Len)
+}
+
 // Table is an IPv6 FIB in tabular form.
 type Table struct {
 	Entries []Entry
@@ -234,6 +241,57 @@ func (t *Table) LookupLinear(addr Addr) uint32 {
 		}
 	}
 	return best
+}
+
+// Read parses an IPv6 FIB in the text format
+//
+//	# comment
+//	2001:db8::/32 next-hop-label
+//
+// one entry per line — the v6 twin of fib.Read, so fibgen/fibserve
+// move dual-stack tables through the same file plumbing.
+func Read(r io.Reader) (*Table, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("ip6: line %d: want 'prefix label', got %q", line, text)
+		}
+		a, plen, err := ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("ip6: line %d: %v", line, err)
+		}
+		nh, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("ip6: line %d: bad label %q", line, fields[1])
+		}
+		if err := t.Add(a, plen, uint32(nh)); err != nil {
+			return nil, fmt.Errorf("ip6: line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Write serializes the table in the format Read accepts.
+func (t *Table) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range t.Entries {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", e.Prefix(), e.NextHop); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // MustParse builds a table from "prefix label" strings (for tests and

@@ -3,11 +3,13 @@ package ip6
 import "fmt"
 
 // Trie-folding over the IPv6 space. The folded region uses the same
-// hash-consing with reference counts as the IPv4 implementation; the
-// update path takes the simpler of the two strategies §4.3 permits —
-// rebuilding the affected λ-level sub-trie from the control FIB —
-// which is ample for IPv6 because the barrier keeps those sub-tries
-// proportional to the routes beneath one λ-bit prefix.
+// hash-consing with reference counts as the IPv4 implementation, and
+// the update path the same incremental §4.3 patch: decompress the
+// folded path down to the updated depth, replace the sub-trie there
+// with a leaf-pushed copy of the control sub-trie, and re-compress
+// bottom-up — O(W + 2^(W−plen)) visited nodes, which matters even
+// more at W=128 than at 32 (refolding a whole λ-subtrie per update
+// was measured ~30x slower on BGP-shaped v6 churn).
 
 const (
 	kindUp byte = iota
@@ -23,6 +25,12 @@ type dnode struct {
 	id          uint64
 	ref         int32
 	kind        byte
+
+	// serialIdx/serialEpoch are SerializeInto scratch: the blob index
+	// assigned to this folded interior node, valid only while
+	// serialEpoch matches the DAG's (see serial.go).
+	serialEpoch uint64
+	serialIdx   uint32
 }
 
 // DAG is an IPv6 prefix DAG with its control FIB.
@@ -33,6 +41,50 @@ type DAG struct {
 	sub     map[[2]uint64]*dnode
 	leaves  map[uint32]*dnode
 	nextID  uint64
+
+	// SerializeInto scratch (see serial.go): the current stamping
+	// epoch, the folded interior nodes in index order, and the DFS
+	// stack — kept on the DAG so steady-churn republishing reuses
+	// them without allocating.
+	serialEpoch uint64
+	serialList  []*dnode
+	serialStack []*dnode
+
+	// Update-path recyclers, mirroring the IPv4 DAG: released DAG
+	// nodes chain through freeNode (linked via left) and feed later
+	// acquires; scratch is the arena the refresh leaf-pushes its
+	// temporary sub-trie copies into. Together they keep steady-state
+	// IPv6 churn — DAG patch plus republish — at zero allocations.
+	freeNode *dnode
+	scratch  arena
+}
+
+// newDnode pops a recycled node or allocates one. A recycled node
+// keeps the interior id of its previous life (leaf ids live in their
+// own namespace above leafIDBase and are dropped): ids only need to
+// be unique among live nodes, and an id that travels with its
+// physical node keeps the hash-consing map's key set bounded under
+// steady churn — monotonically fresh ids were measured to churn the
+// map into periodic rehash allocations.
+func (d *DAG) newDnode() *dnode {
+	n := d.freeNode
+	if n == nil {
+		return &dnode{}
+	}
+	d.freeNode = n.left
+	id := n.id
+	if id >= leafIDBase {
+		id = 0
+	}
+	*n = dnode{id: id}
+	return n
+}
+
+// recycleDnode pushes a dead node onto the free chain. The stale
+// serial stamp is harmless: every SerializeInto bumps the epoch.
+func (d *DAG) recycleDnode(n *dnode) {
+	*n = dnode{left: d.freeNode}
+	d.freeNode = n
 }
 
 // Build folds an IPv6 table with leaf-push barrier lambda ∈ [0, 128].
@@ -50,19 +102,45 @@ func Build(t *Table, lambda int) (*DAG, error) {
 	return d, nil
 }
 
+// FromTrie folds a prefix trie with leaf-push barrier lambda. The
+// trie is deep-copied into the DAG's control FIB, so the caller's
+// trie stays independent — the contract shardfib relies on when it
+// refolds a shard's control trie for an unserializable barrier.
+func FromTrie(tr *Trie, lambda int) (*DAG, error) {
+	if lambda < 0 || lambda > W {
+		return nil, fmt.Errorf("ip6: barrier λ=%d out of [0,%d]", lambda, W)
+	}
+	d := &DAG{
+		Lambda:  lambda,
+		control: tr.Clone(),
+		sub:     map[[2]uint64]*dnode{},
+		leaves:  map[uint32]*dnode{},
+	}
+	d.root = d.buildUp(d.control.Root, 0)
+	return d, nil
+}
+
 func (d *DAG) buildUp(cn *Node, depth int) *dnode {
 	if cn == nil {
 		return nil
 	}
 	if depth == d.Lambda {
-		return d.fold(LeafPushNode(cn, NoLabel))
+		return d.foldPushed(cn, NoLabel)
 	}
-	return &dnode{
-		kind:  kindUp,
-		label: cn.Label,
-		left:  d.buildUp(cn.Left, depth+1),
-		right: d.buildUp(cn.Right, depth+1),
-	}
+	n := d.newDnode()
+	n.kind, n.label = kindUp, cn.Label
+	n.left = d.buildUp(cn.Left, depth+1)
+	n.right = d.buildUp(cn.Right, depth+1)
+	return n
+}
+
+// foldPushed leaf-pushes the control subtree into arena scratch,
+// folds the copy into the DAG, and recycles the scratch.
+func (d *DAG) foldPushed(cn *Node, def uint32) *dnode {
+	tmp := d.scratch.leafPushWithDefault(cn, def)
+	res := d.fold(tmp)
+	d.scratch.recycle(tmp)
+	return res
 }
 
 func (d *DAG) fold(tn *Node) *dnode {
@@ -79,7 +157,8 @@ func (d *DAG) acquireLeaf(label uint32) *dnode {
 		n.ref++
 		return n
 	}
-	n := &dnode{kind: kindLeaf, label: label, id: leafIDBase | uint64(label), ref: 1}
+	n := d.newDnode()
+	n.kind, n.label, n.id, n.ref = kindLeaf, label, leafIDBase|uint64(label), 1
 	d.leaves[label] = n
 	return n
 }
@@ -96,8 +175,12 @@ func (d *DAG) acquireNode(l, r *dnode) *dnode {
 		d.release(r)
 		return n
 	}
-	d.nextID++
-	n := &dnode{kind: kindInt, left: l, right: r, id: d.nextID, ref: 1}
+	n := d.newDnode()
+	if n.id == 0 {
+		d.nextID++
+		n.id = d.nextID
+	}
+	n.kind, n.left, n.right, n.ref = kindInt, l, r, 1
 	d.sub[key] = n
 	return n
 }
@@ -112,11 +195,14 @@ func (d *DAG) release(n *dnode) {
 	}
 	if n.kind == kindLeaf {
 		delete(d.leaves, n.label)
+		d.recycleDnode(n)
 		return
 	}
 	delete(d.sub, [2]uint64{n.left.id, n.right.id})
-	d.release(n.left)
-	d.release(n.right)
+	l, r := n.left, n.right
+	d.recycleDnode(n)
+	d.release(l)
+	d.release(r)
 }
 
 // Lookup is standard trie lookup over 128 bits.
@@ -167,17 +253,15 @@ func (d *DAG) Delete(a Addr, plen int) bool {
 }
 
 // refresh re-synchronizes the DAG with the mutated control FIB: above
-// the barrier by mirroring the path, at the barrier by re-folding the
-// affected λ-level sub-trie.
+// the barrier by mirroring the path, at or below it by the
+// incremental §4.3 patch of the affected folded sub-trie.
 func (d *DAG) refresh(a Addr, plen int) {
 	if plen < d.Lambda {
 		d.root = d.syncUp(d.control.Root, d.root, a, 0, plen)
 		return
 	}
 	if d.Lambda == 0 {
-		old := d.root
-		d.root = d.fold(LeafPushNode(d.control.Root, NoLabel))
-		d.release(old)
+		d.root = d.foldFresh(d.control.Root, a, plen, d.root)
 		return
 	}
 	cn := d.control.Root
@@ -197,7 +281,9 @@ func (d *DAG) refresh(a Addr, plen int) {
 			return
 		}
 		if *uc == nil {
-			*uc = &dnode{kind: kindUp}
+			nn := d.newDnode()
+			nn.kind = kindUp
+			*uc = nn
 		}
 		cn, un = cc, *uc
 		un.label = cn.Label
@@ -209,15 +295,75 @@ func (d *DAG) refresh(a Addr, plen int) {
 	} else {
 		cc, uc = cn.Right, &un.right
 	}
-	old := *uc
 	if cc == nil {
-		*uc = nil
+		if *uc != nil {
+			d.release(*uc)
+			*uc = nil
+		}
+		return
+	}
+	*uc = d.foldFresh(cc, a, plen, *uc)
+}
+
+// foldFresh produces the folded sub-trie for control node cn (at
+// depth λ) after an update at depth plen, reusing as much of the old
+// folded structure as possible. Ownership of old's reference is
+// consumed; the returned node carries one reference.
+func (d *DAG) foldFresh(cn *Node, a Addr, plen int, old *dnode) *dnode {
+	if old == nil || plen == d.Lambda {
+		fresh := d.foldPushed(cn, NoLabel)
+		if old != nil {
+			d.release(old)
+		}
+		return fresh
+	}
+	return d.patch(old, cn, a, d.Lambda, plen, NoLabel)
+}
+
+// patch is the §4.3 update over 128 bits, a direct mirror of the IPv4
+// DAG's: descend from depth q toward the updated depth plen,
+// decompressing the path, replace the sub-trie at depth plen with a
+// leaf-pushed copy of the control sub-trie under the default label in
+// force, and re-compress bottom-up. def tracks the label leaf-pushing
+// put in force here; an expanded coalesced leaf's label must NOT
+// become the on-path default (it may embody a deeper label the
+// control mutation just removed — still-present labels are
+// re-collected from cn.Label level by level).
+func (d *DAG) patch(v *dnode, cn *Node, a Addr, q, plen int, def uint32) *dnode {
+	if cn != nil && cn.Label != NoLabel {
+		def = cn.Label
+	}
+	if q == plen {
+		fresh := d.foldPushed(cn, def)
+		d.release(v)
+		return fresh
+	}
+	bit := a.Bit(q)
+	var vl, vr *dnode
+	if v.kind == kindLeaf {
+		vl = d.acquireLeaf(v.label)
+		vr = d.acquireLeaf(v.label)
 	} else {
-		*uc = d.fold(LeafPushNode(cc, NoLabel))
+		vl, vr = v.left, v.right
+		vl.ref++ // hold while re-parenting
+		vr.ref++
 	}
-	if old != nil {
-		d.release(old)
+	var cc *Node
+	if cn != nil {
+		if bit == 0 {
+			cc = cn.Left
+		} else {
+			cc = cn.Right
+		}
 	}
+	if bit == 0 {
+		vl = d.patch(vl, cc, a, q+1, plen, def)
+	} else {
+		vr = d.patch(vr, cc, a, q+1, plen, def)
+	}
+	res := d.acquireNode(vl, vr)
+	d.release(v)
+	return res
 }
 
 func (d *DAG) syncUp(cn *Node, un *dnode, a Addr, q, plen int) *dnode {
@@ -226,7 +372,8 @@ func (d *DAG) syncUp(cn *Node, un *dnode, a Addr, q, plen int) *dnode {
 		return nil
 	}
 	if un == nil {
-		un = &dnode{kind: kindUp}
+		un = d.newDnode()
+		un.kind = kindUp
 	}
 	un.label = cn.Label
 	if q == plen {
@@ -248,8 +395,10 @@ func (d *DAG) dropUp(n *dnode) {
 		d.release(n)
 		return
 	}
-	d.dropUp(n.left)
-	d.dropUp(n.right)
+	l, r := n.left, n.right
+	d.recycleDnode(n)
+	d.dropUp(l)
+	d.dropUp(r)
 }
 
 // FoldedInterior reports |S|, the shared interior node count.

@@ -1,0 +1,247 @@
+package ip6
+
+import "fmt"
+
+// Blob is the serialized, read-only lookup structure for the IPv6
+// DAG — the same two-word-per-interior-node encoding as the IPv4 v1
+// blob (pdag.Blob), with the 2^λ-entry root array indexed by the top
+// λ bits of the 128-bit address. Each root entry packs the inherited
+// default label with a pointer into the folded region; leaves are
+// inlined into their parent's words. Below the barrier a walk
+// consumes one address bit per node word, streamed out of the
+// (Hi, Lo) pair like a 128-bit shift register.
+type Blob struct {
+	Lambda int
+	Root   []uint32 // 2^λ entries: def<<24 | payload
+	Nodes  []uint32 // 2 words per interior node: payload each
+}
+
+// Payload encoding, shared with the IPv4 blob so the shardfib merged
+// view can splice root arrays of either family identically.
+const (
+	blobNone     = 0x00FFFFFF // root entry: no folded subtree
+	blobLeafFlag = 0x00800000 // root entry payload: inlined leaf
+	wordLeafFlag = 0x80000000 // node word: inlined leaf
+	maxBlobIdx   = 0x007FFFFF
+)
+
+// maxSerialLambda bounds the root array to 64 MB, as for IPv4. Real
+// IPv6 tables concentrate under 2000::/3, so barriers past ~16 only
+// dilute the root array further.
+const maxSerialLambda = 24
+
+// Serialize freezes the DAG into a fresh Blob. Like the IPv4
+// serializer it advances the DAG's stamping epoch, so concurrent
+// Serialize calls on one DAG are not safe; serialize under the same
+// exclusion that guards Set/Delete.
+func (d *DAG) Serialize() (*Blob, error) {
+	return d.SerializeInto(nil)
+}
+
+// SerializeInto freezes the DAG into b, reusing b's Root and Nodes
+// buffers when their capacity suffices; b == nil allocates a fresh
+// blob. A steady-churn republish into a retired blob of the same
+// barrier performs zero heap allocations: folded interior nodes take
+// dense DFS-preorder indices assigned iteratively, epoch-stamped onto
+// the nodes themselves instead of through a per-publish map. The
+// caller owns the exclusivity of b — it must not be reachable by
+// concurrent readers (shardfib proves this with a reader count before
+// recycling a retired snapshot). On error b's contents are
+// unspecified and must not be published.
+func (d *DAG) SerializeInto(b *Blob) (*Blob, error) {
+	if d.Lambda > maxSerialLambda {
+		return nil, fmt.Errorf("ip6: cannot serialize with barrier λ=%d > %d", d.Lambda, maxSerialLambda)
+	}
+	if b == nil {
+		b = &Blob{}
+	}
+	b.Lambda = d.Lambda
+	rootLen := 1 << uint(d.Lambda)
+	if cap(b.Root) >= rootLen {
+		b.Root = b.Root[:rootLen]
+	} else {
+		b.Root = make([]uint32, rootLen)
+	}
+
+	// One pass over the plain region fills every root-array entry and
+	// assigns node indices on first contact with a folded subtree.
+	d.serialEpoch++
+	d.serialList = d.serialList[:0]
+	if err := d.fillRoot(b.Root, d.root, 0, 0, NoLabel); err != nil {
+		return nil, err
+	}
+
+	wordLen := 2 * len(d.serialList)
+	if cap(b.Nodes) >= wordLen {
+		b.Nodes = b.Nodes[:wordLen]
+	} else {
+		b.Nodes = make([]uint32, wordLen)
+	}
+	for i, n := range d.serialList {
+		b.Nodes[2*i] = wordFor(n.left)
+		b.Nodes[2*i+1] = wordFor(n.right)
+	}
+	return b, nil
+}
+
+// fillRoot writes the root-array entries covered by the plain-region
+// node n at depth, i.e. slots [v<<(λ-depth), (v+1)<<(λ-depth)). def is
+// the last label seen on the path, the inherited default packed into
+// bits 24..31 of each entry.
+func (d *DAG) fillRoot(root []uint32, n *dnode, v uint32, depth int, def uint32) error {
+	lo := int(v) << uint(d.Lambda-depth)
+	hi := lo + 1<<uint(d.Lambda-depth)
+	if n == nil {
+		fillWords(root[lo:hi], def<<24|blobNone)
+		return nil
+	}
+	switch n.kind {
+	case kindLeaf:
+		fillWords(root[lo:hi], def<<24|blobLeafFlag|(n.label&0xFF))
+		return nil
+	case kindInt:
+		idx, err := d.assign(n)
+		if err != nil {
+			return err
+		}
+		fillWords(root[lo:hi], def<<24|idx)
+		return nil
+	}
+	if n.label != NoLabel {
+		def = n.label
+	}
+	if depth == d.Lambda {
+		// A plain node at the barrier: nothing folded hangs here (the
+		// builder folds exactly at λ), only the default applies.
+		root[lo] = def<<24 | blobNone
+		return nil
+	}
+	if err := d.fillRoot(root, n.left, 2*v, depth+1, def); err != nil {
+		return err
+	}
+	return d.fillRoot(root, n.right, 2*v+1, depth+1, def)
+}
+
+// assign gives a folded subtree dense preorder indices, stamping each
+// interior node with its index under the current epoch; shared
+// subtrees reached a second time return their index immediately,
+// preserving the hash-consed sharing in the blob.
+func (d *DAG) assign(root *dnode) (uint32, error) {
+	epoch := d.serialEpoch
+	if root.serialEpoch == epoch {
+		return root.serialIdx, nil
+	}
+	if err := d.stamp(root, epoch); err != nil {
+		return 0, err
+	}
+	stack := append(d.serialStack[:0], root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Stamp both children at the parent, left first, so siblings
+		// take consecutive indices; push right below left so the left
+		// subtree is walked first.
+		l, r := n.left, n.right
+		pushL := l.kind == kindInt && l.serialEpoch != epoch
+		pushR := r.kind == kindInt && r.serialEpoch != epoch
+		if pushL {
+			if err := d.stamp(l, epoch); err != nil {
+				d.serialStack = stack
+				return 0, err
+			}
+		}
+		if pushR {
+			// l == r was stamped above; recheck keeps the scan
+			// single-visit.
+			if r.serialEpoch == epoch {
+				pushR = false
+			} else if err := d.stamp(r, epoch); err != nil {
+				d.serialStack = stack
+				return 0, err
+			}
+		}
+		if pushR {
+			stack = append(stack, r)
+		}
+		if pushL {
+			stack = append(stack, l)
+		}
+	}
+	d.serialStack = stack
+	return root.serialIdx, nil
+}
+
+// stamp assigns n the next dense index under epoch.
+func (d *DAG) stamp(n *dnode, epoch uint64) error {
+	if len(d.serialList) > maxBlobIdx {
+		return fmt.Errorf("ip6: too many folded nodes to serialize (%d)", len(d.serialList))
+	}
+	n.serialEpoch, n.serialIdx = epoch, uint32(len(d.serialList))
+	d.serialList = append(d.serialList, n)
+	return nil
+}
+
+// wordFor encodes a folded child as one 32-bit node word.
+func wordFor(n *dnode) uint32 {
+	if n.kind == kindLeaf {
+		return wordLeafFlag | (n.label & 0xFF)
+	}
+	return n.serialIdx
+}
+
+// fillWords writes v into every slot; the compiler lowers this loop
+// to a vectorized fill.
+func fillWords(s []uint32, v uint32) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// shiftCursor packs the address bits below the barrier into a two-word
+// shift register: bit λ of the address sits at bit 63 of hi. Go
+// defines x>>64 as 0, so λ=0 and λ=64 need no special casing.
+func shiftCursor(addr Addr, lambda int) (hi, lo uint64) {
+	if lambda < 64 {
+		return addr.Hi<<uint(lambda) | addr.Lo>>uint(64-lambda), addr.Lo << uint(lambda)
+	}
+	return addr.Lo << uint(lambda-64), 0
+}
+
+// Lookup performs longest prefix match on the serialized form: one
+// root-array access plus one node-word access per level below the
+// barrier, each consuming one bit of the 128-bit shift register.
+func (b *Blob) Lookup(addr Addr) uint32 {
+	ri := int(addr.Hi >> uint(64-b.Lambda))
+	e := b.Root[ri]
+	best := e >> 24
+	pay := e & 0x00FFFFFF
+	if pay == blobNone {
+		return best
+	}
+	if pay&blobLeafFlag != 0 {
+		if l := pay & 0xFF; l != NoLabel {
+			best = l
+		}
+		return best
+	}
+	idx := pay
+	hi, lo := shiftCursor(addr, b.Lambda)
+	for q := b.Lambda; q < W; q++ {
+		w := b.Nodes[2*idx+uint32(hi>>63)]
+		hi = hi<<1 | lo>>63
+		lo <<= 1
+		if w&wordLeafFlag != 0 {
+			if l := w & 0xFF; l != NoLabel {
+				best = l
+			}
+			return best
+		}
+		idx = w
+	}
+	return best
+}
+
+// SizeBytes reports the byte size of the serialized structure.
+func (b *Blob) SizeBytes() int {
+	return 4 * (len(b.Root) + len(b.Nodes))
+}

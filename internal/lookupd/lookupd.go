@@ -1,9 +1,21 @@
 // Package lookupd is a small UDP longest-prefix-match service: a
-// remote lookup microservice exposing a compressed FIB, in the spirit
-// of the control-plane tooling a software router ships with. One
-// datagram carries a batch of big-endian IPv4 addresses; the reply
-// carries one next-hop label per address. The serving FIB can be
-// swapped atomically while requests are in flight.
+// remote lookup microservice exposing a compressed dual-stack FIB, in
+// the spirit of the control-plane tooling a software router ships
+// with. One datagram carries a batch of big-endian addresses; the
+// reply carries one next-hop label per address. The serving FIBs can
+// be swapped atomically while requests are in flight.
+//
+// Wire protocol. A legacy request is 1..MaxBatch 4-byte IPv4
+// addresses and its reply is one 4-byte label per address — exactly
+// the PR 1 format, still served unchanged. A tagged request prepends
+// one address-family byte (4 or 6) to the address block: 4-byte
+// addresses after AF 4, 16-byte addresses after AF 6; its reply
+// echoes the AF byte followed by the 4-byte labels. Tagged lengths
+// are ≡ 1 (mod 4) while legacy lengths are ≡ 0, so the two framings
+// can never be confused and v4 clients keep working bit-for-bit.
+// Anything else — zero addresses, a bad family byte, a short v6
+// address, an oversized batch — is dropped and counted, never
+// answered with garbage and never a panic.
 package lookupd
 
 import (
@@ -13,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fibcomp/internal/ip6"
 )
 
 // Lookuper is any longest-prefix-match engine.
@@ -36,21 +50,43 @@ type batchIntoLookuper interface {
 	LookupBatchInto(dst, addrs []uint32)
 }
 
-// Protocol limits. A request datagram is 1..MaxBatch addresses, 4
-// bytes each; the reply is one 4-byte label per address, in order.
+// Lookuper6 is the IPv6 engine contract; shardfib.FIB6 and ip6.Blob
+// both satisfy it. The method set is family-typed (ip6.Addr), so an
+// engine can never be dispatched the wrong family's addresses.
+type Lookuper6 interface {
+	Lookup(addr ip6.Addr) uint32
+}
+
+// batchInto6Lookuper is the allocation-free IPv6 refinement, the
+// LookupBatchInto twin over 128-bit addresses.
+type batchInto6Lookuper interface {
+	LookupBatchInto(dst []uint32, addrs []ip6.Addr)
+}
+
+// Protocol limits and framing constants.
 const (
 	MaxBatch    = 256
-	maxDatagram = 4 * MaxBatch
+	maxDatagram = 4 * MaxBatch // legacy v4 request / reply body
+
+	// AFInet / AFInet6 tag the address family of a tagged request's
+	// address block (and of its reply).
+	AFInet  = 4
+	AFInet6 = 6
+
+	addr6Size   = 16
+	maxRequest  = 1 + addr6Size*MaxBatch // largest well-formed datagram (tagged v6)
+	maxResponse = 1 + 4*MaxBatch         // tagged reply: AF byte + labels
 )
 
 // wire is the per-datagram working set: request and reply bytes plus
-// the decoded address and label words. Buffers cycle through a
-// sync.Pool so the serve loop — and any future parallel serve loops —
-// generate no garbage per datagram.
+// the decoded address and label words of either family. Buffers cycle
+// through a sync.Pool so the serve loop — and any future parallel
+// serve loops — generate no garbage per datagram.
 type wire struct {
-	req    [maxDatagram + 4]byte
-	resp   [maxDatagram]byte
+	req    [maxRequest + 4]byte
+	resp   [maxResponse]byte
 	addrs  [MaxBatch]uint32
+	addrs6 [MaxBatch]ip6.Addr
 	labels [MaxBatch]uint32
 }
 
@@ -59,7 +95,8 @@ var wirePool = sync.Pool{New: func() any { return new(wire) }}
 // Server serves lookups over UDP.
 type Server struct {
 	conn *net.UDPConn
-	fib  atomic.Value // Lookuper
+	fib  atomic.Value // *engineBox (Lookuper)
+	fib6 atomic.Value // *engineBox6 (Lookuper6; l6 nil when v6 is unconfigured)
 
 	wg       sync.WaitGroup
 	closed   atomic.Bool
@@ -69,8 +106,17 @@ type Server struct {
 }
 
 // Listen binds a UDP socket ("127.0.0.1:0" picks an ephemeral port)
-// and starts serving lookups against l.
+// and starts serving IPv4 lookups against l; IPv6 requests answer "no
+// route" until Swap6 installs a v6 engine.
 func Listen(addr string, l Lookuper) (*Server, error) {
+	return ListenDual(addr, l, nil)
+}
+
+// ListenDual is Listen with both families: l serves v4 datagrams, l6
+// serves tagged v6 datagrams. l6 may be nil — a server without v6
+// routes answers v6 requests with ip6.NoLabel on every address, the
+// same answer an empty v6 table would give.
+func ListenDual(addr string, l Lookuper, l6 Lookuper6) (*Server, error) {
 	if l == nil {
 		return nil, fmt.Errorf("lookupd: nil lookup engine")
 	}
@@ -84,6 +130,7 @@ func Listen(addr string, l Lookuper) (*Server, error) {
 	}
 	s := &Server{conn: conn}
 	s.fib.Store(&engineBox{l})
+	s.fib6.Store(&engineBox6{l6})
 	s.wg.Add(1)
 	go s.serve()
 	return s, nil
@@ -92,13 +139,23 @@ func Listen(addr string, l Lookuper) (*Server, error) {
 // engineBox wraps the interface so atomic.Value sees one concrete type.
 type engineBox struct{ l Lookuper }
 
+// engineBox6 is engineBox for the v6 engine slot.
+type engineBox6 struct{ l6 Lookuper6 }
+
 // Addr reports the bound address.
 func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
 
-// Swap atomically replaces the serving FIB.
+// Swap atomically replaces the serving IPv4 FIB.
 func (s *Server) Swap(l Lookuper) {
 	if l != nil {
 		s.fib.Store(&engineBox{l})
+	}
+}
+
+// Swap6 atomically replaces the serving IPv6 FIB.
+func (s *Server) Swap6(l6 Lookuper6) {
+	if l6 != nil {
+		s.fib6.Store(&engineBox6{l6})
 	}
 }
 
@@ -141,19 +198,47 @@ func (s *Server) serve() {
 			s.Errors.Add(1)
 			continue
 		}
-		if n == 0 || n%4 != 0 || n > maxDatagram {
+		respLen := s.dispatch(w, n)
+		if respLen == 0 {
 			wirePool.Put(w)
 			s.Errors.Add(1)
 			continue // malformed request: drop, like a router would
 		}
+		if _, err := s.conn.WriteToUDPAddrPort(w.resp[:respLen], peer); err != nil {
+			s.Errors.Add(1)
+		}
+		wirePool.Put(w)
+	}
+}
+
+// dispatch classifies one n-byte datagram in w.req against the wire
+// framing (legacy v4, tagged v4, tagged v6), runs the matching
+// handler and reports the reply length — 0 for a malformed datagram
+// the caller must drop. Legacy lengths are multiples of 4 and tagged
+// lengths are 1 (mod 4), so the classification is branch-exact, and
+// every arm stays on the pooled-buffer zero-allocation path.
+func (s *Server) dispatch(w *wire, n int) (respLen int) {
+	switch {
+	case n > 0 && n%4 == 0 && n <= maxDatagram:
 		s.Requests.Add(1)
 		l := s.fib.Load().(*engineBox).l
 		count := handle(l, w, n)
 		s.Lookups.Add(uint64(count))
-		if _, err := s.conn.WriteToUDPAddrPort(w.resp[:n], peer); err != nil {
-			s.Errors.Add(1)
-		}
-		wirePool.Put(w)
+		return n
+	case n > 1 && w.req[0] == AFInet && (n-1)%4 == 0 && n-1 <= maxDatagram:
+		s.Requests.Add(1)
+		l := s.fib.Load().(*engineBox).l
+		count := handleTagged4(l, w, n-1)
+		s.Lookups.Add(uint64(count))
+		return 1 + 4*count
+	case n > 1 && w.req[0] == AFInet6 && (n-1)%addr6Size == 0 && n-1 <= addr6Size*MaxBatch:
+		s.Requests.Add(1)
+		l6 := s.fib6.Load().(*engineBox6).l6
+		count := handle6(l6, w, n-1)
+		s.Lookups.Add(uint64(count))
+		return 1 + 4*count
+	default:
+		return 0 // zero addresses, bad family byte, torn address, oversize
 	}
 }
 
@@ -163,28 +248,77 @@ func (s *Server) serve() {
 // the two syscalls; with a batch engine it performs zero heap
 // allocations (enforced by TestHandleZeroAllocs).
 func handle(l Lookuper, w *wire, n int) int {
-	count := n / 4
+	return handleAt(l, w, 0, n)
+}
+
+// handleTagged4 serves an AF-tagged IPv4 request: handle's engine
+// dispatch over the address block at w.req[1:], with the reply's AF
+// byte echoed at w.resp[0] and labels following it.
+func handleTagged4(l Lookuper, w *wire, body int) int {
+	w.resp[0] = AFInet
+	return handleAt(l, w, 1, body)
+}
+
+// handleAt is the one IPv4 dispatch body both framings share: the
+// address block starts at w.req[off:] and labels land at
+// w.resp[off:], so the legacy and tagged arms differ only in the
+// one-byte offset.
+func handleAt(l Lookuper, w *wire, off, body int) int {
+	count := body / 4
 	switch e := l.(type) {
 	case batchIntoLookuper:
 		for i := 0; i < count; i++ {
-			w.addrs[i] = binary.BigEndian.Uint32(w.req[4*i:])
+			w.addrs[i] = binary.BigEndian.Uint32(w.req[off+4*i:])
 		}
 		e.LookupBatchInto(w.labels[:count], w.addrs[:count])
 		for i, label := range w.labels[:count] {
-			binary.BigEndian.PutUint32(w.resp[4*i:], label)
+			binary.BigEndian.PutUint32(w.resp[off+4*i:], label)
 		}
 	case BatchLookuper:
 		for i := 0; i < count; i++ {
-			w.addrs[i] = binary.BigEndian.Uint32(w.req[4*i:])
+			w.addrs[i] = binary.BigEndian.Uint32(w.req[off+4*i:])
 		}
 		for i, label := range e.LookupBatch(w.addrs[:count]) {
-			binary.BigEndian.PutUint32(w.resp[4*i:], label)
+			binary.BigEndian.PutUint32(w.resp[off+4*i:], label)
 		}
 	default:
 		for i := 0; i < count; i++ {
-			addr := binary.BigEndian.Uint32(w.req[4*i:])
-			binary.BigEndian.PutUint32(w.resp[4*i:], l.Lookup(addr))
+			addr := binary.BigEndian.Uint32(w.req[off+4*i:])
+			binary.BigEndian.PutUint32(w.resp[off+4*i:], l.Lookup(addr))
 		}
+	}
+	return count
+}
+
+// handle6 serves an AF-tagged IPv6 request: 16-byte big-endian
+// addresses at w.req[1:], AF byte echoed, one 4-byte label each. A
+// nil engine (v6 unconfigured) answers ip6.NoLabel everywhere — the
+// answer an empty v6 table would give. As with handle, the batch-into
+// path performs zero heap allocations per datagram.
+func handle6(l6 Lookuper6, w *wire, body int) int {
+	count := body / addr6Size
+	w.resp[0] = AFInet6
+	if l6 == nil {
+		for i := 0; i < count; i++ {
+			binary.BigEndian.PutUint32(w.resp[1+4*i:], ip6.NoLabel)
+		}
+		return count
+	}
+	for i := 0; i < count; i++ {
+		w.addrs6[i] = ip6.Addr{
+			Hi: binary.BigEndian.Uint64(w.req[1+addr6Size*i:]),
+			Lo: binary.BigEndian.Uint64(w.req[1+addr6Size*i+8:]),
+		}
+	}
+	if e, ok := l6.(batchInto6Lookuper); ok {
+		e.LookupBatchInto(w.labels[:count], w.addrs6[:count])
+		for i, label := range w.labels[:count] {
+			binary.BigEndian.PutUint32(w.resp[1+4*i:], label)
+		}
+		return count
+	}
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint32(w.resp[1+4*i:], l6.Lookup(w.addrs6[i]))
 	}
 	return count
 }
@@ -206,7 +340,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lookupd: %v", err)
 	}
-	return &Client{conn: conn, buf: make([]byte, maxDatagram)}, nil
+	return &Client{conn: conn, buf: make([]byte, maxRequest)}, nil
 }
 
 // Lookup resolves a single address.
@@ -241,6 +375,47 @@ func (c *Client) LookupBatch(addrs []uint32) ([]uint32, error) {
 	out := make([]uint32, len(addrs))
 	for i := range out {
 		out[i] = binary.BigEndian.Uint32(c.buf[4*i:])
+	}
+	return out, nil
+}
+
+// Lookup6 resolves a single IPv6 address.
+func (c *Client) Lookup6(addr ip6.Addr) (uint32, error) {
+	labels, err := c.LookupBatch6([]ip6.Addr{addr})
+	if err != nil {
+		return 0, err
+	}
+	return labels[0], nil
+}
+
+// LookupBatch6 resolves up to MaxBatch IPv6 addresses in one round
+// trip, speaking the AF-tagged framing: one family byte, then the
+// 16-byte big-endian addresses; the reply echoes the family byte
+// before the labels.
+func (c *Client) LookupBatch6(addrs []ip6.Addr) ([]uint32, error) {
+	if len(addrs) == 0 || len(addrs) > MaxBatch {
+		return nil, fmt.Errorf("lookupd: batch size %d out of [1,%d]", len(addrs), MaxBatch)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf[0] = AFInet6
+	for i, a := range addrs {
+		binary.BigEndian.PutUint64(c.buf[1+addr6Size*i:], a.Hi)
+		binary.BigEndian.PutUint64(c.buf[1+addr6Size*i+8:], a.Lo)
+	}
+	if _, err := c.conn.Write(c.buf[:1+addr6Size*len(addrs)]); err != nil {
+		return nil, err
+	}
+	n, err := c.conn.Read(c.buf)
+	if err != nil {
+		return nil, err
+	}
+	if n != 1+4*len(addrs) || c.buf[0] != AFInet6 {
+		return nil, fmt.Errorf("lookupd: bad v6 reply: %d bytes (af %d) for %d addresses", n, c.buf[0], len(addrs))
+	}
+	out := make([]uint32, len(addrs))
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(c.buf[1+4*i:])
 	}
 	return out, nil
 }

@@ -36,6 +36,7 @@ import (
 
 	"fibcomp/internal/fib"
 	"fibcomp/internal/gen"
+	"fibcomp/internal/ip6"
 	"fibcomp/internal/shardfib"
 )
 
@@ -116,11 +117,25 @@ var sessionPool = sync.Pool{New: func() any {
 	return &s
 }}
 
-// Plane is the live route-update plane over one sharded engine.
-// Create with New, feed with Enqueue / Feed / a session Server, stop
-// with Close (which drains and applies everything already accepted).
+// key6 identifies one IPv6 prefix in the coalescing maps: the
+// canonical 128-bit address plus the prefix length.
+type key6 struct {
+	hi, lo uint64
+	plen   uint8
+}
+
+// Plane is the live route-update plane over one sharded engine per
+// address family — always an IPv4 engine, optionally an IPv6 one
+// (NewDual). Create with New or NewDual, feed with Enqueue / Feed / a
+// session Server, stop with Close (which drains and applies
+// everything already accepted). Both families flow through one
+// flusher and one pacer: a flush hands each family's coalesced batch
+// to its own engine's ApplyBatch, so the staleness bound and the
+// stats conservation law hold across the dual-stack stream as a
+// whole.
 type Plane struct {
 	eng  *shardfib.FIB
+	eng6 *shardfib.FIB6
 	opts Options
 
 	in   chan item
@@ -129,11 +144,13 @@ type Plane struct {
 	stop sync.Once
 
 	// Flusher-owned state: the per-shard coalescing maps (prefix key
-	// → pending label, fib.NoLabel = withdraw), their total size, and
-	// the reusable flush batch.
+	// → pending label, fib.NoLabel = withdraw) for each family, their
+	// combined size, and the reusable flush batches.
 	pending   []map[uint64]uint32
+	pending6  []map[key6]uint32
 	npending  int
 	ops       []shardfib.Op
+	ops6      []shardfib.Op6
 	lastEnd   time.Time
 	lastDur   time.Duration
 	lastBatch int
@@ -149,17 +166,28 @@ type Plane struct {
 
 // New starts a plane over eng. The caller keeps ownership of eng for
 // lookups; the plane only writes through ApplyBatch, which composes
-// with concurrent Set/Delete/Reload callers.
+// with concurrent Set/Delete/Reload callers. IPv6 updates reaching a
+// v4-only plane are counted as rejected and dropped.
 func New(eng *shardfib.FIB, opts Options) *Plane {
+	return NewDual(eng, nil, opts)
+}
+
+// NewDual starts a dual-stack plane: v4 updates land in eng, v6
+// updates in eng6. eng6 may be nil for a v4-only plane.
+func NewDual(eng *shardfib.FIB, eng6 *shardfib.FIB6, opts Options) *Plane {
 	opts = opts.withDefaults()
 	p := &Plane{
 		eng:     eng,
+		eng6:    eng6,
 		opts:    opts,
 		in:      make(chan item, opts.Queue),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 		pending: make([]map[uint64]uint32, eng.Shards()),
 		lastEnd: time.Now(),
+	}
+	if eng6 != nil {
+		p.pending6 = make([]map[key6]uint32, eng6.Shards())
 	}
 	go p.run()
 	return p
@@ -382,8 +410,12 @@ func (p *Plane) absorb(it item) {
 
 // absorbUpdate validates and coalesces one update into the pending
 // map of its owning shard (the low covering shard for prefixes
-// shorter than the shard index).
+// shorter than the shard index), dispatching on the update's family.
 func (p *Plane) absorbUpdate(u gen.Update) {
+	if u.V6 {
+		p.absorbUpdate6(u)
+		return
+	}
 	if u.Len < 0 || u.Len > fib.W ||
 		(!u.Withdraw && (u.NextHop == fib.NoLabel || u.NextHop > fib.MaxLabel)) {
 		p.rejected.Add(1)
@@ -410,6 +442,37 @@ func (p *Plane) absorbUpdate(u gen.Update) {
 	}
 }
 
+// absorbUpdate6 is the IPv6 arm of absorbUpdate: same validation and
+// coalescing, against the v6 engine's shard map. A v6 update on a
+// v4-only plane is rejected — the session stays up (the line parsed),
+// the counter records the drop.
+func (p *Plane) absorbUpdate6(u gen.Update) {
+	if p.eng6 == nil || u.Len < 0 || u.Len > ip6.W ||
+		(!u.Withdraw && (u.NextHop == ip6.NoLabel || u.NextHop > ip6.MaxLabel)) {
+		p.rejected.Add(1)
+		return
+	}
+	p.received.Add(1)
+	addr := ip6.Canonical(u.Addr6, u.Len)
+	key := key6{hi: addr.Hi, lo: addr.Lo, plen: uint8(u.Len)}
+	s := p.eng6.ShardOf(addr)
+	m := p.pending6[s]
+	if m == nil {
+		m = make(map[key6]uint32)
+		p.pending6[s] = m
+	}
+	if _, dup := m[key]; dup {
+		p.coalesced.Add(1)
+	} else {
+		p.npending++
+	}
+	if u.Withdraw {
+		m[key] = ip6.NoLabel
+	} else {
+		m[key] = u.NextHop
+	}
+}
+
 // flush converts the pending maps into one ApplyBatch — one DAG
 // mutation per distinct pending prefix, one republish per touched
 // shard, one merged-view rebuild — and resets the coalescing state.
@@ -431,17 +494,41 @@ func (p *Plane) flush() {
 		}
 		clear(m)
 	}
-	m, err := p.eng.ApplyBatch(ops)
-	if err != nil {
-		// absorbUpdate validated every update, so this is unreachable;
-		// count it rather than crash the plane if it ever fires.
-		p.applyErrors.Add(1)
+	if len(ops) > 0 {
+		m, err := p.eng.ApplyBatch(ops)
+		if err != nil {
+			// absorbUpdate validated every update, so this is
+			// unreachable; count it rather than crash the plane if it
+			// ever fires.
+			p.applyErrors.Add(1)
+		}
+		p.mutated.Add(uint64(m))
 	}
 	p.ops = ops
-	p.applied.Add(uint64(len(ops)))
-	p.mutated.Add(uint64(m))
+	// The IPv6 arm: same one-ApplyBatch-per-flush shape against the
+	// v6 engine; both arms share this flush's pacing sample.
+	ops6 := p.ops6[:0]
+	for _, m := range p.pending6 {
+		for key, label := range m {
+			ops6 = append(ops6, shardfib.Op6{
+				Addr:  ip6.Addr{Hi: key.hi, Lo: key.lo},
+				Len:   int(key.plen),
+				Label: label,
+			})
+		}
+		clear(m)
+	}
+	if len(ops6) > 0 {
+		m6, err := p.eng6.ApplyBatch(ops6)
+		if err != nil {
+			p.applyErrors.Add(1)
+		}
+		p.mutated.Add(uint64(m6))
+	}
+	p.ops6 = ops6
+	p.applied.Add(uint64(len(ops) + len(ops6)))
 	p.flushes.Add(1)
-	p.lastBatch = len(ops)
+	p.lastBatch = len(ops) + len(ops6)
 	p.npending = 0
 	now := time.Now()
 	p.lastDur = now.Sub(start)
