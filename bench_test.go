@@ -776,30 +776,100 @@ func serve6Batches(keys []ip6.Addr) [][]ip6.Addr {
 	return batches
 }
 
-func BenchmarkServing_IP6ParallelBatchBlobLanes(b *testing.B) {
-	t, keys := bench6(b)
+// bench6Lanes resolves the flat v6 walker for one format: the v1
+// bit-at-a-time blob or the stride-4 BlobV2 chain.
+func bench6Lanes(b *testing.B, v2 bool) func(dst []uint32, addrs []ip6.Addr) {
+	b.Helper()
+	t, _ := bench6(b)
 	d, err := ip6.Build(t, 16)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if v2 {
+		blob, err := d.SerializeV2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return blob.LookupBatchInto
 	}
 	blob, err := d.Serialize()
 	if err != nil {
 		b.Fatal(err)
 	}
+	return blob.LookupBatchInto
+}
+
+func benchIP6Blob(b *testing.B, v2 bool) {
+	lookup := bench6Lanes(b, v2)
+	_, keys := bench6(b)
 	batches := serve6Batches(keys)
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		dst := make([]uint32, serveBatch)
 		for i := 0; pb.Next(); i++ {
-			blob.LookupBatchInto(dst, batches[i%len(batches)])
+			lookup(dst, batches[i%len(batches)])
 		}
 	})
 	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 }
 
-func BenchmarkServing_IP6ParallelBatchSharded16(b *testing.B) {
+func BenchmarkServing_IP6ParallelBatchBlobLanes(b *testing.B)   { benchIP6Blob(b, false) }
+func BenchmarkServing_IP6ParallelBatchBlobV2Lanes(b *testing.B) { benchIP6Blob(b, true) }
+
+var (
+	bench6DeepOnce sync.Once
+	bench6DeepTab  *ip6.Table
+	bench6DeepKeys []ip6.Addr
+)
+
+// benchIP6Deep walks the adversarial deep-chain instance: /60–/64
+// routes probed exactly, so every lookup chains ~48 levels below the
+// barrier — the dependent-load regime where the stride-4 format's 4×
+// shorter chain is the whole story (mirrors the fibbench ip6-deep-*
+// rows).
+func benchIP6Deep(b *testing.B, v2 bool) {
+	bench6DeepOnce.Do(func() {
+		var err error
+		bench6DeepTab, bench6DeepKeys, err = ip6.DeepFIB6(rand.New(rand.NewSource(9)), 40000, 1<<14)
+		if err != nil {
+			panic(err)
+		}
+	})
+	d, err := ip6.Build(bench6DeepTab, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lookup func(dst []uint32, addrs []ip6.Addr)
+	if v2 {
+		blob, err := d.SerializeV2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lookup = blob.LookupBatchInto
+	} else {
+		blob, err := d.Serialize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lookup = blob.LookupBatchInto
+	}
+	batches := serve6Batches(bench6DeepKeys)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]uint32, serveBatch)
+		for i := 0; pb.Next(); i++ {
+			lookup(dst, batches[i%len(batches)])
+		}
+	})
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+func BenchmarkServing_IP6DeepBatchBlobLanes(b *testing.B)   { benchIP6Deep(b, false) }
+func BenchmarkServing_IP6DeepBatchBlobV2Lanes(b *testing.B) { benchIP6Deep(b, true) }
+
+func benchIP6Sharded(b *testing.B, format shardfib.Format) {
 	t, keys := bench6(b)
-	f, err := shardfib.Build6(t, 16, 16)
+	f, err := shardfib.Build6Format(t, 16, 16, format)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -814,9 +884,25 @@ func BenchmarkServing_IP6ParallelBatchSharded16(b *testing.B) {
 	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 }
 
+func BenchmarkServing_IP6ParallelBatchSharded16(b *testing.B) {
+	benchIP6Sharded(b, shardfib.FormatV1)
+}
+
+func BenchmarkServing_IP6ParallelBatchSharded16V2(b *testing.B) {
+	benchIP6Sharded(b, shardfib.FormatV2)
+}
+
 func BenchmarkServing_IP6ShardedUpdate16(b *testing.B) {
+	benchIP6ShardedUpdate(b, shardfib.FormatV1)
+}
+
+func BenchmarkServing_IP6ShardedUpdate16V2(b *testing.B) {
+	benchIP6ShardedUpdate(b, shardfib.FormatV2)
+}
+
+func benchIP6ShardedUpdate(b *testing.B, format shardfib.Format) {
 	t, _ := bench6(b)
-	f, err := shardfib.Build6(t, 16, 16)
+	f, err := shardfib.Build6Format(t, 16, 16, format)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -6,10 +6,11 @@
 // When serving from a file, SIGHUP re-reads it and hot-swaps the FIB
 // without dropping a single in-flight lookup.
 //
-// -blobv2 serves the stride-compressed snapshot format (pdag.BlobV2):
-// four trie levels per memory touch below the barrier, the right
-// choice for long-prefix-heavy traffic; lookups are bit-identical in
-// both formats.
+// -blobv2 serves the stride-compressed snapshot format for both
+// families (pdag.BlobV2 for IPv4, ip6.BlobV2 for IPv6 when -fib6 is
+// given): four trie levels per memory touch below the barrier, the
+// right choice for long-prefix-heavy traffic; lookups are
+// bit-identical in both formats.
 //
 // -updates attaches the live route-update plane (internal/ribd): a
 // TCP listener accepting "announce prefix label" / "withdraw prefix"
@@ -60,7 +61,7 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:7000", "UDP address to serve on")
 		lambda  = flag.Int("lambda", 11, "leaf-push barrier")
 		shards  = flag.Int("shards", 1, "shard count (power of two; >1 serves the sharded concurrent engine)")
-		blobv2  = flag.Bool("blobv2", false, "serve the stride-compressed blob format for IPv4 (4 trie levels per memory touch below the barrier)")
+		blobv2  = flag.Bool("blobv2", false, "serve the stride-compressed blob format for both families (4 trie levels per memory touch below the barrier)")
 		fib6    = flag.String("fib6", "", "IPv6 FIB file: serve dual-stack (AF-tagged v6 datagrams next to untagged v4)")
 		lambda6 = flag.Int("lambda6", 16, "IPv6 leaf-push barrier")
 		updates = flag.String("updates", "", "TCP address for the live route-update plane (ribd); implies the sharded engine")
@@ -196,7 +197,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sharded6, err = shardfib.Build6(tab6, *lambda6, *shards)
+		sharded6, err = shardfib.Build6Format(tab6, *lambda6, *shards, format)
 		if err != nil {
 			fatal(err)
 		}
@@ -211,7 +212,10 @@ func main() {
 	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB (%d shard(s), blob %s), serving on %s\n",
 		t.N(), float64(size)/1024, *shards, served, s.Addr())
 	if sharded6 != nil {
-		served6 := "ip6"
+		// Report what the v6 engine actually serves, not the requested
+		// form: the barrier can force the folded-DAG fallback exactly
+		// as it does for v4, and the per-family blob sizes differ.
+		served6 := sharded6.Format().String()
 		if !sharded6.SnapshotsSerialized() {
 			served6 = "dag (unserialized)"
 		}

@@ -305,7 +305,15 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	blob6v2, err := d6.SerializeV2()
+	if err != nil {
+		return nil, err
+	}
 	f6, err := shardfib.Build6(t6, lambda6, 16)
+	if err != nil {
+		return nil, err
+	}
+	f6v2, err := shardfib.Build6Format(t6, lambda6, 16, shardfib.FormatV2)
 	if err != nil {
 		return nil, err
 	}
@@ -328,19 +336,93 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 			SizeBytes: blob6.SizeBytes(),
 		},
 		ServingResult{
+			Name:      "ip6-blob2-lanes",
+			MLps:      batch6MLps(func(b []ip6.Addr) { blob6v2.LookupBatchInto(dst, b) }),
+			SizeBytes: blob6v2.SizeBytes(),
+		},
+		ServingResult{
 			Name:      "ip6-sharded16-lanes",
 			MLps:      batch6MLps(func(b []ip6.Addr) { f6.LookupBatchInto(dst, b) }),
 			SizeBytes: f6.SizeBytes(),
 		},
+		ServingResult{
+			Name:      "ip6-sharded16-v2-lanes",
+			MLps:      batch6MLps(func(b []ip6.Addr) { f6v2.LookupBatchInto(dst, b) }),
+			SizeBytes: f6v2.SizeBytes(),
+		},
 	)
-	{
+
+	// Deep-walk workload, v6: routes in the /60–/64 band, probed
+	// exactly, so every lookup chains from the barrier down to ~64
+	// bits — ~48 dependent touches for the v1 bit-at-a-time walker
+	// versus a quarter of that through the stride-4 BlobV2 chain. The
+	// v2/v1 ratio of these rows is the PR 6 headline. As with the v4
+	// deep rows, this is a fixed-size adversarial microbenchmark, not a
+	// scaled paper instance: 40 K mostly-unshared deep chains put the
+	// folded region far beyond cache, so each touch of the walk is a
+	// genuine memory access. (Split-generated tables bottom out near
+	// depth log2(n) and never reach this regime — their walks resolve
+	// within a stride or two of the barrier.)
+	dt6, dkeys6, err := ip6.DeepFIB6(rand.New(rand.NewSource(cfg.Seed+15)), 40000, 1<<14)
+	if err != nil {
+		return nil, err
+	}
+	dd6, err := ip6.Build(dt6, lambda6)
+	if err != nil {
+		return nil, err
+	}
+	dblob6, err := dd6.Serialize()
+	if err != nil {
+		return nil, err
+	}
+	dblob6v2, err := dd6.SerializeV2()
+	if err != nil {
+		return nil, err
+	}
+	var deepBatches6 [][]ip6.Addr
+	for i := 0; i+servingBatch <= len(dkeys6); i += servingBatch {
+		deepBatches6 = append(deepBatches6, dkeys6[i:i+servingBatch])
+	}
+	deep6MLps := func(fn func(b []ip6.Addr)) float64 {
+		for i := 0; i < len(deepBatches6); i++ {
+			fn(deepBatches6[i])
+		}
+		start := time.Now()
+		n := 0
+		for time.Since(start) < minDur {
+			fn(deepBatches6[n%len(deepBatches6)])
+			n++
+		}
+		return float64(n) * servingBatch / time.Since(start).Seconds() / 1e6
+	}
+	results = append(results,
+		ServingResult{
+			Name:      "ip6-deep-blob-lanes",
+			MLps:      deep6MLps(func(b []ip6.Addr) { dblob6.LookupBatchInto(dst, b) }),
+			SizeBytes: dblob6.SizeBytes(),
+		},
+		ServingResult{
+			Name:      "ip6-deep-blob2-lanes",
+			MLps:      deep6MLps(func(b []ip6.Addr) { dblob6v2.LookupBatchInto(dst, b) }),
+			SizeBytes: dblob6v2.SizeBytes(),
+		},
+	)
+
+	for _, fmtRow := range []struct {
+		name string
+		fib  *shardfib.FIB6
+	}{
+		{"ip6-sharded16-update", f6},
+		{"ip6-sharded16-v2-update", f6v2},
+	} {
+		eng := fmtRow.fib
 		us6 := gen.BGPUpdates6(rand.New(rand.NewSource(cfg.Seed+13)), t6, 4096)
 		apply := func(u gen.Update) error {
 			if u.Withdraw {
-				f6.Delete(u.Addr6, u.Len)
+				eng.Delete(u.Addr6, u.Len)
 				return nil
 			}
-			return f6.Set(u.Addr6, u.Len, u.NextHop)
+			return eng.Set(u.Addr6, u.Len, u.NextHop)
 		}
 		// Steady state: two full passes, so both snapshots of every
 		// shard's double buffer have met the feed's high-water blob
@@ -365,17 +447,23 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&ms1)
 		results = append(results, ServingResult{
-			Name:        "ip6-sharded16-update",
+			Name:        fmtRow.name,
 			UpdateUs:    float64(elapsed.Microseconds()) / float64(n),
 			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
-			SizeBytes:   f6.ModelBytes(),
+			SizeBytes:   eng.ModelBytes(),
 		})
 	}
-	{
+	for _, fmtRow := range []struct {
+		name   string
+		format shardfib.Format
+	}{
+		{"ip6-sharded16-ribd", shardfib.FormatV1},
+		{"ip6-sharded16-v2-ribd", shardfib.FormatV2},
+	} {
 		// Churn-under-load, v6: peers stream a v6 BGP-like feed
 		// through the dual plane while the v6 merged batch loop is
 		// measured, against its own post-feed idle baseline.
-		eng6, err := shardfib.Build6(t6, lambda6, 16)
+		eng6, err := shardfib.Build6Format(t6, lambda6, 16, fmtRow.format)
 		if err != nil {
 			return nil, err
 		}
@@ -388,7 +476,7 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 		plane.EnqueueBatch(us6)
 		plane.Sync()
 		results = append(results, ServingResult{
-			Name:      "ip6-sharded16-ribd-idle",
+			Name:      fmtRow.name + "-idle",
 			MLps:      batch6MLps(func(b []ip6.Addr) { eng6.LookupBatchInto(dst, b) }),
 			SizeBytes: eng6.SizeBytes(),
 		})
@@ -411,7 +499,7 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 		}
 		applied := st1.Applied - st0.Applied
 		row := ServingResult{
-			Name:        "ip6-sharded16-ribd-churn",
+			Name:        fmtRow.name + "-churn",
 			MLps:        mlps,
 			UpdatesPerS: float64(applied) / elapsed.Seconds(),
 			MutatedPerS: float64(st1.Mutated-st0.Mutated) / elapsed.Seconds(),
@@ -427,13 +515,13 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 	for _, r := range results {
 		switch {
 		case r.UpdatesPerS != 0:
-			fmt.Fprintf(w, "  %-20s %8.1f Mlps  %8.0f applied/s (%.0f mutated/s)  %6.2f allocs/upd\n",
+			fmt.Fprintf(w, "  %-26s %8.1f Mlps  %8.0f applied/s (%.0f mutated/s)  %6.2f allocs/upd\n",
 				r.Name, r.MLps, r.UpdatesPerS, r.MutatedPerS, r.AllocsPerOp)
 		case r.UpdateUs != 0:
-			fmt.Fprintf(w, "  %-20s %8.1f µs/update  %6.2f allocs/op  %8.1f KB model\n",
+			fmt.Fprintf(w, "  %-26s %8.1f µs/update  %6.2f allocs/op  %8.1f KB model\n",
 				r.Name, r.UpdateUs, r.AllocsPerOp, float64(r.SizeBytes)/1024)
 		default:
-			fmt.Fprintf(w, "  %-20s %8.1f Mlps  %8.1f KB\n", r.Name, r.MLps, float64(r.SizeBytes)/1024)
+			fmt.Fprintf(w, "  %-26s %8.1f Mlps  %8.1f KB\n", r.Name, r.MLps, float64(r.SizeBytes)/1024)
 		}
 	}
 	return results, nil

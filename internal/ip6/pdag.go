@@ -50,6 +50,28 @@ type DAG struct {
 	serialList  []*dnode
 	serialStack []*dnode
 
+	// Dirty-subtree tracking (see serial.go): mutGen counts control
+	// mutations, lastMut records per root-stride group the generation
+	// that last touched it, and geo1/geo2 hold each serialized
+	// format's stable group layout so a republish re-emits only the
+	// groups mutated since the target buffer was last written.
+	mutGen  uint64
+	lastMut []uint64
+	geo1    serialGeom
+	geo2    serialGeom
+	geoSeq  uint64
+
+	// Per-serialize group scratch: the subtree hanging at each group's
+	// path with the default label in force there (groupPlan), the
+	// index/word allocation cursor and its region bound, and the v2
+	// stride expansions kept across republishes.
+	groupNode       []*dnode
+	groupDef        []uint32
+	serialBase      uint32
+	serialLimit     uint32
+	serialWatermark uint32
+	serialExps      []strideExp
+
 	// Update-path recyclers, mirroring the IPv4 DAG: released DAG
 	// nodes chain through freeNode (linked via left) and feed later
 	// acquires; scratch is the arena the refresh leaf-pushes its
@@ -98,6 +120,7 @@ func Build(t *Table, lambda int) (*DAG, error) {
 		sub:     map[[2]uint64]*dnode{},
 		leaves:  map[uint32]*dnode{},
 	}
+	d.lastMut = make([]uint64, 1<<uint(d.groupBits()))
 	d.root = d.buildUp(d.control.Root, 0)
 	return d, nil
 }
@@ -116,6 +139,7 @@ func FromTrie(tr *Trie, lambda int) (*DAG, error) {
 		sub:     map[[2]uint64]*dnode{},
 		leaves:  map[uint32]*dnode{},
 	}
+	d.lastMut = make([]uint64, 1<<uint(d.groupBits()))
 	d.root = d.buildUp(d.control.Root, 0)
 	return d, nil
 }
@@ -254,8 +278,11 @@ func (d *DAG) Delete(a Addr, plen int) bool {
 
 // refresh re-synchronizes the DAG with the mutated control FIB: above
 // the barrier by mirroring the path, at or below it by the
-// incremental §4.3 patch of the affected folded sub-trie.
+// incremental §4.3 patch of the affected folded sub-trie. The mutation
+// is first recorded against the root-stride groups it covers so the
+// serializers can re-emit only the touched regions.
 func (d *DAG) refresh(a Addr, plen int) {
+	d.markDirty(a, plen)
 	if plen < d.Lambda {
 		d.root = d.syncUp(d.control.Root, d.root, a, 0, plen)
 		return

@@ -1,6 +1,9 @@
 package ip6
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Blob is the serialized, read-only lookup structure for the IPv6
 // DAG — the same two-word-per-interior-node encoding as the IPv4 v1
@@ -14,6 +17,13 @@ type Blob struct {
 	Lambda int
 	Root   []uint32 // 2^λ entries: def<<24 | payload
 	Nodes  []uint32 // 2 words per interior node: payload each
+
+	// Incremental-republish stamps (see SerializeInto): the DAG whose
+	// group geometry laid this buffer out, the generation of that
+	// layout, and the mutation generation the contents reflect.
+	owner  *DAG
+	geoGen uint64
+	gen    uint64
 }
 
 // Payload encoding, shared with the IPv4 blob so the shardfib merged
@@ -30,6 +40,120 @@ const (
 // dilute the root array further.
 const maxSerialLambda = 24
 
+// groupBitsMax bounds the dirty-tracking granularity: the root array
+// is partitioned by its top min(λ, 8) bits into at most 256 contiguous
+// groups, each owning a stable region of the folded buffers. The
+// trade is re-emission cost against per-group slack and bookkeeping:
+// a steady-churn republish re-emits ~1/256 of the folded region per
+// dirty buffer generation, while the fixed slack each group carries
+// (see the relayout passes) stays a small fraction of a realistic
+// table. Coarser groups were measured to leave the per-update cost
+// dominated by re-expanding clean strides inside the one dirty group.
+const groupBitsMax = 8
+
+func (d *DAG) groupBits() int {
+	if d.Lambda < groupBitsMax {
+		return d.Lambda
+	}
+	return groupBitsMax
+}
+
+// serialGeom is the stable group layout of one serialized format:
+// group g owns units [base[g], base[g]+capn[g]) of the folded region
+// (node indices for the v1 blob, words for v2), of which used[g] are
+// live. Bases never move while gen is unchanged — re-emitting a dirty
+// group cannot disturb a clean one — and every full layout grants
+// each group slack so steady churn re-emits in place. A group that
+// outgrows its region forces a fresh layout under a new gen, which
+// invalidates (and fully rewrites) any buffer stamped with the old
+// one.
+type serialGeom struct {
+	gen   uint64
+	total uint32
+	base  []uint32
+	used  []uint32
+	capn  []uint32
+}
+
+func (g *serialGeom) ensure(n int) {
+	if cap(g.base) < n {
+		g.base = make([]uint32, n)
+		g.used = make([]uint32, n)
+		g.capn = make([]uint32, n)
+	}
+	g.base = g.base[:n]
+	g.used = g.used[:n]
+	g.capn = g.capn[:n]
+}
+
+// errRegionFull aborts a group emission that no longer fits its
+// region; the serializer falls back to a full re-layout. The abort
+// happens before any folded word is written (only root entries of the
+// aborted group may be stale), so the fallback pass starts clean.
+var errRegionFull = errors.New("ip6: dirty group outgrew its region")
+
+// serialNoLimit disables the region bound for re-layout passes; the
+// honest maxBlobIdx check still applies.
+const serialNoLimit = ^uint32(0)
+
+// markDirty advances the mutation generation and records it on every
+// root-stride group the update covers; the serializers re-emit only
+// groups whose generation is newer than the target buffer's. An
+// update at depth ≥ the group depth lands in exactly one group, a
+// shorter prefix covers a power-of-two run (a is canonical, so the
+// run starts at its group).
+func (d *DAG) markDirty(a Addr, plen int) {
+	d.mutGen++
+	if d.lastMut == nil {
+		return
+	}
+	gb := d.groupBits()
+	g := int(a.Hi >> uint(64-gb))
+	if plen >= gb {
+		d.lastMut[g] = d.mutGen
+		return
+	}
+	for n := 1 << uint(gb-plen); n > 0; n-- {
+		d.lastMut[g] = d.mutGen
+		g++
+	}
+}
+
+// groupPlan walks the plain region above the group depth once,
+// recording for every group the subtree hanging at its path and the
+// default label in force there — the per-group inputs both
+// serializers hand to fillRoot. Folded nodes hang exactly at depth λ,
+// so at group depth min(λ, 6) a group's subtree is a plain node, a
+// folded node (λ ≤ 6), or nil; never a folded node spanning groups.
+func (d *DAG) groupPlan() {
+	gb := d.groupBits()
+	n := 1 << uint(gb)
+	if cap(d.groupNode) < n {
+		d.groupNode = make([]*dnode, n)
+		d.groupDef = make([]uint32, n)
+	}
+	d.groupNode = d.groupNode[:n]
+	d.groupDef = d.groupDef[:n]
+	d.planWalk(d.root, 0, 0, NoLabel, gb)
+}
+
+func (d *DAG) planWalk(n *dnode, v uint32, depth int, def uint32, gb int) {
+	if depth == gb || n == nil || n.kind != kindUp {
+		lo := int(v) << uint(gb-depth)
+		hi := lo + 1<<uint(gb-depth)
+		for g := lo; g < hi; g++ {
+			d.groupNode[g] = n
+			d.groupDef[g] = def
+		}
+		return
+	}
+	if n.label != NoLabel {
+		def = n.label
+	}
+	d.planWalk(n.left, 2*v, depth+1, def, gb)
+	d.planWalk(n.right, 2*v+1, depth+1, def, gb)
+}
+
 // Serialize freezes the DAG into a fresh Blob. Like the IPv4
 // serializer it advances the DAG's stamping epoch, so concurrent
 // Serialize calls on one DAG are not safe; serialize under the same
@@ -40,10 +164,14 @@ func (d *DAG) Serialize() (*Blob, error) {
 
 // SerializeInto freezes the DAG into b, reusing b's Root and Nodes
 // buffers when their capacity suffices; b == nil allocates a fresh
-// blob. A steady-churn republish into a retired blob of the same
-// barrier performs zero heap allocations: folded interior nodes take
-// dense DFS-preorder indices assigned iteratively, epoch-stamped onto
-// the nodes themselves instead of through a per-publish map. The
+// blob. The folded region is laid out group by group (one group per
+// top min(λ, 6) root bits), each group serialized under its own
+// stamping epoch so hash-consed sharing stays confined within the
+// group — the invariant that makes regions independent. When b was
+// last written by this DAG under the current group layout, only the
+// groups mutated since b's generation are re-emitted, in place at
+// their stable bases, with zero heap allocations: steady-churn
+// republish cost scales with the batch footprint, not the table. The
 // caller owns the exclusivity of b — it must not be reachable by
 // concurrent readers (shardfib proves this with a reader count before
 // recycling a retired snapshot). On error b's contents are
@@ -52,43 +180,151 @@ func (d *DAG) SerializeInto(b *Blob) (*Blob, error) {
 	if d.Lambda > maxSerialLambda {
 		return nil, fmt.Errorf("ip6: cannot serialize with barrier λ=%d > %d", d.Lambda, maxSerialLambda)
 	}
+	rootLen := 1 << uint(d.Lambda)
+	d.groupPlan()
+	if b != nil && b.owner == d && d.geo1.gen != 0 && b.geoGen == d.geo1.gen &&
+		b.Lambda == d.Lambda && len(b.Root) == rootLen && len(b.Nodes) == 2*int(d.geo1.total) {
+		if err := d.emitDirtyV1(b); err == nil {
+			b.gen = d.mutGen
+			return b, nil
+		}
+		// A dirty group outgrew its region: fall through to the full
+		// pass, which re-lays the geometry out with fresh slack.
+	}
 	if b == nil {
 		b = &Blob{}
 	}
 	b.Lambda = d.Lambda
-	rootLen := 1 << uint(d.Lambda)
 	if cap(b.Root) >= rootLen {
 		b.Root = b.Root[:rootLen]
 	} else {
 		b.Root = make([]uint32, rootLen)
 	}
-
-	// One pass over the plain region fills every root-array entry and
-	// assigns node indices on first contact with a folded subtree.
-	d.serialEpoch++
-	d.serialList = d.serialList[:0]
-	if err := d.fillRoot(b.Root, d.root, 0, 0, NoLabel); err != nil {
+	var err error
+	if d.geo1.gen != 0 {
+		// A layout exists (the other buffer of a double-buffered
+		// publish cycle may be stamped with it): emit every group into
+		// its existing region so both buffers share one geometry and
+		// keep taking the incremental path.
+		err = d.emitAllV1(b, false)
+		if err == errRegionFull {
+			err = d.emitAllV1(b, true)
+		}
+	} else {
+		err = d.emitAllV1(b, true)
+	}
+	if err != nil {
+		b.owner, b.geoGen = nil, 0
 		return nil, err
 	}
+	b.owner, b.geoGen, b.gen = d, d.geo1.gen, d.mutGen
+	return b, nil
+}
 
-	wordLen := 2 * len(d.serialList)
-	if cap(b.Nodes) >= wordLen {
-		b.Nodes = b.Nodes[:wordLen]
+// emitDirtyV1 re-emits only the groups mutated since b's generation;
+// everything else in b is already bit-exact for the current DAG.
+func (d *DAG) emitDirtyV1(b *Blob) error {
+	for g := range d.lastMut {
+		if d.lastMut[g] <= b.gen {
+			continue
+		}
+		if err := d.emitGroupV1(b, g, d.geo1.base[g]+d.geo1.capn[g], false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitAllV1 serializes every group. With relayout, groups are packed
+// at fresh bases with slack (used/8 + 8 node slots each) and the
+// geometry generation advances; otherwise the existing regions are
+// reused so the buffer stays exchangeable with its double-buffer twin.
+func (d *DAG) emitAllV1(b *Blob, relayout bool) error {
+	groups := 1 << uint(d.groupBits())
+	d.geo1.ensure(groups)
+	if !relayout {
+		need := 2 * int(d.geo1.total)
+		if need > cap(b.Nodes) {
+			b.Nodes = make([]uint32, need)
+		} else {
+			b.Nodes = b.Nodes[:need]
+		}
+		for g := 0; g < groups; g++ {
+			if err := d.emitGroupV1(b, g, d.geo1.base[g]+d.geo1.capn[g], false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	watermark := uint32(0)
+	for g := 0; g < groups; g++ {
+		d.geo1.base[g] = watermark
+		if err := d.emitGroupV1(b, g, serialNoLimit, true); err != nil {
+			return err
+		}
+		used := d.geo1.used[g]
+		d.geo1.capn[g] = used + used/8 + 8
+		watermark += d.geo1.capn[g]
+	}
+	d.geo1.total = watermark
+	need := 2 * int(watermark)
+	if need > cap(b.Nodes) {
+		nn := make([]uint32, need)
+		copy(nn, b.Nodes)
+		b.Nodes = nn
 	} else {
-		b.Nodes = make([]uint32, wordLen)
+		b.Nodes = b.Nodes[:need]
+	}
+	d.geoSeq++
+	d.geo1.gen = d.geoSeq
+	return nil
+}
+
+// emitGroupV1 re-serializes one group: a fresh stamping epoch (so no
+// stamp — and hence no sharing — crosses the group boundary), node
+// indices assigned from the group's stable base, and the group's
+// words emitted immediately while the stamps are valid (a later group
+// restamps any subtree it shares). limit bounds the indices
+// (exclusive); grow extends b.Nodes as the re-layout pass discovers
+// sizes — the dirty path writes into fixed regions and never
+// allocates.
+func (d *DAG) emitGroupV1(b *Blob, g int, limit uint32, grow bool) error {
+	base := d.geo1.base[g]
+	d.serialEpoch++
+	d.serialList = d.serialList[:0]
+	d.serialBase = base
+	d.serialLimit = limit
+	if err := d.fillRoot(b.Root, d.groupNode[g], uint32(g), d.groupBits(), d.groupDef[g], d.assign); err != nil {
+		return err
+	}
+	used := uint32(len(d.serialList))
+	if grow {
+		need := 2 * int(base+used)
+		if need > cap(b.Nodes) {
+			nn := make([]uint32, need, need+need/2)
+			copy(nn, b.Nodes)
+			b.Nodes = nn
+		} else if need > len(b.Nodes) {
+			b.Nodes = b.Nodes[:need]
+		}
 	}
 	for i, n := range d.serialList {
-		b.Nodes[2*i] = wordFor(n.left)
-		b.Nodes[2*i+1] = wordFor(n.right)
+		w := 2 * int(base+uint32(i))
+		b.Nodes[w] = wordFor(n.left)
+		b.Nodes[w+1] = wordFor(n.right)
 	}
-	return b, nil
+	d.geo1.used[g] = used
+	return nil
 }
 
 // fillRoot writes the root-array entries covered by the plain-region
 // node n at depth, i.e. slots [v<<(λ-depth), (v+1)<<(λ-depth)). def is
 // the last label seen on the path, the inherited default packed into
-// bits 24..31 of each entry.
-func (d *DAG) fillRoot(root []uint32, n *dnode, v uint32, depth int, def uint32) error {
+// bits 24..31 of each entry. Folded subtrees cover their whole slot
+// range with one payload: the index assign gives their interior or
+// stride node — both serialized formats share this pass and differ
+// only in what assign emits.
+func (d *DAG) fillRoot(root []uint32, n *dnode, v uint32, depth int, def uint32, assign func(*dnode) (uint32, error)) error {
 	lo := int(v) << uint(d.Lambda-depth)
 	hi := lo + 1<<uint(d.Lambda-depth)
 	if n == nil {
@@ -100,7 +336,7 @@ func (d *DAG) fillRoot(root []uint32, n *dnode, v uint32, depth int, def uint32)
 		fillWords(root[lo:hi], def<<24|blobLeafFlag|(n.label&0xFF))
 		return nil
 	case kindInt:
-		idx, err := d.assign(n)
+		idx, err := assign(n)
 		if err != nil {
 			return err
 		}
@@ -116,16 +352,16 @@ func (d *DAG) fillRoot(root []uint32, n *dnode, v uint32, depth int, def uint32)
 		root[lo] = def<<24 | blobNone
 		return nil
 	}
-	if err := d.fillRoot(root, n.left, 2*v, depth+1, def); err != nil {
+	if err := d.fillRoot(root, n.left, 2*v, depth+1, def, assign); err != nil {
 		return err
 	}
-	return d.fillRoot(root, n.right, 2*v+1, depth+1, def)
+	return d.fillRoot(root, n.right, 2*v+1, depth+1, def, assign)
 }
 
 // assign gives a folded subtree dense preorder indices, stamping each
 // interior node with its index under the current epoch; shared
-// subtrees reached a second time return their index immediately,
-// preserving the hash-consed sharing in the blob.
+// subtrees reached a second time within the group return their index
+// immediately, preserving the hash-consed sharing in the blob.
 func (d *DAG) assign(root *dnode) (uint32, error) {
 	epoch := d.serialEpoch
 	if root.serialEpoch == epoch {
@@ -171,12 +407,16 @@ func (d *DAG) assign(root *dnode) (uint32, error) {
 	return root.serialIdx, nil
 }
 
-// stamp assigns n the next dense index under epoch.
+// stamp assigns n the next dense index of the current group's region.
 func (d *DAG) stamp(n *dnode, epoch uint64) error {
-	if len(d.serialList) > maxBlobIdx {
-		return fmt.Errorf("ip6: too many folded nodes to serialize (%d)", len(d.serialList))
+	idx := d.serialBase + uint32(len(d.serialList))
+	if idx > maxBlobIdx {
+		return fmt.Errorf("ip6: too many folded nodes to serialize (%d)", idx)
 	}
-	n.serialEpoch, n.serialIdx = epoch, uint32(len(d.serialList))
+	if idx >= d.serialLimit {
+		return errRegionFull
+	}
+	n.serialEpoch, n.serialIdx = epoch, idx
 	d.serialList = append(d.serialList, n)
 	return nil
 }

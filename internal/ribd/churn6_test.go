@@ -192,6 +192,181 @@ func TestStreamedMultiPeerEquivalence6(t *testing.T) {
 	}
 }
 
+// TestStreamedDirtyRepublishEquivalence6 is the dirty-subtree
+// property under live churn: multi-peer v6 feeds streamed through the
+// dual plane into a v2-format engine whose every republish takes the
+// incremental dirty-group path (after the first full layout), while
+// concurrent batched readers hammer the merged view under -race. The
+// served snapshots must end bit-identical (lookup for lookup) to a
+// FULL re-serialize of an independent DAG holding the same routes —
+// in both formats — and to the offline control replay; any group the
+// dirty tracking failed to re-emit, or re-emitted with a stale base,
+// would surface as a divergence.
+func TestStreamedDirtyRepublishEquivalence6(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	tab, err := ip6.SplitFIB(rng, 2000, []float64{0.5, 0.3, 0.15, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := gen.BGPUpdates6(rng, tab, 1500)
+
+	const peers = 3
+	feeds := make([][]gen.Update, peers)
+	for _, u := range us {
+		a := ip6.Canonical(u.Addr6, u.Len)
+		h := (a.Hi ^ a.Lo ^ uint64(u.Len)) * 0x9E3779B97F4A7C15
+		feeds[h>>32%peers] = append(feeds[h>>32%peers], u)
+	}
+
+	type pkey struct {
+		hi, lo uint64
+		plen   int
+	}
+	final := make(map[pkey]ip6.Entry)
+	for _, e := range tab.Entries {
+		final[pkey{e.Addr.Hi, e.Addr.Lo, e.Len}] = e
+	}
+	for _, feed := range feeds {
+		for _, u := range feed {
+			a := ip6.Canonical(u.Addr6, u.Len)
+			key := pkey{a.Hi, a.Lo, u.Len}
+			if u.Withdraw {
+				delete(final, key)
+			} else {
+				final[key] = ip6.Entry{Addr: a, Len: u.Len, NextHop: u.NextHop}
+			}
+		}
+	}
+	control := ip6.New()
+	for _, e := range final {
+		if err := control.Add(e.Addr, e.Len, e.NextHop); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	probes := ip6.RandomAddrs(rand.New(rand.NewSource(96)), 8000)
+	for _, u := range us {
+		a := ip6.Canonical(u.Addr6, u.Len)
+		m := ip6.Mask(u.Len)
+		probes = append(probes, a, ip6.Addr{Hi: a.Hi | ^m.Hi, Lo: a.Lo | ^m.Lo})
+	}
+
+	const lambda = 16
+	// The full-serialize references: a DAG that never saw the churn,
+	// frozen once in each format from the control replay.
+	flatCtl, err := ip6.Build(control, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullV1, err := flatCtl.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullV2, err := flatCtl.SerializeV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			eng4, err := shardfib.Build(fib.MustParse("0.0.0.0/0 7"), 11, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := shardfib.Build6Format(tab, lambda, shards, shardfib.FormatV2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := NewDual(eng4, eng, Options{MaxStaleness: 5 * time.Millisecond})
+			srv, err := Serve(p, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			stop := make(chan struct{})
+			var readers sync.WaitGroup
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				dst := make([]uint32, 256)
+				for i := 0; ; i += 256 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					lo := i % (len(probes) - 256)
+					eng.LookupBatchInto(dst, probes[lo:lo+256])
+				}
+			}()
+
+			var wg sync.WaitGroup
+			errs := make(chan error, peers)
+			for i, feed := range feeds {
+				wg.Add(1)
+				go func(i int, feed []gen.Update) {
+					defer wg.Done()
+					c, err := net.Dial("tcp", srv.Addr().String())
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer c.Close()
+					if err := gen.WriteUpdates(c, feed); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := fmt.Fprintf(c, "sync peer%d\n", i); err != nil {
+						errs <- err
+						return
+					}
+					buf := make([]byte, 256)
+					if _, err := c.Read(buf); err != nil {
+						errs <- fmt.Errorf("peer %d sync reply: %v", i, err)
+					}
+				}(i, feed)
+			}
+			wg.Wait()
+			close(stop)
+			readers.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !eng.SnapshotsSerialized() {
+				t.Fatal("v2 engine fell back to folded-DAG snapshots")
+			}
+
+			// Dirty-republished snapshots vs full re-serialize (both
+			// formats) and control replay, scalar and batch.
+			dst := make([]uint32, 256)
+			for lo := 0; lo+256 <= len(probes); lo += 256 {
+				eng.LookupBatchInto(dst, probes[lo:lo+256])
+				for j, a := range probes[lo : lo+256] {
+					want := flatCtl.Control().Lookup(a)
+					if got := fullV1.Lookup(a); got != want {
+						t.Fatalf("full v1 diverges from control at %s: %d != %d", a, got, want)
+					}
+					if got := fullV2.Lookup(a); got != want {
+						t.Fatalf("full v2 diverges from control at %s: %d != %d", a, got, want)
+					}
+					if dst[j] != want {
+						t.Fatalf("dirty-republished engine diverges at %s: %d != %d", a, dst[j], want)
+					}
+					if got := eng.Lookup(a); got != want {
+						t.Fatalf("dirty-republished scalar diverges at %s: %d != %d", a, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestV6RejectedOnV4OnlyPlane pins the v4-only plane's contract: v6
 // updates are counted as rejected, never crash the flusher, and leave
 // the v4 engine untouched.

@@ -30,6 +30,7 @@ type FIB6 struct {
 	shardBits int  // k
 	shift     uint // 64 - k; addr.Hi >> shift selects the shard
 	lambda    int
+	format    Format
 	shards    []shard6
 
 	comb atomic.Pointer[combined6] // the published merged view
@@ -60,11 +61,15 @@ type shard6 struct {
 }
 
 // snapshot6 is the frozen serving form of one IPv6 shard: the
-// serialized blob when the barrier admits one (λ ≤ 24), else a fresh
-// fold of the shard's control trie. readers follows the same
-// pin/validate protocol as the IPv4 snapshot.
+// serialized blob in the requested format when the barrier admits one
+// (λ ≤ 24), else a fresh fold of the shard's control trie. Exactly
+// one of blob, blob2 and dag is non-nil; either blob's root array
+// feeds the merged view (the two formats share the root-entry
+// encoding). readers follows the same pin/validate protocol as the
+// IPv4 snapshot.
 type snapshot6 struct {
 	blob    *ip6.Blob
+	blob2   *ip6.BlobV2
 	dag     *ip6.DAG
 	readers atomic.Int64
 }
@@ -73,12 +78,18 @@ func (s *snapshot6) lookup(addr ip6.Addr) uint32 {
 	if s.blob != nil {
 		return s.blob.Lookup(addr)
 	}
+	if s.blob2 != nil {
+		return s.blob2.Lookup(addr)
+	}
 	return s.dag.Lookup(addr)
 }
 
 func (s *snapshot6) rootArray() []uint32 {
 	if s.blob != nil {
 		return s.blob.Root
+	}
+	if s.blob2 != nil {
+		return s.blob2.Root
 	}
 	return nil
 }
@@ -100,22 +111,29 @@ func (s *snapshot6) unpin() { s.readers.Add(-1) }
 // snapshot, retiring the previous one — the IPv6 instantiation of
 // shard.publish, with the serialized blob as the fast path and a
 // refold of the control trie as the unserializable-barrier fallback.
-func (sh *shard6) publish(lambda int) {
+func (sh *shard6) publish(lambda int, format Format) {
 	next := sh.spare
 	var buf *ip6.Blob
+	var buf2 *ip6.BlobV2
 	if next != nil && next.readers.Load() == 0 {
-		buf = next.blob
+		buf, buf2 = next.blob, next.blob2
 		next.dag = nil
 	} else {
 		next = &snapshot6{}
 	}
-	if blob, err := sh.dag.SerializeInto(buf); err == nil {
-		next.blob = blob
+	if format == FormatV2 {
+		if blob2, err := sh.dag.SerializeV2Into(buf2); err == nil {
+			next.blob, next.blob2 = nil, blob2
+			sh.spare = sh.cur.Swap(next)
+			return
+		}
+	} else if blob, err := sh.dag.SerializeInto(buf); err == nil {
+		next.blob, next.blob2 = blob, nil
 		sh.spare = sh.cur.Swap(next)
 		return
 	}
 	if d, err := ip6.FromTrie(sh.dag.Control(), lambda); err == nil {
-		next.blob, next.dag = nil, d
+		next.blob, next.blob2, next.dag = nil, nil, d
 		sh.spare = sh.cur.Swap(next)
 	}
 }
@@ -134,14 +152,27 @@ type combined6 struct {
 func (c *combined6) unpin() { c.readers.Add(-1) }
 
 // Build6 partitions an IPv6 table into `shards` prefix DAGs (a power
-// of two in [1, MaxShards]) folded with leaf-push barrier lambda.
+// of two in [1, MaxShards]) folded with leaf-push barrier lambda,
+// serving the default v1 snapshot format.
 func Build6(t *ip6.Table, lambda, shards int) (*FIB6, error) {
+	return Build6Format(t, lambda, shards, FormatV1)
+}
+
+// Build6Format is Build6 with an explicit snapshot format, the IPv6
+// twin of BuildFormat. The format applies to every shard snapshot the
+// engine ever publishes; an unserializable barrier falls back to
+// folded-DAG snapshots regardless of format.
+func Build6Format(t *ip6.Table, lambda, shards int, format Format) (*FIB6, error) {
 	if shards < 1 || shards > MaxShards || shards&(shards-1) != 0 {
 		return nil, fmt.Errorf("shardfib: shard count %d not a power of two in [1,%d]", shards, MaxShards)
+	}
+	if format != FormatV1 && format != FormatV2 {
+		return nil, fmt.Errorf("shardfib: unknown snapshot format %d", format)
 	}
 	f := &FIB6{
 		shardBits: bits.TrailingZeros(uint(shards)),
 		lambda:    lambda,
+		format:    format,
 		shards:    make([]shard6, shards),
 	}
 	f.shift = uint(64 - f.shardBits)
@@ -151,7 +182,7 @@ func Build6(t *ip6.Table, lambda, shards int) (*FIB6, error) {
 			return nil, err
 		}
 		f.shards[i].dag = d
-		f.shards[i].publish(lambda)
+		f.shards[i].publish(lambda, format)
 	}
 	f.combMu.Lock()
 	f.rebuildCombined()
@@ -195,6 +226,9 @@ func (f *FIB6) ShardBits() int { return f.shardBits }
 // Lambda reports the leaf-push barrier the shards fold with.
 func (f *FIB6) Lambda() int { return f.lambda }
 
+// Format reports the serialized snapshot format the FIB6 serves.
+func (f *FIB6) Format() Format { return f.format }
+
 // ShardOf reports the shard index owning an address.
 func (f *FIB6) ShardOf(addr ip6.Addr) int { return int(addr.Hi >> f.shift) }
 
@@ -204,7 +238,7 @@ func (f *FIB6) ShardOf(addr ip6.Addr) int { return int(addr.Hi >> f.shift) }
 func (f *FIB6) SnapshotsSerialized() bool {
 	for i := range f.shards {
 		s := f.shards[i].pin()
-		serialized := s.blob != nil
+		serialized := s.blob != nil || s.blob2 != nil
 		s.unpin()
 		if !serialized {
 			return false
@@ -230,7 +264,7 @@ func (f *FIB6) publishShard(sh *shard6) {
 	f.combMu.Lock()
 	f.reclaimCombined()
 	f.combMu.Unlock()
-	sh.publish(f.lambda)
+	sh.publish(f.lambda, f.format)
 	f.combMu.Lock()
 	f.rebuildCombined()
 	f.combMu.Unlock()
@@ -276,10 +310,14 @@ func (f *FIB6) rebuildCombined() {
 	for s := range f.shards {
 		snap := f.shards[s].pin() // held until the view is reclaimed
 		c.snaps[s] = snap
-		if snap.blob != nil {
+		switch {
+		case snap.blob != nil:
 			c.nodes[s] = snap.blob.Nodes
 			c.lambda = snap.blob.Lambda
-		} else {
+		case snap.blob2 != nil:
+			c.nodes[s] = snap.blob2.Words
+			c.lambda = snap.blob2.Lambda
+		default:
 			c.nodes[s] = nil
 			merged = false
 		}
@@ -333,7 +371,11 @@ func (f *FIB6) LookupBatchInto(dst []uint32, addrs []ip6.Addr) {
 	dst = dst[:n]
 	c := f.pinCombined()
 	if len(c.root) != 0 {
-		ip6.LookupBatchMerged(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda)
+		if f.format == FormatV2 {
+			ip6.LookupBatchMergedV2(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda)
+		} else {
+			ip6.LookupBatchMerged(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda)
+		}
 	} else {
 		// Barrier outside [k, 16]: resolve per address against the
 		// view's pinned snapshots (correctness path).
@@ -469,7 +511,7 @@ func (f *FIB6) ApplyBatch(ops []Op6) (int, error) {
 			}
 		}
 		if changed {
-			sh.publish(f.lambda)
+			sh.publish(f.lambda, f.format)
 			published = true
 		}
 		sh.mu.Unlock()
@@ -518,9 +560,12 @@ func (f *FIB6) SizeBytes() int {
 	total := 0
 	for i := range f.shards {
 		s := f.shards[i].pin()
-		if s.blob != nil {
+		switch {
+		case s.blob != nil:
 			total += s.blob.SizeBytes()
-		} else {
+		case s.blob2 != nil:
+			total += s.blob2.SizeBytes()
+		default:
 			total += s.dag.ModelBytes()
 		}
 		s.unpin()
