@@ -9,7 +9,12 @@
 // barrier confirming everything is applied and published — and then
 // sweeps the server's UDP lookup port against the offline-replayed
 // control FIB, proving the live engine converged to the bit-identical
-// table.
+// table. The stream rides the reconnecting ribd.Feeder: connection
+// loss, server resets and partitions are retried with jittered
+// backoff under the -peer session name; -resume continues each
+// reconnect from the server's accepted-update cursor (the
+// graceful-restart fast path), while the default replays the feed
+// from the start and lets the server's end-of-RIB sweep reconcile.
 //
 // -6 runs the IPv6 twin end-to-end: -fib names an IPv6 table, the
 // synthetic feed is v6 BGP-like churn, the offline replay drives the
@@ -25,13 +30,10 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
-	"net"
 	"os"
-	"strings"
 	"time"
 
 	"fibcomp/internal/fib"
@@ -39,6 +41,7 @@ import (
 	"fibcomp/internal/ip6"
 	"fibcomp/internal/lookupd"
 	"fibcomp/internal/pdag"
+	"fibcomp/internal/ribd"
 )
 
 func main() {
@@ -54,13 +57,24 @@ func main() {
 		verify  = flag.Int("verify", 100000, "post-replay verification probes (0 to skip)")
 		stream  = flag.String("stream", "", "stream the feed at a live fibserve's -updates address instead of replaying offline")
 		server  = flag.String("server", "", "-stream: the server's UDP lookup address, for the differential verification sweep")
+		peer    = flag.String("peer", "fibreplay", "-stream: session name; the graceful-restart identity reconnects resume under")
+		resume  = flag.Bool("resume", false, "-stream: resume reconnects from the server's accepted cursor instead of a full restart replay")
+		pace    = flag.Int("pace", 0, "-stream: cap the send rate, updates/s (0 = full speed)")
+		retries = flag.Int("retries", ribd.DefaultFeederRetries, "-stream: consecutive no-progress reconnect attempts before giving up")
 	)
 	flag.Parse()
 	if *fibPath == "" {
 		fatal(fmt.Errorf("-fib is required"))
 	}
+	fo := ribd.FeederOptions{
+		Peer:    *peer,
+		Resume:  *resume,
+		Pace:    *pace,
+		Retries: *retries,
+		Seed:    *seed,
+	}
 	if *v6 {
-		replay6(*fibPath, *feed, *emit, *stream, *server, *synth, *lambda6, *verify, *seed)
+		replay6(*fibPath, *feed, *emit, *stream, *server, *synth, *lambda6, *verify, *seed, fo)
 		return
 	}
 	f, err := os.Open(*fibPath)
@@ -104,7 +118,7 @@ func main() {
 	}
 
 	if *stream != "" {
-		streamFeed(table, updates, *stream, *server, *lambda, *verify, *seed)
+		streamFeed(table, updates, *stream, *server, *lambda, *verify, *seed, fo)
 		return
 	}
 
@@ -147,43 +161,29 @@ func main() {
 	}
 }
 
-// streamFeed pushes the update feed at a live server's ribd listener,
-// measures convergence, and (with -server set and verify > 0) proves
-// the post-feed engine bit-identical to the offline control replay by
-// a differential lookup sweep over the server's UDP port.
-func streamFeed(table *fib.Table, updates []gen.Update, stream, server string, lambda, verify int, seed int64) {
-	conn, err := net.Dial("tcp", stream)
+// streamFeed pushes the update feed at a live server's ribd listener
+// through the reconnecting Feeder — connection loss, server resets
+// and partitions are retried with jittered backoff, resuming from the
+// server's accepted cursor in -resume mode — measures convergence,
+// and (with -server set and verify > 0) proves the post-feed engine
+// bit-identical to the offline control replay by a differential
+// lookup sweep over the server's UDP port.
+func streamFeed(table *fib.Table, updates []gen.Update, stream, server string, lambda, verify int, seed int64, fo ribd.FeederOptions) {
+	f, err := ribd.NewFeeder(stream, fo)
 	if err != nil {
 		fatal(err)
 	}
-	defer conn.Close()
-
 	t0 := time.Now()
-	if err := gen.WriteUpdates(conn, updates); err != nil {
+	if err := f.Run(updates); err != nil {
 		fatal(err)
 	}
-	sent := time.Now()
-	if _, err := fmt.Fprintf(conn, "sync end\n"); err != nil {
-		fatal(err)
-	}
-	reply, err := bufio.NewReader(conn).ReadString('\n')
-	if err != nil {
-		fatal(fmt.Errorf("sync reply: %v", err))
-	}
-	synced := time.Now()
-	reply = strings.TrimSpace(reply)
-	if !strings.HasPrefix(reply, "synced end") {
-		fatal(fmt.Errorf("server rejected the feed: %s", reply))
-	}
-
-	// Convergence lag: from the last update written to the server
-	// confirming the whole feed is applied and published. The server
-	// reports its configured staleness bound in the sync reply.
-	total := synced.Sub(t0)
-	fmt.Printf("fibreplay: streamed %d updates in %v (%.0f updates/s), convergence lag %v\n",
+	total := time.Since(t0)
+	st := f.Stats()
+	fmt.Printf("fibreplay: streamed %d updates in %v (%.0f updates/s, %d sessions, %d resets, %d resumed), convergence lag %v\n",
 		len(updates), total.Round(time.Millisecond),
-		float64(len(updates))/total.Seconds(), synced.Sub(sent).Round(time.Microsecond))
-	fmt.Printf("fibreplay: server: %s\n", reply)
+		float64(len(updates))/total.Seconds(), st.Attempts, st.Resets, st.Resumed,
+		f.LastLag().Round(time.Microsecond))
+	fmt.Printf("fibreplay: server: %s\n", f.LastReply())
 
 	if verify <= 0 {
 		return
@@ -237,7 +237,7 @@ func streamFeed(table *fib.Table, updates []gen.Update, stream, server string, l
 // control FIB) or stream it at a live dual-stack server and prove the
 // served engine bit-identical to the offline control replay over the
 // AF-tagged lookup framing.
-func replay6(fibPath, feed, emit, stream, server string, synth, lambda, verify int, seed int64) {
+func replay6(fibPath, feed, emit, stream, server string, synth, lambda, verify int, seed int64, fo ribd.FeederOptions) {
 	f, err := os.Open(fibPath)
 	if err != nil {
 		fatal(err)
@@ -300,33 +300,21 @@ func replay6(fibPath, feed, emit, stream, server string, synth, lambda, verify i
 	}
 
 	if stream != "" {
-		conn, err := net.Dial("tcp", stream)
+		f, err := ribd.NewFeeder(stream, fo)
 		if err != nil {
 			fatal(err)
 		}
-		defer conn.Close()
 		t0 := time.Now()
-		if err := gen.WriteUpdates(conn, updates); err != nil {
+		if err := f.Run(updates); err != nil {
 			fatal(err)
 		}
-		sent := time.Now()
-		if _, err := fmt.Fprintf(conn, "sync end\n"); err != nil {
-			fatal(err)
-		}
-		reply, err := bufio.NewReader(conn).ReadString('\n')
-		if err != nil {
-			fatal(fmt.Errorf("sync reply: %v", err))
-		}
-		synced := time.Now()
-		reply = strings.TrimSpace(reply)
-		if !strings.HasPrefix(reply, "synced end") {
-			fatal(fmt.Errorf("server rejected the feed: %s", reply))
-		}
-		total := synced.Sub(t0)
-		fmt.Printf("fibreplay: streamed %d IPv6 updates in %v (%.0f updates/s), convergence lag %v\n",
+		total := time.Since(t0)
+		st := f.Stats()
+		fmt.Printf("fibreplay: streamed %d IPv6 updates in %v (%.0f updates/s, %d sessions, %d resets, %d resumed), convergence lag %v\n",
 			len(updates), total.Round(time.Millisecond),
-			float64(len(updates))/total.Seconds(), synced.Sub(sent).Round(time.Microsecond))
-		fmt.Printf("fibreplay: server: %s\n", reply)
+			float64(len(updates))/total.Seconds(), st.Attempts, st.Resets, st.Resumed,
+			f.LastLag().Round(time.Microsecond))
+		fmt.Printf("fibreplay: server: %s\n", f.LastReply())
 		if verify <= 0 {
 			return
 		}

@@ -66,6 +66,9 @@ func main() {
 		lambda6 = flag.Int("lambda6", 16, "IPv6 leaf-push barrier")
 		updates = flag.String("updates", "", "TCP address for the live route-update plane (ribd); implies the sharded engine")
 		stale   = flag.Duration("max-staleness", ribd.DefaultMaxStaleness, "update plane: staleness bound on paced republish")
+		idle    = flag.Duration("peer-idle-timeout", ribd.DefaultIdleTimeout, "update plane: reset a peer session after this long without a line (negative disables)")
+		grace   = flag.Duration("restart-time", ribd.DefaultRestartTime, "update plane: retain a lost named peer's routes this long awaiting its reconnect (negative sweeps immediately)")
+		budget  = flag.Int("peer-budget", ribd.DefaultPeerBudget, "update plane: shed a peer whose unflushed backlog exceeds this many updates")
 		query   = flag.String("query", "", "client mode: address to look up (IPv4 or IPv6)")
 		server  = flag.String("server", "127.0.0.1:7000", "client mode: server address")
 		pprof   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) to profile serving in place")
@@ -230,8 +233,12 @@ func main() {
 		upd   *ribd.Server
 	)
 	if *updates != "" {
-		plane = ribd.NewDual(sharded, sharded6, ribd.Options{MaxStaleness: *stale})
-		upd, err = ribd.Serve(plane, *updates)
+		plane = ribd.NewDual(sharded, sharded6, ribd.Options{
+			MaxStaleness: *stale,
+			RestartTime:  *grace,
+			PeerBudget:   *budget,
+		})
+		upd, err = ribd.ServeOptions(plane, *updates, ribd.ServerOptions{IdleTimeout: *idle})
 		if err != nil {
 			fatal(err)
 		}
@@ -239,8 +246,8 @@ func main() {
 		if sharded6 != nil {
 			families = "dual-stack"
 		}
-		fmt.Printf("fibserve: route-update plane on %s (%s, staleness bound %s)\n",
-			upd.Addr(), families, plane.MaxStaleness())
+		fmt.Printf("fibserve: route-update plane on %s (%s, staleness bound %s, restart time %s, idle timeout %s)\n",
+			upd.Addr(), families, plane.MaxStaleness(), *grace, *idle)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -294,10 +301,21 @@ func main() {
 		upd.Close()
 	}
 	if plane != nil {
+		// Snapshot the graceful-restart registry before Close tears
+		// down the flusher that maintains it.
+		infos := plane.PeerInfo()
 		plane.Close()
 		st := plane.Stats()
-		fmt.Printf("fibserve: update plane: %d peers, %d received, %d coalesced, %d applied, %d flushes\n",
-			upd.Peers(), st.Received, st.Coalesced, st.Applied, st.Flushes)
+		fmt.Printf("fibserve: update plane: %d peers, %d received, %d coalesced, %d applied, %d flushes, %d swept, %d shed\n",
+			upd.Peers(), st.Received, st.Coalesced, st.Applied, st.Flushes, st.Swept, st.Shed)
+		for _, pi := range infos {
+			state := "down"
+			if pi.Up {
+				state = "up"
+			}
+			fmt.Printf("fibserve: peer %s: %s, %d routes, seq %d, %d bytes, %d resets (%d idle)\n",
+				pi.Name, state, pi.Routes, pi.Seq, pi.Bytes, pi.Resets, pi.Timeouts)
+		}
 	}
 	s.Shutdown()
 	fmt.Printf("fibserve: %d requests, %d lookups, %d errors\n",

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"fibcomp/internal/fib"
@@ -30,6 +31,11 @@ type ServingResult struct {
 	MutatedPerS float64 `json:"mutated_per_s,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	SizeBytes   int     `json:"size_bytes,omitempty"`
+	// Convergence-lag percentiles of the flap-storm row: burst
+	// enqueued → sync barrier confirms applied and published.
+	LagP50Us float64 `json:"lag_p50_us,omitempty"`
+	LagP90Us float64 `json:"lag_p90_us,omitempty"`
+	LagP99Us float64 `json:"lag_p99_us,omitempty"`
 }
 
 // ServingRun is one dated measurement of the serving suite, the unit
@@ -278,6 +284,55 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 		results = append(results, row)
 	}
 
+	// ---- Flap-storm convergence lag: a hot tail of long prefixes
+	// flapping down and up, pushed through the plane in bursts, with
+	// the sync barrier timing each burst from enqueue to applied-and-
+	// published. This is the coalescing plane's best case (the same
+	// keys overwritten again and again) and the republisher's worst
+	// (every patch dirties the deepest shards) — the lag percentiles
+	// are the number an operator watching a real flap storm cares
+	// about.
+	{
+		eng, err := shardfib.Build(t, 11, 16)
+		if err != nil {
+			return nil, err
+		}
+		plane := ribd.New(eng, ribd.Options{})
+		storm := gen.FlapStorm(rand.New(rand.NewSource(cfg.Seed+16)), t, 1<<14, 256)
+		const flapBurst = 128
+		lags := make([]time.Duration, 0, len(storm)/flapBurst)
+		st0 := plane.Stats()
+		start := time.Now()
+		for off := 0; off+flapBurst <= len(storm); off += flapBurst {
+			b0 := time.Now()
+			plane.EnqueueBatch(storm[off : off+flapBurst])
+			plane.Sync()
+			lags = append(lags, time.Since(b0))
+		}
+		elapsed := time.Since(start)
+		st1 := plane.Stats()
+		if err := plane.Close(); err != nil {
+			return nil, err
+		}
+		sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+		pct := func(p float64) float64 {
+			if len(lags) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(lags)-1))
+			return float64(lags[i].Nanoseconds()) / 1e3
+		}
+		results = append(results, ServingResult{
+			Name:        "sharded16-flapstorm",
+			UpdatesPerS: float64(st1.Applied-st0.Applied) / elapsed.Seconds(),
+			MutatedPerS: float64(st1.Mutated-st0.Mutated) / elapsed.Seconds(),
+			SizeBytes:   eng.SizeBytes(),
+			LagP50Us:    pct(0.50),
+			LagP90Us:    pct(0.90),
+			LagP99Us:    pct(0.99),
+		})
+	}
+
 	// ---- IPv6 rows: the dual-stack serving engine. A synthetic v6
 	// table at the same scale knob, served through the ip6 blob's
 	// lanes flat and sharded, plus the per-update republish cost and
@@ -514,6 +569,9 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 	fmt.Fprintf(w, "Serving engine (taz + ip6 split, scale %.3g, batch %d, 16 shards, blob v1+v2+ip6):\n", cfg.Scale, servingBatch)
 	for _, r := range results {
 		switch {
+		case r.LagP50Us != 0:
+			fmt.Fprintf(w, "  %-26s lag p50 %6.0f µs  p90 %6.0f µs  p99 %6.0f µs  %8.0f applied/s (%.0f mutated/s)\n",
+				r.Name, r.LagP50Us, r.LagP90Us, r.LagP99Us, r.UpdatesPerS, r.MutatedPerS)
 		case r.UpdatesPerS != 0:
 			fmt.Fprintf(w, "  %-26s %8.1f Mlps  %8.0f applied/s (%.0f mutated/s)  %6.2f allocs/upd\n",
 				r.Name, r.MLps, r.UpdatesPerS, r.MutatedPerS, r.AllocsPerOp)

@@ -1,0 +1,286 @@
+// Package faultnet is a fault-injecting TCP proxy for exercising the
+// control plane against hostile networks: it sits between a feeder
+// and a ribd listener and, from a seeded schedule, drops connections,
+// partitions them (stall, then cut), tears writes mid-line, delays
+// reads, and resets sessions mid-stream. Everything is driven by one
+// seeded PRNG drawn in accept order, so a chaos test replays the same
+// fault schedule from the same seed.
+//
+// The interesting fault for a line protocol is the torn write: the
+// per-connection fault budget is byte-granular, so the cut almost
+// always lands mid-line, truncating "announce 10.1.0.0/16 355" into a
+// shorter line that still parses — with the wrong label. The peer
+// session must discard it (see ribd's torn-tail rule) or the replayed
+// stream diverges.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options shapes a Proxy's fault schedule. The zero value forwards
+// transparently.
+type Options struct {
+	// Seed seeds the schedule; the same seed injects the same faults
+	// in the same accept order.
+	Seed int64
+	// MinBytes/MaxBytes bound the per-connection fault budget: after
+	// forwarding a budget drawn uniformly from [MinBytes, MaxBytes]
+	// client→server bytes, the connection is cut. MaxBytes 0
+	// disables cuts. A budget that can reach 0 (MinBytes 0) models
+	// outright connection drops.
+	MinBytes, MaxBytes int
+	// StallProb turns a cut into a partition with this probability:
+	// the proxy goes silent for Stall first — both directions hang,
+	// deadlines must notice — and cuts after.
+	StallProb float64
+	Stall     time.Duration
+	// SlowProb delays an individual forwarded chunk by SlowDelay
+	// with this probability, in both directions (slow reads).
+	SlowProb  float64
+	SlowDelay time.Duration
+	// Faults caps how many connections get a fault plan; once spent,
+	// later connections forward transparently. A convergence test
+	// sets it so the run is guaranteed to finish. 0 means every
+	// connection draws a plan.
+	Faults int
+}
+
+// Stats counts what the proxy has done to the traffic.
+type Stats struct {
+	Conns  uint64 // connections accepted
+	Cuts   uint64 // connections cut by an exhausted fault budget
+	Drops  uint64 // cuts whose budget was 0 (dropped at dial)
+	Stalls uint64 // cuts preceded by a partition stall
+	Delays uint64 // chunks delayed by a slow-read
+}
+
+// Proxy is one listening fault injector in front of a single target
+// address.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	opts   Options
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	planned int
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+
+	conns_ atomic.Uint64
+	cuts   atomic.Uint64
+	drops  atomic.Uint64
+	stalls atomic.Uint64
+	delays atomic.Uint64
+}
+
+// plan is one connection's fault schedule, drawn at accept.
+type plan struct {
+	budget int // c→s bytes to forward before cutting; -1 = none
+	stall  time.Duration
+	slow   *rand.Rand // per-conn PRNG for chunk delays (nil = none)
+}
+
+// Listen starts a proxy on a fresh loopback port forwarding to
+// target.
+func Listen(target string, opts Options) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: %v", err)
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what the feeder dials.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:  p.conns_.Load(),
+		Cuts:   p.cuts.Load(),
+		Drops:  p.drops.Load(),
+		Stalls: p.stalls.Load(),
+		Delays: p.delays.Load(),
+	}
+}
+
+// Close stops the proxy and severs every live connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.conns_.Add(1)
+		pl := p.drawPlan()
+		p.wg.Add(1)
+		go p.forward(c, pl)
+	}
+}
+
+// drawPlan consumes the shared schedule PRNG in accept order — the
+// source of the proxy's determinism.
+func (p *Proxy) drawPlan() plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pl := plan{budget: -1}
+	if p.opts.SlowProb > 0 {
+		pl.slow = rand.New(rand.NewSource(p.rng.Int63()))
+	}
+	if p.opts.Faults > 0 && p.planned >= p.opts.Faults {
+		return pl
+	}
+	if p.opts.MaxBytes > 0 {
+		p.planned++
+		span := p.opts.MaxBytes - p.opts.MinBytes + 1
+		pl.budget = p.opts.MinBytes + p.rng.Intn(span)
+		if p.opts.StallProb > 0 && p.rng.Float64() < p.opts.StallProb {
+			pl.stall = p.opts.Stall
+		}
+	}
+	return pl
+}
+
+// forward runs one proxied connection: upstream dial, both pumps, and
+// the plan's cut.
+func (p *Proxy) forward(client net.Conn, pl plan) {
+	defer p.wg.Done()
+	if pl.budget == 0 {
+		// The whole connection is dropped before a byte flows.
+		p.cuts.Add(1)
+		p.drops.Add(1)
+		if pl.stall > 0 {
+			p.stalls.Add(1)
+			time.Sleep(pl.stall)
+		}
+		client.Close()
+		return
+	}
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		client.Close()
+		upstream.Close()
+		return
+	}
+	p.conns[client] = struct{}{}
+	p.conns[upstream] = struct{}{}
+	p.mu.Unlock()
+
+	sever := func() {
+		client.Close()
+		upstream.Close()
+		p.mu.Lock()
+		delete(p.conns, client)
+		delete(p.conns, upstream)
+		p.mu.Unlock()
+	}
+	var once sync.Once
+	done := func() { once.Do(sever) }
+
+	// Each pump needs its own delay PRNG — split before the first
+	// pump goroutine starts, or the two directions race on one
+	// rand.Rand.
+	replyPlan := plan{budget: -1, slow: splitSlow(pl.slow)}
+
+	// Client→server: the budgeted direction.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer done()
+		p.pump(upstream, client, pl, true)
+	}()
+	// Server→client: replies; slow delays only, never the cut (the
+	// budget models the feed tearing, the reply path just dies with
+	// the connection).
+	defer done()
+	p.pump(client, upstream, replyPlan, false)
+}
+
+// splitSlow derives an independent delay PRNG so the two pumps of one
+// connection don't race on a shared rand.Rand.
+func splitSlow(r *rand.Rand) *rand.Rand {
+	if r == nil {
+		return nil
+	}
+	return rand.New(rand.NewSource(r.Int63()))
+}
+
+// pump forwards src→dst until error or until the plan's budget is
+// spent, then (budgeted pump only) stalls if the plan says so and
+// reports the cut to the caller via closing both ends.
+func (p *Proxy) pump(dst, src net.Conn, pl plan, budgeted bool) {
+	buf := make([]byte, 4096)
+	forwarded := 0
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if pl.slow != nil && p.opts.SlowProb > 0 && pl.slow.Float64() < p.opts.SlowProb {
+				p.delays.Add(1)
+				time.Sleep(p.opts.SlowDelay)
+			}
+			if budgeted && pl.budget >= 0 && forwarded+len(chunk) >= pl.budget {
+				// The cut: forward exactly up to the budget — almost
+				// always mid-line — then partition (maybe) and sever.
+				dst.Write(chunk[:pl.budget-forwarded])
+				p.cuts.Add(1)
+				if pl.stall > 0 {
+					p.stalls.Add(1)
+					time.Sleep(pl.stall)
+				}
+				return
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			forwarded += len(chunk)
+		}
+		if err != nil {
+			return
+		}
+	}
+}

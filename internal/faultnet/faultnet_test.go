@@ -1,0 +1,222 @@
+package faultnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back, counting the
+// lines it saw.
+func echoServer(t *testing.T) (addr string, lines *int, mu *sync.Mutex, closeFn func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	var m sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					m.Lock()
+					n++
+					m.Unlock()
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), &n, &m, func() { ln.Close(); wg.Wait() }
+}
+
+// TestTransparent: zero Options forward everything untouched.
+func TestTransparent(t *testing.T) {
+	addr, _, _, stop := echoServer(t)
+	defer stop()
+	p, err := Listen(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for i := 0; i < 100; i++ {
+		msg := fmt.Sprintf("line %d", i)
+		if _, err := fmt.Fprintf(c, "%s\n", msg); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if strings.TrimSpace(got) != msg {
+			t.Fatalf("echo %d: got %q", i, got)
+		}
+	}
+	st := p.Stats()
+	if st.Cuts != 0 || st.Delays != 0 {
+		t.Fatalf("transparent proxy injected faults: %+v", st)
+	}
+}
+
+// TestCutsAreMidStreamAndBounded: budgeted connections are cut after
+// the configured byte window, the schedule is deterministic for a
+// seed, and the Faults cap makes later connections transparent.
+func TestCutsAreMidStreamAndBounded(t *testing.T) {
+	addr, lines, mu, stop := echoServer(t)
+	defer stop()
+	opts := Options{
+		Seed:     7,
+		MinBytes: 40,
+		MaxBytes: 200,
+		Faults:   3,
+	}
+	p, err := Listen(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Each connection streams 9-byte lines until the proxy cuts it.
+	// The first three must die; the fourth must survive everything we
+	// send.
+	for conn := 0; conn < 3; conn++ {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetDeadline(time.Now().Add(5 * time.Second))
+		wrote := 0
+		for wrote < 10*opts.MaxBytes {
+			n, err := fmt.Fprintf(c, "line %03d\n", wrote)
+			if err != nil {
+				break
+			}
+			wrote += n
+			// Give the proxy a chance to cut between writes; without
+			// some pacing the whole burst can land in socket buffers
+			// before the budget check severs anything visible to us.
+			if wrote%90 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		c.Close()
+		if wrote >= 10*opts.MaxBytes {
+			t.Fatalf("conn %d: proxy never cut (wrote %d bytes)", conn, wrote)
+		}
+	}
+	st := p.Stats()
+	if st.Cuts != 3 {
+		t.Fatalf("want 3 cuts, got %+v", st)
+	}
+
+	// Faults spent: the next connection is transparent.
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	br := bufio.NewReader(c)
+	for i := 0; i < 200; i++ {
+		if _, err := fmt.Fprintf(c, "after %03d\n", i); err != nil {
+			t.Fatalf("post-cap write %d: %v", i, err)
+		}
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatalf("post-cap read %d: %v", i, err)
+		}
+	}
+	if got := p.Stats().Cuts; got != 3 {
+		t.Fatalf("cap exceeded: %d cuts", got)
+	}
+
+	// The echo server saw only whole lines (a cut mid-line never
+	// delivers the torn tail as a line — the scanner discards it at
+	// EOF just like ribd sessions do).
+	mu.Lock()
+	defer mu.Unlock()
+	if *lines == 0 {
+		t.Fatal("no lines reached the server at all")
+	}
+}
+
+// TestDeterministicSchedule: two proxies with one seed draw identical
+// budgets.
+func TestDeterministicSchedule(t *testing.T) {
+	draw := func() []int {
+		addr, _, _, stop := echoServer(t)
+		defer stop()
+		p, err := Listen(addr, Options{Seed: 99, MinBytes: 10, MaxBytes: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		var budgets []int
+		for i := 0; i < 5; i++ {
+			budgets = append(budgets, p.drawPlan().budget)
+		}
+		return budgets
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestDropAtDial: MinBytes 0 can drop a connection before any byte
+// flows.
+func TestDropAtDial(t *testing.T) {
+	addr, _, _, stop := echoServer(t)
+	defer stop()
+	// MaxBytes 1 with MinBytes 0: every budget is 0 or 1 — all drops
+	// or near-drops.
+	p, err := Listen(addr, Options{Seed: 3, MinBytes: 0, MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sawDrop := false
+	for i := 0; i < 8 && !sawDrop; i++ {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			continue
+		}
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		fmt.Fprintf(c, "hello\n")
+		buf := make([]byte, 1)
+		if _, err := c.Read(buf); err != nil {
+			sawDrop = true
+		}
+		c.Close()
+	}
+	if !sawDrop {
+		t.Fatal("no connection was dropped or cut")
+	}
+	if p.Stats().Cuts == 0 {
+		t.Fatal("stats recorded no cuts")
+	}
+}

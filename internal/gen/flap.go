@@ -1,0 +1,72 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fibcomp/internal/fib"
+)
+
+// FlapStorm produces a route-flap storm: a small hot set of prefixes
+// drawn from the table's long-prefix tail (the /24-ish band where
+// real flaps concentrate — unstable edge routes, not aggregates)
+// cycling between withdraw and re-announce, with the flap rate itself
+// skewed so a handful of prefixes dominate the storm the way a few
+// unstable origins dominate a real one. Every event targets the hot
+// set, so the sequence is maximal stress for a coalescing update
+// plane: the same keys are overwritten over and over, and almost
+// every published patch touches the deepest part of the trie.
+//
+// hot bounds the hot-set size (clamped to the table); count is the
+// number of events. Withdrawals and re-announcements alternate per
+// prefix — a flap is down-then-up — so the final state of any prefix
+// depends on the parity of its flap count, which is exactly what a
+// convergence check against an offline replay must reproduce.
+func FlapStorm(rng *rand.Rand, t *fib.Table, count, hot int) []Update {
+	if hot <= 0 || count <= 0 || len(t.Entries) == 0 {
+		return nil
+	}
+	// The hot set: the longest prefixes in the table, order among
+	// equals shuffled so two storms over one table differ.
+	cand := make([]fib.Entry, len(t.Entries))
+	copy(cand, t.Entries)
+	rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+	sort.SliceStable(cand, func(i, j int) bool { return cand[i].Len > cand[j].Len })
+	if hot > len(cand) {
+		hot = len(cand)
+	}
+	cand = cand[:hot]
+
+	labels := weightedLabels(t)
+	up := make([]bool, hot) // every hot prefix starts announced (it is in the table)
+	for i := range up {
+		up[i] = true
+	}
+	out := make([]Update, count)
+	for i := range out {
+		// Squared-uniform skew: index 0 flaps ~3x as often as the
+		// median hot prefix — the storm has a hot tail of its own.
+		idx := int(float64(hot) * math.Pow(rng.Float64(), 2))
+		if idx >= hot {
+			idx = hot - 1
+		}
+		e := cand[idx]
+		u := Update{Addr: e.Addr, Len: e.Len}
+		if up[idx] {
+			// A flapping route mostly goes down; sometimes it just
+			// re-announces with a new next-hop (path hunting).
+			if rng.Float64() < 0.7 {
+				u.Withdraw = true
+				up[idx] = false
+			} else {
+				u.NextHop = labels[rng.Intn(len(labels))]
+			}
+		} else {
+			u.NextHop = labels[rng.Intn(len(labels))]
+			up[idx] = true
+		}
+		out[i] = u
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"fibcomp/internal/fib"
+)
+
+func TestFlapStormHotTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab, err := SplitFIB(rng, 2000, []float64{0.5, 0.3, 0.15, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hot, count = 64, 5000
+	us := FlapStorm(rng, tab, count, hot)
+	if len(us) != count {
+		t.Fatalf("got %d events, want %d", len(us), count)
+	}
+
+	// Hot-set property: the storm touches at most hot distinct keys,
+	// and those keys come from the table's long-prefix tail.
+	type key struct {
+		addr uint32
+		plen int
+	}
+	flaps := make(map[key]int)
+	for _, u := range us {
+		if u.V6 {
+			t.Fatal("v4 storm produced a v6 update")
+		}
+		flaps[key{u.Addr, u.Len}]++
+	}
+	if len(flaps) > hot {
+		t.Fatalf("storm touched %d distinct prefixes, hot set is %d", len(flaps), hot)
+	}
+	if mean, tabMean := MeanLen(us), tableMeanLen(tab.Entries); mean <= tabMean {
+		t.Fatalf("storm mean prefix length %.1f not longer than table mean %.1f — not the tail", mean, tabMean)
+	}
+
+	// Flap validity: replaying the storm, a withdraw only ever hits a
+	// prefix that is currently announced (down-then-up alternation).
+	state := make(map[key]bool)
+	for i, u := range us {
+		k := key{u.Addr, u.Len}
+		announced, seen := state[k]
+		if u.Withdraw {
+			if seen && !announced {
+				t.Fatalf("event %d withdraws %08x/%d while it is down", i, u.Addr, u.Len)
+			}
+			state[k] = false
+		} else {
+			if u.NextHop == 0 {
+				t.Fatalf("event %d announces with next-hop 0", i)
+			}
+			state[k] = true
+		}
+	}
+
+	// The storm's own skew: some prefix flaps far more than an even
+	// split of the events would give it.
+	max := 0
+	for _, n := range flaps {
+		if n > max {
+			max = n
+		}
+	}
+	if even := count / hot; max < 2*even {
+		t.Fatalf("hottest prefix flapped %d times, no hotter than the even split %d", max, even)
+	}
+
+	// Same seed, same storm.
+	rngA := rand.New(rand.NewSource(9))
+	rngB := rand.New(rand.NewSource(9))
+	a := FlapStorm(rngA, tab, 500, 16)
+	b := FlapStorm(rngB, tab, 500, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("storms diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func tableMeanLen(es []fib.Entry) float64 {
+	total := 0
+	for _, e := range es {
+		total += e.Len
+	}
+	return float64(total) / float64(len(es))
+}

@@ -1,0 +1,155 @@
+package lookupd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/gen"
+	"fibcomp/internal/ip6"
+	"fibcomp/internal/ribd"
+	"fibcomp/internal/shardfib"
+)
+
+// TestDegradedModeServesLastSnapshot is the degraded-mode contract:
+// when the whole update plane dies — session listener and flusher
+// both — the lookup service keeps answering every query on both
+// families from the last published snapshot, with zero errors and
+// bit-identical labels. Losing the control plane degrades freshness,
+// never availability.
+func TestDegradedModeServesLastSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	dist := []float64{0.5, 0.3, 0.15, 0.05}
+	tab4, err := gen.SplitFIB(rng, 400, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab6, err := ip6.SplitFIB(rng, 300, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := append(gen.BGPUpdates(rng, tab4, 400), gen.BGPUpdates6(rng, tab6, 250)...)
+
+	eng, err := shardfib.Build(tab4, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng6, err := shardfib.Build6(tab6, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ribd.NewDual(eng, eng6, ribd.Options{MaxStaleness: 2 * time.Millisecond})
+	srv, err := ribd.Serve(p, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lsrv, err := ListenDual("127.0.0.1:0", eng, eng6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lsrv.Close()
+
+	// Stream the live feed in; the feeder's final sync barrier means
+	// everything below is applied and published before the kill.
+	f, err := ribd.NewFeeder(srv.Addr().String(), ribd.FeederOptions{Peer: "live", Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(us); err != nil {
+		t.Fatalf("feed failed before the kill: %v", err)
+	}
+
+	// Kill the update plane: listener first (no new sessions), then
+	// the flusher. From here the snapshot can only be served, never
+	// refreshed.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline control: the tables plus a linear replay of the feed.
+	ctl4 := fib.New()
+	final4 := make(map[uint64]fib.Entry)
+	for _, e := range tab4.Entries {
+		final4[uint64(e.Addr)<<6|uint64(e.Len)] = e
+	}
+	type k6 struct {
+		hi, lo uint64
+		plen   int
+	}
+	ctl6 := ip6.New()
+	final6 := make(map[k6]uint32)
+	for _, e := range tab6.Entries {
+		final6[k6{e.Addr.Hi, e.Addr.Lo, e.Len}] = e.NextHop
+	}
+	for _, u := range us {
+		if u.V6 {
+			a := ip6.Canonical(u.Addr6, u.Len)
+			key := k6{a.Hi, a.Lo, u.Len}
+			if u.Withdraw {
+				delete(final6, key)
+			} else {
+				final6[key] = u.NextHop
+			}
+			continue
+		}
+		addr := u.Addr & fib.Mask(u.Len)
+		key := uint64(addr)<<6 | uint64(u.Len)
+		if u.Withdraw {
+			delete(final4, key)
+		} else {
+			final4[key] = fib.Entry{Addr: addr, Len: u.Len, NextHop: u.NextHop}
+		}
+	}
+	for _, e := range final4 {
+		if err := ctl4.Add(e.Addr, e.Len, e.NextHop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl4.Sort()
+	for key, nh := range final6 {
+		if err := ctl6.Add(ip6.Addr{Hi: key.hi, Lo: key.lo}, key.plen, nh); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every query must be answered, and answered right.
+	qc, err := Dial(lsrv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+	qrng := rand.New(rand.NewSource(62))
+	b4 := make([]uint32, 64)
+	b6 := make([]ip6.Addr, 64)
+	for round := 0; round < 50; round++ {
+		for i := range b4 {
+			b4[i] = qrng.Uint32()
+		}
+		labels, err := qc.LookupBatch(b4)
+		if err != nil {
+			t.Fatalf("v4 round %d: degraded lookup failed: %v", round, err)
+		}
+		for i, a := range b4 {
+			if want := ctl4.LookupLinear(a); labels[i] != want {
+				t.Fatalf("v4 round %d: %08x -> %d, control says %d", round, a, labels[i], want)
+			}
+		}
+		for i := range b6 {
+			b6[i] = ip6.Addr{Hi: qrng.Uint64(), Lo: qrng.Uint64()}
+		}
+		labels6, err := qc.LookupBatch6(b6)
+		if err != nil {
+			t.Fatalf("v6 round %d: degraded lookup failed: %v", round, err)
+		}
+		for i, a := range b6 {
+			if want := ctl6.LookupLinear(a); labels6[i] != want {
+				t.Fatalf("v6 round %d: %s -> %d, control says %d", round, a, labels6[i], want)
+			}
+		}
+	}
+}

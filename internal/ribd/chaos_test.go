@@ -1,0 +1,283 @@
+package ribd
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fibcomp/internal/faultnet"
+	"fibcomp/internal/gen"
+	"fibcomp/internal/ip6"
+	"fibcomp/internal/lookupd"
+	"fibcomp/internal/shardfib"
+)
+
+// TestChaosConvergence is the fault-injection acceptance property:
+// a dual-stack feed pushed through a faultnet proxy injecting drops,
+// partitions, torn mid-line writes, slow reads and mid-stream resets
+// (seeded schedule) still converges the served engines bit-identical
+// to an offline table replay — while a lookupd client is answered on
+// both families throughout, and every reconnect lands inside the
+// graceful-restart window so no full-table withdraw ever happens.
+//
+// Two modes: "resume" reconnects continue from the server's accepted
+// cursor (nothing may be swept); "restart-replay" replays the full
+// RIB each time, and its end-of-RIB sync must purge exactly the
+// sentinel routes a previous incarnation announced that the replay
+// does not re-announce.
+func TestChaosConvergence(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		resume bool
+	}{{"resume", true}, {"restart-replay", false}} {
+		t.Run(mode.name, func(t *testing.T) { chaosRun(t, mode.resume) })
+	}
+}
+
+func chaosRun(t *testing.T, resume bool) {
+	rng := rand.New(rand.NewSource(97))
+	dist := []float64{0.5, 0.3, 0.15, 0.05}
+	tab4, err := gen.SplitFIB(rng, 1200, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab6, err := ip6.SplitFIB(rng, 800, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us4 := gen.BGPUpdates(rng, tab4, 1500)
+	us6 := gen.BGPUpdates6(rng, tab6, 1000)
+	// Deterministic 3:2 interleave: one dual-stack feed, both
+	// families exercising the same sessions, cuts and resumes.
+	us := make([]gen.Update, 0, len(us4)+len(us6))
+	for i4, i6 := 0, 0; i4 < len(us4) || i6 < len(us6); {
+		for k := 0; k < 3 && i4 < len(us4); k++ {
+			us = append(us, us4[i4])
+			i4++
+		}
+		for k := 0; k < 2 && i6 < len(us6); k++ {
+			us = append(us, us6[i6])
+			i6++
+		}
+	}
+
+	eng, err := shardfib.Build(tab4, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng6, err := shardfib.Build6(tab6, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDual(eng, eng6, Options{
+		MaxStaleness: 2 * time.Millisecond,
+		// Wide enough that every backoff+reconnect in this test lands
+		// inside the window: a bounce must never cost a full-table
+		// withdraw.
+		RestartTime: time.Hour,
+	})
+	defer p.Close()
+	srv, err := ServeOptions(p, "127.0.0.1:0", ServerOptions{IdleTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The serving side: a lookupd client must be answered on both
+	// families for the whole run, faults or not.
+	lsrv, err := lookupd.ListenDual("127.0.0.1:0", eng, eng6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lsrv.Close()
+	var answered atomic.Int64
+	qstop := make(chan struct{})
+	qerr := make(chan error, 1)
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		qc, err := lookupd.Dial(lsrv.Addr().String())
+		if err != nil {
+			qerr <- err
+			return
+		}
+		defer qc.Close()
+		qrng := rand.New(rand.NewSource(3))
+		b4 := make([]uint32, 64)
+		b6 := make([]ip6.Addr, 64)
+		for {
+			select {
+			case <-qstop:
+				return
+			default:
+			}
+			for i := range b4 {
+				b4[i] = qrng.Uint32()
+			}
+			if _, err := qc.LookupBatch(b4); err != nil {
+				qerr <- fmt.Errorf("v4 lookup during chaos: %v", err)
+				return
+			}
+			for i := range b6 {
+				b6[i] = ip6.Addr{Hi: qrng.Uint64(), Lo: qrng.Uint64()}
+			}
+			if _, err := qc.LookupBatch6(b6); err != nil {
+				qerr <- fmt.Errorf("v6 lookup during chaos: %v", err)
+				return
+			}
+			answered.Add(128)
+		}
+	}()
+
+	// restart-replay mode: a previous incarnation of the peer left
+	// routes the replay will not refresh — the end-of-RIB sync must
+	// sweep exactly these.
+	const sentinels = 3
+	if !resume {
+		c, b := helloPeer(t, srv, "chaos", false)
+		fmt.Fprintf(c, "announce 200.0.0.0/8 9\nannounce 201.0.0.0/8 9\nannounce 3fff::/20 9\n")
+		b.sync(t, c, "sentinels")
+		c.Close()
+		time.Sleep(20 * time.Millisecond)
+		// Route ownership, not LPM, is the install check: a longer
+		// tab4 prefix may legitimately shadow a sentinel /8.
+		if infos := p.PeerInfo(); len(infos) != 1 || infos[0].Routes != sentinels {
+			t.Fatalf("sentinels not owned: %+v", infos)
+		}
+	}
+
+	proxy, err := faultnet.Listen(srv.Addr().String(), faultnet.Options{
+		Seed:      31,
+		MinBytes:  300, // always past the hello: every session makes progress
+		MaxBytes:  6000,
+		StallProb: 0.4,
+		Stall:     30 * time.Millisecond,
+		SlowProb:  0.03,
+		SlowDelay: 2 * time.Millisecond,
+		Faults:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	f, err := NewFeeder(proxy.Addr(), FeederOptions{
+		Peer:    "chaos",
+		Resume:  resume,
+		Pace:    150000, // stretch the stream so cuts land mid-feed
+		Backoff: 2 * time.Millisecond,
+		Seed:    9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(us); err != nil {
+		t.Fatalf("feeder gave up: %v (feeder %+v, proxy %+v)", err, f.Stats(), proxy.Stats())
+	}
+
+	close(qstop)
+	qwg.Wait()
+	select {
+	case err := <-qerr:
+		t.Fatalf("lookups not answered throughout: %v", err)
+	default:
+	}
+	if answered.Load() == 0 {
+		t.Fatal("the chaos querier never ran")
+	}
+
+	pst := proxy.Stats()
+	if pst.Cuts == 0 {
+		t.Fatalf("the schedule injected no faults: %+v", pst)
+	}
+	fst := f.Stats()
+	if fst.Resets == 0 {
+		t.Fatalf("the feeder never saw a fault: %+v (proxy %+v)", fst, pst)
+	}
+
+	st := p.Stats()
+	if st.ApplyErrors != 0 {
+		t.Fatalf("apply errors: %+v", st)
+	}
+	if st.Received+st.Swept != st.Coalesced+st.Applied {
+		t.Fatalf("conservation through chaos: %+v", st)
+	}
+	if resume {
+		// Every bounce reconnected inside the restart window with seq
+		// resume: nothing may have been withdrawn wholesale.
+		if st.Swept != 0 {
+			t.Fatalf("resume mode swept %d routes — a bounce cost a withdraw: %+v", st.Swept, st)
+		}
+	} else {
+		// The replay refreshed everything it announces; only the
+		// sentinel leftovers may go, at the end-of-RIB barrier.
+		if st.Swept != sentinels {
+			t.Fatalf("restart-replay swept %d, want exactly the %d sentinels: %+v", st.Swept, sentinels, st)
+		}
+	}
+
+	// Bit-identical convergence, both families, against the offline
+	// tabular replay.
+	assertFeedConverged(t, eng, tab4, us)
+	assertFeedConverged6(t, eng6, tab6, us)
+}
+
+// assertFeedConverged6 is the IPv6 twin of assertFeedConverged.
+func assertFeedConverged6(t *testing.T, eng *shardfib.FIB6, tab *ip6.Table, us []gen.Update) {
+	t.Helper()
+	type k6 struct {
+		hi, lo uint64
+		plen   int
+	}
+	final := make(map[k6]uint32)
+	for _, e := range tab.Entries {
+		final[k6{e.Addr.Hi, e.Addr.Lo, e.Len}] = e.NextHop
+	}
+	for _, u := range us {
+		if !u.V6 {
+			continue
+		}
+		a := ip6.Canonical(u.Addr6, u.Len)
+		key := k6{a.Hi, a.Lo, u.Len}
+		if u.Withdraw {
+			delete(final, key)
+		} else {
+			final[key] = u.NextHop
+		}
+	}
+	control := ip6.New()
+	for key, nh := range final {
+		if err := control.Add(ip6.Addr{Hi: key.hi, Lo: key.lo}, key.plen, nh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probes := ip6.RandomAddrs(rand.New(rand.NewSource(45)), 3000)
+	for _, u := range us {
+		if !u.V6 {
+			continue
+		}
+		a := ip6.Canonical(u.Addr6, u.Len)
+		probes = append(probes, a, lastAddr6(a, u.Len))
+	}
+	for _, a := range probes {
+		if got, want := eng.Lookup(a), control.LookupLinear(a); got != want {
+			t.Fatalf("v6 engine diverges from control at %s: %d != %d", a, got, want)
+		}
+	}
+}
+
+// lastAddr6 fills the host bits of a canonical prefix address — the
+// far edge of the covered range, where LPM boundaries live.
+func lastAddr6(a ip6.Addr, plen int) ip6.Addr {
+	if plen < 64 {
+		a.Hi |= ^uint64(0) >> plen
+		a.Lo = ^uint64(0)
+	} else {
+		a.Lo |= ^uint64(0) >> (plen - 64) // plen 128: shift width ≥ 64 is 0 in Go
+	}
+	return a
+}

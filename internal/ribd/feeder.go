@@ -1,0 +1,325 @@
+package ribd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"fibcomp/internal/gen"
+)
+
+// Feeder is the fault-tolerant client side of the session protocol: it
+// streams an update sequence at a ribd listener and keeps streaming it
+// across connection loss, server resets, partitions and torn writes.
+// Each (re)connect opens a named session ("hello <peer>"), reads back
+// how many of its updates the server has accepted across all prior
+// sessions, and resumes from exactly that position — the server never
+// applies a torn or unacknowledged line (see session.go), so the
+// accepted count is a precise resume cursor. Reconnects use jittered
+// exponential backoff (a fleet of feeders must not stampede a
+// recovering server) bounded by a no-progress retry budget: attempts
+// that advance the server's accepted cursor reset the budget, so a
+// slow lossy path can take as many sessions as it takes, while a
+// server that stops accepting ends the run with an error.
+//
+// With Resume off the feeder declares "hello <peer> restart" instead
+// and replays the sequence from the start on every connect — the
+// graceful-restart full-replay path, where the final sync doubles as
+// end-of-RIB and sweeps whatever the replay no longer announces.
+type Feeder struct {
+	addr string
+	opts FeederOptions
+	rng  *rand.Rand
+
+	stats     FeederStats
+	lastReply string
+	lastLag   time.Duration
+}
+
+// FeederOptions tunes a Feeder. Zero values take the defaults below;
+// Peer is required.
+type FeederOptions struct {
+	// Peer is the session name — the graceful-restart identity whose
+	// accepted-update cursor survives reconnects.
+	Peer string
+	// Resume continues each new session from the server's accepted
+	// cursor (default). Off, every connect declares a full-RIB
+	// restart replay from position zero.
+	Resume bool
+	// Pace caps the send rate in updates per second; 0 streams at
+	// full speed.
+	Pace int
+	// Retries bounds *consecutive attempts without progress* (the
+	// server's accepted cursor not advancing); any progress resets
+	// it. Default DefaultFeederRetries.
+	Retries int
+	// Backoff and MaxBackoff shape the jittered exponential
+	// reconnect delay.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// DialTimeout, ReplyTimeout and WriteTimeout bound each network
+	// step so a partition surfaces as a retryable reset instead of a
+	// hang.
+	DialTimeout  time.Duration
+	ReplyTimeout time.Duration
+	WriteTimeout time.Duration
+	// Seed seeds the backoff jitter (deterministic tests).
+	Seed int64
+}
+
+// Feeder defaults.
+const (
+	DefaultFeederRetries = 8
+	DefaultBackoff       = 20 * time.Millisecond
+	DefaultMaxBackoff    = 2 * time.Second
+	DefaultDialTimeout   = 5 * time.Second
+	DefaultReplyTimeout  = 30 * time.Second
+	DefaultWriteTimeout  = 10 * time.Second
+)
+
+func (o FeederOptions) withDefaults() FeederOptions {
+	if o.Retries <= 0 {
+		o.Retries = DefaultFeederRetries
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = DefaultBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.ReplyTimeout <= 0 {
+		o.ReplyTimeout = DefaultReplyTimeout
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = DefaultWriteTimeout
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// FeederStats counts one Run's work across all its sessions.
+type FeederStats struct {
+	Attempts uint64 // sessions dialed (including failed dials)
+	Resets   uint64 // retryable failures (dial errors, connection loss, server resets)
+	Sent     uint64 // update lines written (re-sends included)
+	Resumed  uint64 // updates skipped because the server had already accepted them
+}
+
+// ErrBadFeed marks a server reset that retrying cannot fix: the
+// server rejected a line of the feed itself ("error line ..."), so
+// every replay would be rejected at the same position.
+var ErrBadFeed = errors.New("ribd: feed rejected by server")
+
+// NewFeeder prepares a feeder for the ribd listener at addr.
+// FeederOptions.Peer must be non-empty.
+func NewFeeder(addr string, opts FeederOptions) (*Feeder, error) {
+	if opts.Peer == "" {
+		return nil, fmt.Errorf("ribd: feeder: a peer name is required")
+	}
+	opts = opts.withDefaults()
+	return &Feeder{
+		addr: addr,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}, nil
+}
+
+// Stats snapshots the feeder's counters. Not synchronized: read it
+// after Run returns.
+func (f *Feeder) Stats() FeederStats { return f.stats }
+
+// LastReply is the raw text of the last sync reply a successful Run
+// ended with — the server's own applied/coalesced/staleness report.
+func (f *Feeder) LastReply() string { return f.lastReply }
+
+// LastLag is the convergence lag of the final successful session:
+// from the last update written to the sync barrier confirming
+// everything is applied and published.
+func (f *Feeder) LastLag() time.Duration { return f.lastLag }
+
+// Run streams us to the server and returns once a sync barrier
+// confirms every update is applied and published, reconnecting with
+// backoff as needed. It fails only on a bad feed (ErrBadFeed), a
+// stream/server mismatch, or the retry budget running dry.
+func (f *Feeder) Run(us []gen.Update) error {
+	backoff := f.opts.Backoff
+	noProgress := 0
+	cursor := uint64(0) // highest accepted count any session reported
+	var lastErr error
+	for {
+		accepted, err := f.attempt(us)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrBadFeed) || errors.Is(err, errMismatch) {
+			return err
+		}
+		f.stats.Resets++
+		lastErr = err
+		if accepted > cursor {
+			cursor = accepted
+			noProgress = 0
+			backoff = f.opts.Backoff
+		} else {
+			noProgress++
+			if noProgress >= f.opts.Retries {
+				return fmt.Errorf("ribd: feeder: no progress after %d attempts (accepted %d/%d): %w",
+					noProgress, cursor, len(us), lastErr)
+			}
+		}
+		// Jittered exponential backoff in [b/2, 3b/2): desynchronizes
+		// a fleet of feeders reconnecting to one recovering server.
+		time.Sleep(backoff/2 + time.Duration(f.rng.Int63n(int64(backoff))))
+		if backoff *= 2; backoff > f.opts.MaxBackoff {
+			backoff = f.opts.MaxBackoff
+		}
+	}
+}
+
+// errMismatch: the server has accepted more updates from this peer
+// name than the sequence being run contains — two feeders sharing a
+// name, or a shorter feed resumed against an older run's cursor.
+var errMismatch = errors.New("ribd: feeder: server cursor beyond end of feed")
+
+// attempt is one session: dial, hello, stream the unaccepted suffix,
+// sync. It reports the server's accepted cursor at hello time (0 when
+// the session died before learning it) so Run can detect progress.
+func (f *Feeder) attempt(us []gen.Update) (accepted uint64, err error) {
+	f.stats.Attempts++
+	conn, err := net.DialTimeout("tcp", f.addr, f.opts.DialTimeout)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	hello := "hello " + f.opts.Peer
+	if !f.opts.Resume {
+		hello += " restart"
+	}
+	conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", hello); err != nil {
+		return 0, err
+	}
+	reply, err := f.readReply(conn, br)
+	if err != nil {
+		return 0, err
+	}
+	accepted, err = parseHello(reply, f.opts.Peer)
+	if err != nil {
+		return 0, err
+	}
+	pos := 0
+	if f.opts.Resume {
+		if accepted > uint64(len(us)) {
+			return accepted, fmt.Errorf("%w: server at %d, feed has %d", errMismatch, accepted, len(us))
+		}
+		pos = int(accepted)
+		f.stats.Resumed += accepted
+	}
+
+	// Stream the suffix in bounded chunks: each gets its own write
+	// deadline, and the pace (when set) is an owed-time model — sleep
+	// until the wall clock catches up with sent/rate — so bursts
+	// average out instead of compounding.
+	start := time.Now()
+	sent := 0
+	for pos+sent < len(us) {
+		n := sessionBatch
+		if rest := len(us) - pos - sent; rest < n {
+			n = rest
+		}
+		chunk := us[pos+sent : pos+sent+n]
+		conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+		if err := gen.WriteUpdates(conn, chunk); err != nil {
+			return accepted, f.classify(conn, br, err)
+		}
+		sent += n
+		f.stats.Sent += uint64(n)
+		if f.opts.Pace > 0 {
+			due := start.Add(time.Duration(sent) * time.Second / time.Duration(f.opts.Pace))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+
+	wrote := time.Now()
+	conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+	if _, err := fmt.Fprintf(conn, "sync feeder\n"); err != nil {
+		return accepted, f.classify(conn, br, err)
+	}
+	reply, err = f.readReply(conn, br)
+	if err != nil {
+		return accepted, err
+	}
+	if !strings.HasPrefix(reply, "synced feeder") {
+		return accepted, fmt.Errorf("ribd: feeder: unexpected sync reply %q", reply)
+	}
+	f.lastReply = reply
+	f.lastLag = time.Since(wrote)
+	return accepted, nil
+}
+
+// readReply reads one server reply line under the reply deadline and
+// classifies error replies: a feed rejection is fatal (ErrBadFeed),
+// everything else — idle resets, overload sheds, connection loss — is
+// retryable.
+func (f *Feeder) readReply(conn net.Conn, br *bufio.Reader) (string, error) {
+	conn.SetReadDeadline(time.Now().Add(f.opts.ReplyTimeout))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "error line ") {
+		return "", fmt.Errorf("%w: %s", ErrBadFeed, line)
+	}
+	if strings.HasPrefix(line, "error") {
+		return "", fmt.Errorf("ribd: feeder: server reset: %s", line)
+	}
+	return line, nil
+}
+
+// classify turns a mid-stream write failure into the server's reason
+// when one is readable (the reset reply usually arrives before the
+// write side notices the close), preserving the fatal/retryable
+// distinction; otherwise the write error itself is the retryable
+// cause.
+func (f *Feeder) classify(conn net.Conn, br *bufio.Reader, werr error) error {
+	conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return werr
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "error line ") {
+		return fmt.Errorf("%w: %s", ErrBadFeed, line)
+	}
+	return fmt.Errorf("ribd: feeder: server reset: %s (write: %v)", line, werr)
+}
+
+// parseHello extracts the accepted cursor from a
+// "hello <name> seq=<n> restart_time=<dur>" reply.
+func parseHello(reply, peer string) (uint64, error) {
+	fields := strings.Fields(reply)
+	if len(fields) < 3 || fields[0] != "hello" || fields[1] != peer ||
+		!strings.HasPrefix(fields[2], "seq=") {
+		return 0, fmt.Errorf("ribd: feeder: unexpected hello reply %q", reply)
+	}
+	n, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "seq="), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ribd: feeder: bad hello seq in %q: %v", reply, err)
+	}
+	return n, nil
+}

@@ -8,17 +8,33 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fibcomp/internal/gen"
 )
 
 // The session wire protocol is the gen feed text format, line by
-// line, plus one control verb:
+// line, plus three control verbs:
 //
+//	hello <name> [restart]
 //	announce 10.1.0.0/16 3
 //	withdraw 10.1.0.0/16
 //	sync <token>
 //	# comments and blank lines are ignored
+//
+// "hello" names the peer, enabling graceful restart (see peer.go):
+// the server answers
+//
+//	hello <name> seq=<accepted-lifetime> restart_time=<dur>
+//
+// so a reconnecting feeder knows exactly how many of its updates the
+// plane has accepted across all prior sessions — the resume point —
+// and how long its routes survive a session loss. The "restart" form
+// declares a full-RIB replay: the peer's first sync after it doubles
+// as end-of-RIB and purges whatever the replay did not re-announce. A
+// second session arriving for a live peer name takes the name over:
+// the old session is closed and fully drained before the new one
+// proceeds, so the plane never sees two writers for one peer.
 //
 // "sync" blocks the session until every update the plane accepted
 // before it has been applied and published, then answers
@@ -28,31 +44,93 @@ import (
 // — the convergence barrier fibreplay -stream uses to measure lag. A
 // malformed line is answered with "error line <n>: <text>: <reason>"
 // and closes the session: a desynchronized peer must reconnect and
-// replay, exactly like a real BGP session reset.
+// replay, exactly like a real BGP session reset. Hardening resets use
+// the same one-line-then-close shape with distinct reasons the Feeder
+// classifies: "error idle ..." (no data within the idle window),
+// "error overload ..." (peer backlog exceeded its budget), and
+// "error line <n>: ...: line exceeds ..." (line bound). An
+// unterminated final line is discarded, never parsed: a torn write
+// can truncate "announce 10.1.0.0/16 355" into a shorter line that
+// still parses — with the wrong label — so only '\n'-terminated
+// lines count, and the peer's accepted-seq tells it exactly where to
+// resume.
+
+// ServerOptions tunes the session layer's hardening bounds. The zero
+// value is ready to use.
+type ServerOptions struct {
+	// IdleTimeout resets a session that delivers no data for this
+	// long — a hung peer (or a dead TCP path with no traffic to
+	// notice it) must not pin a goroutine forever. For a named peer
+	// the reset starts the ordinary graceful-restart clock. Zero
+	// means DefaultIdleTimeout; negative disables the deadline.
+	IdleTimeout time.Duration
+	// MaxLine bounds one feed line; a session exceeding it is reset.
+	// Bounds per-session memory against a peer that streams bytes
+	// with no newline. Default DefaultMaxLine.
+	MaxLine int
+}
+
+// Session-hardening defaults.
+const (
+	DefaultIdleTimeout = 2 * time.Minute
+	DefaultMaxLine     = 1 << 16
+)
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = DefaultIdleTimeout
+	}
+	if o.MaxLine <= 0 {
+		o.MaxLine = DefaultMaxLine
+	}
+	return o
+}
 
 // Server accepts peer update sessions over TCP and feeds them into
 // one Plane.
 type Server struct {
-	p  *Plane
-	ln net.Listener
-	wg sync.WaitGroup
+	p    *Plane
+	ln   net.Listener
+	wg   sync.WaitGroup
+	opts ServerOptions
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
+	named  map[string]*liveSession
 	closed bool
 
 	peers         atomic.Uint64 // sessions accepted (lifetime)
 	sessionErrors atomic.Uint64 // sessions dropped on a malformed line
 }
 
+// liveSession is the takeover handle for the one session currently
+// holding a peer name: closing c unblocks its read loop, done closes
+// after its tail is flushed and its peerDown is enqueued.
+type liveSession struct {
+	c    net.Conn
+	done chan struct{}
+}
+
 // Serve listens on a TCP address ("127.0.0.1:0" picks an ephemeral
-// port) and accepts peer sessions into p.
+// port) and accepts peer sessions into p with default hardening
+// bounds.
 func Serve(p *Plane, addr string) (*Server, error) {
+	return ServeOptions(p, addr, ServerOptions{})
+}
+
+// ServeOptions is Serve with explicit session-hardening bounds.
+func ServeOptions(p *Plane, addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ribd: %v", err)
 	}
-	s := &Server{p: p, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		p:     p,
+		ln:    ln,
+		opts:  opts.withDefaults(),
+		conns: make(map[net.Conn]struct{}),
+		named: make(map[string]*liveSession),
+	}
 	s.wg.Add(1)
 	go s.accept()
 	return s, nil
@@ -114,9 +192,37 @@ func (s *Server) accept() {
 	}
 }
 
-// session speaks the feed protocol with one peer. seq is the peer's
-// sequence number — updates accepted from this session — reported on
-// every sync reply so a peer can detect lost lines.
+// takeover claims a peer name for conn: any session currently holding
+// it is closed and fully drained first. The wait guarantees FIFO
+// consistency on the ingest channel — the old session's tail flush
+// and peerDown precede the new session's peerUp, so the incarnation
+// bump tags exactly the new session's updates.
+func (s *Server) takeover(name string, c net.Conn, done chan struct{}) {
+	for {
+		s.mu.Lock()
+		old := s.named[name]
+		if old == nil {
+			s.named[name] = &liveSession{c: c, done: done}
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		old.c.Close()
+		<-old.done
+	}
+}
+
+// release gives the peer name back at session exit (unless a takeover
+// already replaced the entry).
+func (s *Server) release(name string, c net.Conn) {
+	s.mu.Lock()
+	if ls := s.named[name]; ls != nil && ls.c == c {
+		delete(s.named, name)
+	}
+	s.mu.Unlock()
+}
+
+// session speaks the feed protocol with one peer.
 //
 // Parsed updates accumulate in a pooled buffer handed to the plane
 // in bursts: when the buffer fills, when the read buffer drains (the
@@ -130,57 +236,152 @@ func (s *Server) session(c net.Conn) {
 		s.mu.Unlock()
 		c.Close()
 	}()
-	br := bufio.NewReaderSize(c, 1<<16)
+
+	var ps *peerState           // non-nil once the peer said hello
+	done := make(chan struct{}) // takeover handle; closed after the tail drains
 	bp := sessionPool.Get().(*[]gen.Update)
 	flush := func() {
 		if len(*bp) > 0 {
-			s.p.enqueuePooled(bp)
+			s.p.enqueuePooled(bp, ps)
 			bp = sessionPool.Get().(*[]gen.Update)
 		}
 	}
-	defer func() { flush(); sessionPool.Put(bp) }()
+	defer func() {
+		flush()
+		sessionPool.Put(bp)
+		if ps != nil {
+			s.p.peerDown(ps)
+			s.release(ps.name, c)
+		}
+		close(done)
+	}()
+
+	br := bufio.NewReaderSize(c, s.opts.MaxLine)
 	line, seq := 0, uint64(0)
 	for {
-		raw, err := br.ReadString('\n')
-		if raw != "" {
-			line++
-			text := strings.TrimSpace(raw)
-			switch {
-			case text == "" || strings.HasPrefix(text, "#"):
-			// The verb test must not allocate on the per-update hot
-			// path (strings.Fields would); the sync branch itself is
-			// rare and may.
-			case text == "sync" || strings.HasPrefix(text, "sync ") || strings.HasPrefix(text, "sync\t"):
-				token := ""
-				if fields := strings.Fields(text); len(fields) > 1 {
-					token = fields[1]
-				}
-				flush()
-				s.p.Sync()
-				st := s.p.Stats()
-				fmt.Fprintf(c, "synced %s seq=%d applied=%d coalesced=%d staleness_bound=%s\n",
-					token, seq, st.Applied, st.Coalesced, s.p.MaxStaleness())
-			default:
-				u, perr := gen.ParseUpdate(text)
-				if perr != nil {
-					s.sessionErrors.Add(1)
-					fmt.Fprintf(c, "error line %d: %q: %v\n", line, text, perr)
-					return
-				}
-				seq++
-				*bp = append(*bp, u)
-				if len(*bp) == cap(*bp) {
-					flush()
-				}
-			}
+		if s.opts.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		raw, err := br.ReadSlice('\n')
+		if ps != nil && len(raw) > 0 {
+			ps.bytes.Add(uint64(len(raw)))
 		}
 		if err != nil {
-			return // EOF or connection error; deferred flush drains the tail
+			switch {
+			case err == bufio.ErrBufferFull:
+				line++
+				s.sessionErrors.Add(1)
+				if ps != nil {
+					ps.resets.Add(1)
+				}
+				fmt.Fprintf(c, "error line %d: line exceeds %d bytes\n", line, s.opts.MaxLine)
+			case isTimeout(err):
+				if ps != nil {
+					ps.timeouts.Add(1)
+				}
+				c.SetReadDeadline(time.Time{})
+				fmt.Fprintf(c, "error idle: no data for %s\n", s.opts.IdleTimeout)
+			case err == io.EOF && len(raw) == 0:
+				// Clean end of feed.
+			default:
+				// Connection error, or EOF inside a line — a torn
+				// write. The partial line is discarded, never parsed:
+				// a truncated announce can still parse, with the
+				// wrong label. The peer's accepted seq marks the
+				// resume point.
+				if ps != nil {
+					ps.resets.Add(1)
+				}
+			}
+			return // deferred flush drains the accepted tail
+		}
+		line++
+		text := strings.TrimSpace(string(raw))
+		switch {
+		case text == "" || strings.HasPrefix(text, "#"):
+		// The verb tests must not allocate on the per-update hot
+		// path (strings.Fields would); the control branches
+		// themselves are rare and may.
+		case text == "sync" || strings.HasPrefix(text, "sync ") || strings.HasPrefix(text, "sync\t"):
+			token := ""
+			if fields := strings.Fields(text); len(fields) > 1 {
+				token = fields[1]
+			}
+			flush()
+			s.p.syncPeer(ps)
+			st := s.p.Stats()
+			n := seq
+			if ps != nil {
+				n = ps.seq.Load()
+			}
+			fmt.Fprintf(c, "synced %s seq=%d applied=%d coalesced=%d staleness_bound=%s\n",
+				token, n, st.Applied, st.Coalesced, s.p.MaxStaleness())
+		case text == "hello" || strings.HasPrefix(text, "hello ") || strings.HasPrefix(text, "hello\t"):
+			fields := strings.Fields(text)
+			restart := false
+			switch {
+			case len(fields) == 3 && fields[2] == "restart":
+				restart = true
+			case len(fields) == 2:
+			default:
+				s.sessionErrors.Add(1)
+				fmt.Fprintf(c, "error line %d: %q: want \"hello <name> [restart]\"\n", line, text)
+				return
+			}
+			if ps != nil {
+				s.sessionErrors.Add(1)
+				ps.resets.Add(1)
+				fmt.Fprintf(c, "error line %d: %q: peer already named %q\n", line, text, ps.name)
+				return
+			}
+			flush() // anything fed anonymously stays anonymous
+			s.takeover(fields[1], c, done)
+			ps = s.p.peerUp(fields[1], restart)
+			fmt.Fprintf(c, "hello %s seq=%d restart_time=%s\n",
+				ps.name, ps.seq.Load(), s.p.opts.RestartTime)
+		default:
+			u, perr := gen.ParseUpdate(text)
+			if perr != nil {
+				s.sessionErrors.Add(1)
+				if ps != nil {
+					ps.resets.Add(1)
+				}
+				fmt.Fprintf(c, "error line %d: %q: %v\n", line, text, perr)
+				return
+			}
+			if ps != nil && ps.backlog.Load() >= int64(s.p.opts.PeerBudget) {
+				// The ingest queue's blocking send is the ordinary
+				// backpressure; the budget is the hard stop behind it
+				// for a peer whose accepted-but-unpublished volume
+				// keeps growing anyway (flap storm faster than the
+				// engine can publish). Shed the session; the update
+				// on this line is not accepted (not seq-counted), so
+				// a resuming feeder replays from exactly here.
+				s.p.shed.Add(1)
+				ps.resets.Add(1)
+				fmt.Fprintf(c, "error overload: peer %s backlog %d exceeds budget %d\n",
+					ps.name, ps.backlog.Load(), s.p.opts.PeerBudget)
+				return
+			}
+			seq++
+			if ps != nil {
+				ps.seq.Add(1)
+			}
+			*bp = append(*bp, u)
+			if len(*bp) == cap(*bp) {
+				flush()
+			}
 		}
 		if br.Buffered() == 0 {
 			flush()
 		}
 	}
+}
+
+// isTimeout reports whether a read error is the idle deadline firing.
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
 }
 
 // Feed streams an update feed from r into the plane — the file-fed
@@ -194,7 +395,7 @@ func (p *Plane) Feed(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	bp := sessionPool.Get().(*[]gen.Update)
-	defer func() { p.enqueuePooled(bp) }()
+	defer func() { p.enqueuePooled(bp, nil) }()
 	n, line := 0, 0
 	for sc.Scan() {
 		line++
@@ -208,7 +409,7 @@ func (p *Plane) Feed(r io.Reader) (int, error) {
 		}
 		*bp = append(*bp, u)
 		if len(*bp) == cap(*bp) {
-			p.enqueuePooled(bp)
+			p.enqueuePooled(bp, nil)
 			bp = sessionPool.Get().(*[]gen.Update)
 		}
 		n++
