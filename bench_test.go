@@ -9,7 +9,9 @@
 package fibcomp_test
 
 import (
+	"encoding/binary"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"fibcomp/internal/hwsim"
 	"fibcomp/internal/ip6"
 	"fibcomp/internal/lctrie"
+	"fibcomp/internal/lookupd"
 	"fibcomp/internal/mdag"
 	"fibcomp/internal/ortc"
 	"fibcomp/internal/patricia"
@@ -491,6 +494,51 @@ func BenchmarkServing_ParallelBatchBlobLanes(b *testing.B) {
 	})
 	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 }
+
+// benchServingWire measures the full datagram path — UDP in, batched
+// lookup through the sharded engine, UDP out — with the given number
+// of lookupd serve loops (per-worker reuseport sockets where the
+// platform has them). Each op is one 256-address batch round-tripped
+// over loopback; the CI bench smoke runs it at -benchtime 1x to keep
+// the wire path's build-and-serve cycle under regression guard.
+func benchServingWire(b *testing.B, workers int) {
+	t, keys, _ := benchFIB(b)
+	f, err := shardfib.Build(t, 11, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := lookupd.ListenOptions("127.0.0.1:0", f, nil, lookupd.Options{
+		Workers:   workers,
+		ReusePort: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	req := make([]byte, 4*serveBatch)
+	for i := 0; i < serveBatch; i++ {
+		binary.BigEndian.PutUint32(req[4*i:], keys[i%len(keys)])
+	}
+	resp := make([]byte, 4*serveBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Write(req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Read(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(serveBatch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+func BenchmarkServing_WireSharded16(b *testing.B)   { benchServingWire(b, 1) }
+func BenchmarkServing_WireSharded16W2(b *testing.B) { benchServingWire(b, 2) }
 
 // BenchmarkServing_ParallelBatchBlobV2Lanes is the stride-compressed
 // counterpart of BlobLanes: same keys, same pipeline, but the folded

@@ -12,7 +12,9 @@
 // uniform and adversarial deep-walk workloads, the sharded republish
 // per format, and the ribd churn-under-load scenario: lookup
 // throughput while concurrent peers stream BGP-like updates through
-// the coalescing plane, next to its steady-state idle baseline); with
+// the coalescing plane, next to its steady-state idle baseline — and
+// the wire sweep: the full UDP datagram path through 1..-workers
+// parallel lookupd serve loops on reuseport-sharded sockets); with
 // -json the results are appended to a trajectory file, one labeled
 // run per invocation, so PRs keep their before/after numbers
 // machine-readable.
@@ -44,10 +46,11 @@ func main() {
 		bits    = flag.Int("bits", 17, "Fig 7: lg of the string length (paper: 17)")
 		jsonOut = flag.String("json", "", "serving: append machine-readable results to this trajectory file")
 		label   = flag.String("label", "", "serving: label for the -json run (default: timestamp)")
+		workers = flag.Int("workers", 4, "serving: top of the wire sweep's worker-count ladder (1, 2, ... up to this)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, WireWorkers: *workers}
 	if !(*table1 || *table2 || *fig5 || *fig6 || *fig7 || *ablate || *serving) {
 		*all = true
 	}

@@ -6,6 +6,13 @@
 // When serving from a file, SIGHUP re-reads it and hot-swaps the FIB
 // without dropping a single in-flight lookup.
 //
+// -workers N runs N parallel serve loops (default: one per CPU). On
+// Linux each loop owns its own SO_REUSEPORT socket, so the kernel
+// flow-hashes clients across loops and each loop drains its socket in
+// recvmmsg/sendmmsg bursts; elsewhere, or with -reuseport=false, the
+// loops share one socket. SIGINT/SIGTERM drain every loop's in-flight
+// burst before the sockets close.
+//
 // -blobv2 serves the stride-compressed snapshot format for both
 // families (pdag.BlobV2 for IPv4, ip6.BlobV2 for IPv6 when -fib6 is
 // given): four trie levels per memory touch below the barrier, the
@@ -45,6 +52,7 @@ import (
 	_ "net/http/pprof" // -pprof exposes the serving hot paths
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
@@ -59,6 +67,8 @@ import (
 func main() {
 	var (
 		listen  = flag.String("listen", "127.0.0.1:7000", "UDP address to serve on")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel serve loops (default: one per CPU)")
+		reuse   = flag.Bool("reuseport", true, "shard serving across per-worker SO_REUSEPORT sockets where supported")
 		lambda  = flag.Int("lambda", 11, "leaf-push barrier")
 		shards  = flag.Int("shards", 1, "shard count (power of two; >1 serves the sharded concurrent engine)")
 		blobv2  = flag.Bool("blobv2", false, "serve the stride-compressed blob format for both families (4 trie levels per memory touch below the barrier)")
@@ -208,12 +218,22 @@ func main() {
 		n6 = tab6.N()
 	}
 
-	s, err := lookupd.ListenDual(*listen, engine, eng6)
+	s, err := lookupd.ListenOptions(*listen, engine, eng6, lookupd.Options{
+		Workers:   *workers,
+		ReusePort: *reuse,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB (%d shard(s), blob %s), serving on %s\n",
-		t.N(), float64(size)/1024, *shards, served, s.Addr())
+	// The banner names the real serving topology: per-worker reuseport
+	// sockets when the platform granted them, the shared-socket
+	// fallback when it didn't.
+	sockets := "shared socket"
+	if s.ShardedSockets() {
+		sockets = "reuseport sockets"
+	}
+	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB (%d shard(s), blob %s), serving on %s (%d worker(s), %s)\n",
+		t.N(), float64(size)/1024, *shards, served, s.Addr(), s.Workers(), sockets)
 	if sharded6 != nil {
 		// Report what the v6 engine actually serves, not the requested
 		// form: the barrier can force the folded-DAG fallback exactly
@@ -319,7 +339,7 @@ func main() {
 	}
 	s.Shutdown()
 	fmt.Printf("fibserve: %d requests, %d lookups, %d errors\n",
-		s.Requests.Load(), s.Lookups.Load(), s.Errors.Load())
+		s.Requests(), s.Lookups(), s.Errors())
 }
 
 func readFIB(path string) (*fib.Table, error) {

@@ -36,6 +36,9 @@ type ServingResult struct {
 	LagP50Us float64 `json:"lag_p50_us,omitempty"`
 	LagP90Us float64 `json:"lag_p90_us,omitempty"`
 	LagP99Us float64 `json:"lag_p99_us,omitempty"`
+	// Workers marks a wire-serving row: parallel lookupd serve loops
+	// driving the reported MLps over real UDP sockets.
+	Workers int `json:"workers,omitempty"`
 }
 
 // ServingRun is one dated measurement of the serving suite, the unit
@@ -135,6 +138,18 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 			SizeBytes: f2.SizeBytes(),
 		},
 	}
+
+	// ---- Wire serving: the same sharded engine behind real UDP
+	// sockets, swept across lookupd worker counts. The gap between
+	// sharded16-lanes and wire-sharded16-w1 is the datagram path's
+	// cost; the w1→wN trend is what multi-core scale-out buys (flat on
+	// a single-CPU host, where clients and serve loops contend for the
+	// one core).
+	wireRows, err := runWireSweep(cfg, f, keys)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, wireRows...)
 
 	// The deep-walk workload: host-length routes hit exactly, so every
 	// lookup walks the folded region to full depth — the latency-chain
@@ -569,6 +584,8 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 	fmt.Fprintf(w, "Serving engine (taz + ip6 split, scale %.3g, batch %d, 16 shards, blob v1+v2+ip6):\n", cfg.Scale, servingBatch)
 	for _, r := range results {
 		switch {
+		case r.Workers != 0:
+			fmt.Fprintf(w, "  %-26s %8.1f Mlps  (%d serve loop(s), UDP wire path)\n", r.Name, r.MLps, r.Workers)
 		case r.LagP50Us != 0:
 			fmt.Fprintf(w, "  %-26s lag p50 %6.0f µs  p90 %6.0f µs  p99 %6.0f µs  %8.0f applied/s (%.0f mutated/s)\n",
 				r.Name, r.LagP50Us, r.LagP90Us, r.LagP99Us, r.UpdatesPerS, r.MutatedPerS)

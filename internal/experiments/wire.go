@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fibcomp/internal/lookupd"
+	"fibcomp/internal/shardfib"
+)
+
+// wireWindow is each load-generator client's in-flight datagram
+// budget. UDP gives no flow control, so the generator keeps a fixed
+// window open per socket: deep enough to hide the server's turnaround
+// behind the next send, shallow enough not to overrun loopback socket
+// buffers at high client counts.
+const wireWindow = 8
+
+// runWireSweep measures end-to-end wire serving throughput — UDP in,
+// batched lookup, UDP out — across a worker-count sweep of the
+// sharded engine. Each worker count gets a fresh server (per-worker
+// SO_REUSEPORT sockets where the platform has them) and a
+// proportional pool of load-generator clients, each with its own
+// socket so the kernel's flow hash can spread them across the worker
+// group. Unlike every other serving row, these numbers include the
+// whole datagram path (syscalls, framing, stats), so they sit far
+// below the in-process lanes rows; scaling across the sweep needs as
+// many idle CPUs as workers, since clients and serve loops share the
+// host here.
+func runWireSweep(cfg Config, f *shardfib.FIB, keys []uint32) ([]ServingResult, error) {
+	maxWorkers := cfg.WireWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = 4
+	}
+	var results []ServingResult
+	for workers := 1; workers <= maxWorkers; workers *= 2 {
+		s, err := lookupd.ListenOptions("127.0.0.1:0", f, nil, lookupd.Options{
+			Workers:   workers,
+			ReusePort: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		clients := 4 * workers
+		if clients > 16 {
+			clients = 16
+		}
+		mlps, err := wireMLps(s.Addr().String(), clients, keys, 300*time.Millisecond)
+		s.Close()
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, ServingResult{
+			Name:    fmt.Sprintf("wire-sharded16-w%d", workers),
+			MLps:    mlps,
+			Workers: workers,
+		})
+	}
+	return results, nil
+}
+
+// wireMLps drives the server with clients parallel load-generator
+// sockets for at least minDur and reports the aggregate reply rate in
+// million looked-up addresses per second. Each client keeps
+// wireWindow legacy-v4 batch datagrams in flight and refills the
+// window after a read-timeout (UDP may shed load under pressure —
+// lost datagrams cost throughput, which is the honest outcome).
+func wireMLps(addr string, clients int, keys []uint32, minDur time.Duration) (float64, error) {
+	var replies atomic.Uint64
+	var once sync.Once
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", addr)
+			if err != nil {
+				once.Do(func() { firstErr = err })
+				return
+			}
+			defer conn.Close()
+			req := make([]byte, 4*servingBatch)
+			for i := 0; i < servingBatch; i++ {
+				binary.BigEndian.PutUint32(req[4*i:], keys[(cl*servingBatch+i)%len(keys)])
+			}
+			resp := make([]byte, 4*servingBatch)
+			deadline := start.Add(minDur)
+			for i := 0; i < wireWindow; i++ {
+				conn.Write(req)
+			}
+			for time.Now().Before(deadline) {
+				conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+				n, err := conn.Read(resp)
+				if err != nil {
+					// Timeout: the window drained into dropped
+					// datagrams; reopen it.
+					for i := 0; i < wireWindow; i++ {
+						conn.Write(req)
+					}
+					continue
+				}
+				if n == len(req) {
+					replies.Add(1)
+				}
+				conn.Write(req)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(replies.Load()) * servingBatch / elapsed.Seconds() / 1e6, nil
+}

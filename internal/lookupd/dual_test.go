@@ -78,7 +78,7 @@ func TestDualStackEndToEnd(t *testing.T) {
 			t.Fatalf("v4 batch[%d] %08x: %d want %d", i, a, labels4[i], want)
 		}
 	}
-	if got := s.Lookups.Load(); got != MaxBatch+64 {
+	if got := s.Lookups(); got != MaxBatch+64 {
 		t.Fatalf("server counted %d lookups, want %d", got, MaxBatch+64)
 	}
 }
@@ -151,7 +151,7 @@ func TestMalformedDatagramTable(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer raw.Close()
-			errsBefore := s.Errors.Load()
+			errsBefore := s.Errors()
 			if len(tc.data) > 0 {
 				if _, err := raw.Write(tc.data); err != nil {
 					t.Fatal(err)
@@ -188,10 +188,10 @@ func TestMalformedDatagramTable(t *testing.T) {
 					t.Fatalf("malformed datagram answered with %d bytes", n)
 				}
 				deadline := time.Now().Add(2 * time.Second)
-				for s.Errors.Load() == errsBefore && time.Now().Before(deadline) {
+				for s.Errors() == errsBefore && time.Now().Before(deadline) {
 					time.Sleep(time.Millisecond)
 				}
-				if s.Errors.Load() == errsBefore {
+				if s.Errors() == errsBefore {
 					t.Fatal("malformed datagram not counted")
 				}
 			}
@@ -211,17 +211,17 @@ func TestMalformedDatagramTable(t *testing.T) {
 	}
 }
 
-// TestDispatchZeroAllocsBothFamilies pins the dual serve loop's
-// contract: once the wire pool is warm, processing a full-size
-// datagram of either family — legacy v4, tagged v4 or tagged v6 —
-// against the sharded engines touches the heap zero times.
+// TestDispatchZeroAllocsBothFamilies pins the serve loop's contract:
+// processing a full-size datagram of either family — legacy v4,
+// tagged v4 or tagged v6 — against the sharded engines touches the
+// heap zero times, including the per-dispatch view pin.
 func TestDispatchZeroAllocsBothFamilies(t *testing.T) {
 	f4, f6, _ := testEngines(t)
 	s := &Server{}
 	s.fib.Store(&engineBox{f4})
 	s.fib6.Store(&engineBox6{f6})
-	w := wirePool.Get().(*wire)
-	defer wirePool.Put(w)
+	w := new(wire)
+	st := new(workerStats)
 	rng := rand.New(rand.NewSource(24))
 
 	// Tagged v6 full batch.
@@ -232,9 +232,9 @@ func TestDispatchZeroAllocsBothFamilies(t *testing.T) {
 		binary.BigEndian.PutUint64(w.req[1+16*i+8:], a.Lo)
 	}
 	n6 := 1 + 16*MaxBatch
-	s.dispatch(w, n6) // warm pools
+	s.dispatchOne(w, n6, st) // warm pools
 	allocs := testing.AllocsPerRun(200, func() {
-		if got := s.dispatch(w, n6); got != 1+4*MaxBatch {
+		if got, _ := s.dispatchOne(w, n6, st); got != 1+4*MaxBatch {
 			t.Fatalf("v6 dispatch reply %d, want %d", got, 1+4*MaxBatch)
 		}
 	})
@@ -247,9 +247,9 @@ func TestDispatchZeroAllocsBothFamilies(t *testing.T) {
 		binary.BigEndian.PutUint32(w.req[4*i:], rng.Uint32())
 	}
 	n4 := 4 * MaxBatch
-	s.dispatch(w, n4)
+	s.dispatchOne(w, n4, st)
 	allocs = testing.AllocsPerRun(200, func() {
-		if got := s.dispatch(w, n4); got != n4 {
+		if got, _ := s.dispatchOne(w, n4, st); got != n4 {
 			t.Fatalf("v4 dispatch reply %d, want %d", got, n4)
 		}
 	})
@@ -260,9 +260,9 @@ func TestDispatchZeroAllocsBothFamilies(t *testing.T) {
 	// Tagged v4.
 	copy(w.req[1:], w.req[:n4])
 	w.req[0] = AFInet
-	s.dispatch(w, 1+n4)
+	s.dispatchOne(w, 1+n4, st)
 	allocs = testing.AllocsPerRun(200, func() {
-		if got := s.dispatch(w, 1+n4); got != 1+n4 {
+		if got, _ := s.dispatchOne(w, 1+n4, st); got != 1+n4 {
 			t.Fatalf("tagged v4 dispatch reply %d, want %d", got, 1+n4)
 		}
 	})
@@ -289,8 +289,8 @@ func TestDispatchZeroAllocsV6FromV2(t *testing.T) {
 	oracle := ip6.FromTable(t6)
 	s := &Server{}
 	s.fib6.Store(&engineBox6{f6})
-	w := wirePool.Get().(*wire)
-	defer wirePool.Put(w)
+	w := new(wire)
+	st := new(workerStats)
 
 	addrs := ip6.RandomAddrs(rng, MaxBatch)
 	w.req[0] = AFInet6
@@ -299,7 +299,7 @@ func TestDispatchZeroAllocsV6FromV2(t *testing.T) {
 		binary.BigEndian.PutUint64(w.req[1+16*i+8:], a.Lo)
 	}
 	n6 := 1 + 16*MaxBatch
-	if got := s.dispatch(w, n6); got != 1+4*MaxBatch {
+	if got, _ := s.dispatchOne(w, n6, st); got != 1+4*MaxBatch {
 		t.Fatalf("v6 dispatch reply %d, want %d", got, 1+4*MaxBatch)
 	}
 	for i, a := range addrs {
@@ -309,7 +309,7 @@ func TestDispatchZeroAllocsV6FromV2(t *testing.T) {
 		}
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		if got := s.dispatch(w, n6); got != 1+4*MaxBatch {
+		if got, _ := s.dispatchOne(w, n6, st); got != 1+4*MaxBatch {
 			t.Fatalf("v6 dispatch reply %d, want %d", got, 1+4*MaxBatch)
 		}
 	})
@@ -323,8 +323,7 @@ func TestDispatchZeroAllocsV6FromV2(t *testing.T) {
 // dispatch flavors.
 func TestHandle6MatchesLookup(t *testing.T) {
 	_, f6, oracle := testEngines(t)
-	w := wirePool.Get().(*wire)
-	defer wirePool.Put(w)
+	w := new(wire)
 	count := 37 // not a lane multiple
 	addrs := ip6.RandomAddrs(rand.New(rand.NewSource(25)), count)
 	for i, a := range addrs {
@@ -343,7 +342,7 @@ func TestHandle6MatchesLookup(t *testing.T) {
 		return b
 	}()
 	for _, eng := range []Lookuper6{f6, blob, scalarOnly6{blob}} {
-		if got := handle6(eng, w, 16*count); got != count {
+		if got := handle6(eng, w.req[:], w.resp[:], &w.scratch, 16*count); got != count {
 			t.Fatalf("handle6 returned %d, want %d", got, count)
 		}
 		if w.resp[0] != AFInet6 {

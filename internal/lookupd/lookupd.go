@@ -16,6 +16,18 @@
 // Anything else — zero addresses, a bad family byte, a short v6
 // address, an oversized batch — is dropped and counted, never
 // answered with garbage and never a panic.
+//
+// Serving scale-out. The server runs Options.Workers independent
+// serve loops. On Linux with Options.ReusePort, each loop owns its
+// own SO_REUSEPORT socket bound to the same address, so the kernel
+// flow-hashes client 4-tuples across loops with zero shared state;
+// elsewhere (or with ReusePort off) the loops share one socket, whose
+// reads the runtime serializes while dispatch and reply run in
+// parallel. Each loop owns its wire working set outright — no pools,
+// no cross-loop cache traffic — counts into its own cache-line-padded
+// stats slot, and, on Linux, moves datagrams in bursts: one recvmmsg
+// drains up to burstSize requests, the serving view is pinned once
+// for the whole burst, and one sendmmsg pushes every reply back out.
 package lookupd
 
 import (
@@ -27,6 +39,7 @@ import (
 	"time"
 
 	"fibcomp/internal/ip6"
+	"fibcomp/internal/shardfib"
 )
 
 // Lookuper is any longest-prefix-match engine.
@@ -78,38 +91,70 @@ const (
 	maxResponse = 1 + 4*MaxBatch         // tagged reply: AF byte + labels
 )
 
-// wire is the per-datagram working set: request and reply bytes plus
-// the decoded address and label words of either family. Buffers cycle
-// through a sync.Pool so the serve loop — and any future parallel
-// serve loops — generate no garbage per datagram.
-type wire struct {
-	req    [maxRequest + 4]byte
-	resp   [maxResponse]byte
+// MaxWorkers bounds the serve-loop count; past the socket buffer and
+// core counts this many loops could exploit, more workers only cost
+// memory.
+const MaxWorkers = 256
+
+// scratch is the decoded-word working set one datagram needs: address
+// and label words of either family. Each serve loop owns one and
+// reuses it across every datagram it handles.
+type scratch struct {
 	addrs  [MaxBatch]uint32
 	addrs6 [MaxBatch]ip6.Addr
 	labels [MaxBatch]uint32
 }
 
-var wirePool = sync.Pool{New: func() any { return new(wire) }}
+// wire is the single-datagram working set of the portable serve loop:
+// request and reply bytes plus the decoded-word scratch. Each loop
+// owns its own — the former global sync.Pool is retired, so the hot
+// path shares no allocator state between loops.
+type wire struct {
+	req  [maxRequest + 4]byte
+	resp [maxResponse]byte
+	scratch
+}
+
+// workerStats is one serve loop's counters, padded to its own pair of
+// cache lines so concurrent loops never write-share a line (the
+// global atomics they replace were measured bouncing between every
+// core at high datagram rates). Reads aggregate across loops.
+type workerStats struct {
+	requests atomic.Uint64
+	lookups  atomic.Uint64
+	errors   atomic.Uint64
+	_        [128 - 3*8]byte
+}
+
+// Options configures Listen's serving topology.
+type Options struct {
+	// Workers is the number of independent serve loops; 0 means 1.
+	Workers int
+
+	// ReusePort binds one SO_REUSEPORT socket per worker (Linux) so
+	// the kernel flow-hashes clients across loops. Where unsupported,
+	// or when false, all workers share a single socket — correct on
+	// every platform, with reads serialized by the runtime.
+	ReusePort bool
+}
 
 // Server serves lookups over UDP.
 type Server struct {
-	conn *net.UDPConn
-	fib  atomic.Value // *engineBox (Lookuper)
-	fib6 atomic.Value // *engineBox6 (Lookuper6; l6 nil when v6 is unconfigured)
+	conns   []*net.UDPConn // one per worker (reuseport) or exactly one (shared)
+	workers int
+	fib     atomic.Value // *engineBox (Lookuper)
+	fib6    atomic.Value // *engineBox6 (Lookuper6; l6 nil when v6 is unconfigured)
 
-	wg       sync.WaitGroup
-	closed   atomic.Bool
-	Requests atomic.Uint64
-	Lookups  atomic.Uint64
-	Errors   atomic.Uint64
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	stats  []workerStats // one padded slot per worker
 }
 
 // Listen binds a UDP socket ("127.0.0.1:0" picks an ephemeral port)
-// and starts serving IPv4 lookups against l; IPv6 requests answer "no
-// route" until Swap6 installs a v6 engine.
+// and starts a single serve loop answering IPv4 lookups against l;
+// IPv6 requests answer "no route" until Swap6 installs a v6 engine.
 func Listen(addr string, l Lookuper) (*Server, error) {
-	return ListenDual(addr, l, nil)
+	return ListenOptions(addr, l, nil, Options{})
 }
 
 // ListenDual is Listen with both families: l serves v4 datagrams, l6
@@ -117,22 +162,68 @@ func Listen(addr string, l Lookuper) (*Server, error) {
 // routes answers v6 requests with ip6.NoLabel on every address, the
 // same answer an empty v6 table would give.
 func ListenDual(addr string, l Lookuper, l6 Lookuper6) (*Server, error) {
+	return ListenOptions(addr, l, l6, Options{})
+}
+
+// ListenOptions is ListenDual with an explicit serving topology: N
+// parallel serve loops over per-worker SO_REUSEPORT sockets or one
+// shared socket (see Options).
+func ListenOptions(addr string, l Lookuper, l6 Lookuper6, o Options) (*Server, error) {
 	if l == nil {
 		return nil, fmt.Errorf("lookupd: nil lookup engine")
 	}
-	ua, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("lookupd: %v", err)
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
 	}
-	conn, err := net.ListenUDP("udp", ua)
-	if err != nil {
-		return nil, fmt.Errorf("lookupd: %v", err)
+	if workers > MaxWorkers {
+		return nil, fmt.Errorf("lookupd: %d workers out of [1,%d]", workers, MaxWorkers)
 	}
-	s := &Server{conn: conn}
+	var conns []*net.UDPConn
+	if workers > 1 && o.ReusePort && reusePortSupported {
+		// One socket per loop, every one bound to the same address.
+		// The first bind resolves ":0" to a concrete port; the rest
+		// must bind that exact address or the group would splinter.
+		for i := 0; i < workers; i++ {
+			bindAddr := addr
+			if i > 0 {
+				bindAddr = conns[0].LocalAddr().String()
+			}
+			conn, err := listenReusePort(bindAddr)
+			if err != nil {
+				for _, c := range conns {
+					c.Close()
+				}
+				return nil, fmt.Errorf("lookupd: reuseport socket %d: %v", i, err)
+			}
+			conns = append(conns, conn)
+		}
+	} else {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("lookupd: %v", err)
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			return nil, fmt.Errorf("lookupd: %v", err)
+		}
+		conns = []*net.UDPConn{conn}
+	}
+	s := &Server{
+		conns:   conns,
+		workers: workers,
+		stats:   make([]workerStats, workers),
+	}
 	s.fib.Store(&engineBox{l})
 	s.fib6.Store(&engineBox6{l6})
-	s.wg.Add(1)
-	go s.serve()
+	for i := 0; i < workers; i++ {
+		conn := conns[0]
+		if len(conns) > 1 {
+			conn = conns[i]
+		}
+		s.wg.Add(1)
+		go s.serveWorker(conn, &s.stats[i])
+	}
 	return s, nil
 }
 
@@ -142,10 +233,49 @@ type engineBox struct{ l Lookuper }
 // engineBox6 is engineBox for the v6 engine slot.
 type engineBox6 struct{ l6 Lookuper6 }
 
-// Addr reports the bound address.
-func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+// Addr reports the bound address (identical across worker sockets).
+func (s *Server) Addr() net.Addr { return s.conns[0].LocalAddr() }
 
-// Swap atomically replaces the serving IPv4 FIB.
+// Workers reports the number of serve loops.
+func (s *Server) Workers() int { return s.workers }
+
+// ShardedSockets reports whether each serve loop owns its own
+// SO_REUSEPORT socket (as opposed to all loops sharing one).
+func (s *Server) ShardedSockets() bool { return len(s.conns) > 1 }
+
+// Requests reports the number of well-formed requests served,
+// aggregated across serve loops.
+func (s *Server) Requests() uint64 {
+	var n uint64
+	for i := range s.stats {
+		n += s.stats[i].requests.Load()
+	}
+	return n
+}
+
+// Lookups reports the number of addresses resolved, aggregated across
+// serve loops.
+func (s *Server) Lookups() uint64 {
+	var n uint64
+	for i := range s.stats {
+		n += s.stats[i].lookups.Load()
+	}
+	return n
+}
+
+// Errors reports the number of dropped datagrams and socket errors,
+// aggregated across serve loops.
+func (s *Server) Errors() uint64 {
+	var n uint64
+	for i := range s.stats {
+		n += s.stats[i].errors.Load()
+	}
+	return n
+}
+
+// Swap atomically replaces the serving IPv4 FIB. Loops running a
+// burst finish it against the view they pinned; the next burst sees
+// the new engine.
 func (s *Server) Swap(l Lookuper) {
 	if l != nil {
 		s.fib.Store(&engineBox{l})
@@ -159,166 +289,243 @@ func (s *Server) Swap6(l6 Lookuper6) {
 	}
 }
 
-// Close stops the server immediately and releases the socket. An
+// Close stops the server immediately and releases every socket. An
 // in-flight request may lose its reply; use Shutdown for a graceful
 // stop.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
-	err := s.conn.Close()
+	var err error
+	for _, conn := range s.conns {
+		if cerr := conn.Close(); err == nil {
+			err = cerr
+		}
+	}
 	s.wg.Wait()
 	return err
 }
 
 // Shutdown stops the server gracefully: no further datagrams are
-// read, but the request in flight (if any) completes and its reply is
-// sent before the socket closes — the drain fibserve performs on
-// SIGINT/SIGTERM. The read deadline unblocks the serve loop without
-// closing the socket, so the loop's pending write still succeeds.
+// read, but every loop's in-flight burst completes and its replies
+// are sent before the sockets close — the drain fibserve performs on
+// SIGINT/SIGTERM. The read deadline must land on every worker conn:
+// with per-worker reuseport sockets, expiring only the first would
+// drain one loop and leave the other workers blocked in their reads
+// forever (and Close racing their replies). A deadline unblocks the
+// read without closing the socket, so pending writes still succeed.
 func (s *Server) Shutdown() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
-	s.conn.SetReadDeadline(time.Now())
+	now := time.Now()
+	for _, conn := range s.conns {
+		conn.SetReadDeadline(now)
+	}
 	s.wg.Wait()
-	return s.conn.Close()
+	var err error
+	for _, conn := range s.conns {
+		if cerr := conn.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
-func (s *Server) serve() {
+// serveWorker is one serve loop. On Linux it drains the socket in
+// recvmmsg/sendmmsg bursts; elsewhere it falls back to the portable
+// one-datagram-per-syscall loop. Either way the loop owns its buffers
+// and stats slot outright.
+func (s *Server) serveWorker(conn *net.UDPConn, st *workerStats) {
 	defer s.wg.Done()
+	if b := newBurstConn(conn); b != nil {
+		s.serveBurst(b, st)
+		return
+	}
+	s.serveSimple(conn, st)
+}
+
+// serveSimple is the portable serve loop: one read syscall, one
+// dispatch, one write syscall per datagram, against a loop-owned wire
+// buffer.
+func (s *Server) serveSimple(conn *net.UDPConn, st *workerStats) {
+	w := new(wire)
 	for {
-		w := wirePool.Get().(*wire)
-		n, peer, err := s.conn.ReadFromUDPAddrPort(w.req[:])
+		n, peer, err := conn.ReadFromUDPAddrPort(w.req[:])
 		if err != nil {
-			wirePool.Put(w)
 			if s.closed.Load() {
 				return
 			}
-			s.Errors.Add(1)
+			st.errors.Add(1)
 			continue
 		}
-		respLen := s.dispatch(w, n)
+		respLen, _ := s.dispatchOne(w, n, st)
 		if respLen == 0 {
-			wirePool.Put(w)
-			s.Errors.Add(1)
 			continue // malformed request: drop, like a router would
 		}
-		if _, err := s.conn.WriteToUDPAddrPort(w.resp[:respLen], peer); err != nil {
-			s.Errors.Add(1)
+		if _, err := conn.WriteToUDPAddrPort(w.resp[:respLen], peer); err != nil {
+			st.errors.Add(1)
 		}
-		wirePool.Put(w)
 	}
 }
 
-// dispatch classifies one n-byte datagram in w.req against the wire
-// framing (legacy v4, tagged v4, tagged v6), runs the matching
-// handler and reports the reply length — 0 for a malformed datagram
-// the caller must drop. Legacy lengths are multiples of 4 and tagged
-// lengths are 1 (mod 4), so the classification is branch-exact, and
-// every arm stays on the pooled-buffer zero-allocation path.
-func (s *Server) dispatch(w *wire, n int) (respLen int) {
+// pinned is the engine pair one burst dispatches against: the
+// interfaces to hand dispatch, plus the pinned shardfib views (when
+// the engines are sharded FIBs) to release afterwards. Pinning here
+// means a burst costs two reader-count atomics per family total,
+// not two per datagram, and every datagram in the burst resolves
+// against one immutable view. shardfib views are single pointers, so
+// boxing them in the interfaces allocates nothing.
+type pinned struct {
+	l  Lookuper
+	l6 Lookuper6
+	v4 shardfib.View
+	v6 shardfib.View6
+	p4 bool
+	p6 bool
+}
+
+// pinEngines loads both family engines once and pins their merged
+// serving views for the duration of a burst.
+func (s *Server) pinEngines() pinned {
+	var p pinned
+	if box, ok := s.fib.Load().(*engineBox); ok {
+		p.l = box.l
+	}
+	if box6, ok := s.fib6.Load().(*engineBox6); ok {
+		p.l6 = box6.l6
+	}
+	if f, ok := p.l.(*shardfib.FIB); ok {
+		p.v4 = f.PinView()
+		p.l = p.v4
+		p.p4 = true
+	}
+	if f6, ok := p.l6.(*shardfib.FIB6); ok {
+		p.v6 = f6.PinView()
+		p.l6 = p.v6
+		p.p6 = true
+	}
+	return p
+}
+
+// release unpins whatever pinEngines pinned.
+func (p *pinned) release() {
+	if p.p4 {
+		p.v4.Release()
+	}
+	if p.p6 {
+		p.v6.Release()
+	}
+}
+
+// dispatchOne is the single-datagram path: resolve engines, pin,
+// dispatch, release, count. The burst loop amortizes the same steps
+// across up to burstSize datagrams.
+func (s *Server) dispatchOne(w *wire, n int, st *workerStats) (respLen, count int) {
+	p := s.pinEngines()
+	respLen, count = dispatch(p.l, p.l6, w.req[:n], w.resp[:], &w.scratch)
+	p.release()
+	st.count(respLen, count)
+	return respLen, count
+}
+
+// count records one dispatch outcome.
+func (st *workerStats) count(respLen, lookups int) {
+	if respLen == 0 {
+		st.errors.Add(1)
+		return
+	}
+	st.requests.Add(1)
+	st.lookups.Add(uint64(lookups))
+}
+
+// dispatch classifies one request datagram against the wire framing
+// (legacy v4, tagged v4, tagged v6), runs the matching handler and
+// reports the reply length — 0 for a malformed datagram the caller
+// must drop — plus the number of addresses resolved. Legacy lengths
+// are multiples of 4 and tagged lengths are 1 (mod 4), so the
+// classification is branch-exact, and every arm stays on the
+// caller-owned-buffer zero-allocation path.
+func dispatch(l Lookuper, l6 Lookuper6, req, resp []byte, sc *scratch) (respLen, count int) {
+	n := len(req)
 	switch {
 	case n > 0 && n%4 == 0 && n <= maxDatagram:
-		s.Requests.Add(1)
-		l := s.fib.Load().(*engineBox).l
-		count := handle(l, w, n)
-		s.Lookups.Add(uint64(count))
-		return n
-	case n > 1 && w.req[0] == AFInet && (n-1)%4 == 0 && n-1 <= maxDatagram:
-		s.Requests.Add(1)
-		l := s.fib.Load().(*engineBox).l
-		count := handleTagged4(l, w, n-1)
-		s.Lookups.Add(uint64(count))
-		return 1 + 4*count
-	case n > 1 && w.req[0] == AFInet6 && (n-1)%addr6Size == 0 && n-1 <= addr6Size*MaxBatch:
-		s.Requests.Add(1)
-		l6 := s.fib6.Load().(*engineBox6).l6
-		count := handle6(l6, w, n-1)
-		s.Lookups.Add(uint64(count))
-		return 1 + 4*count
+		count = handleAt(l, req, resp, sc, 0, n)
+		return n, count
+	case n > 1 && req[0] == AFInet && (n-1)%4 == 0 && n-1 <= maxDatagram:
+		resp[0] = AFInet
+		count = handleAt(l, req, resp, sc, 1, n-1)
+		return 1 + 4*count, count
+	case n > 1 && req[0] == AFInet6 && (n-1)%addr6Size == 0 && n-1 <= addr6Size*MaxBatch:
+		count = handle6(l6, req, resp, sc, n-1)
+		return 1 + 4*count, count
 	default:
-		return 0 // zero addresses, bad family byte, torn address, oversize
+		return 0, 0 // zero addresses, bad family byte, torn address, oversize
 	}
 }
 
-// handle decodes one validated request of n bytes from w.req,
-// resolves it against l, encodes the reply into w.resp and reports
-// the batch size. This is the whole per-datagram fast path between
-// the two syscalls; with a batch engine it performs zero heap
-// allocations (enforced by TestHandleZeroAllocs).
-func handle(l Lookuper, w *wire, n int) int {
-	return handleAt(l, w, 0, n)
-}
-
-// handleTagged4 serves an AF-tagged IPv4 request: handle's engine
-// dispatch over the address block at w.req[1:], with the reply's AF
-// byte echoed at w.resp[0] and labels following it.
-func handleTagged4(l Lookuper, w *wire, body int) int {
-	w.resp[0] = AFInet
-	return handleAt(l, w, 1, body)
-}
-
-// handleAt is the one IPv4 dispatch body both framings share: the
-// address block starts at w.req[off:] and labels land at
-// w.resp[off:], so the legacy and tagged arms differ only in the
-// one-byte offset.
-func handleAt(l Lookuper, w *wire, off, body int) int {
+// handleAt is the one IPv4 dispatch body both v4 framings share: the
+// address block starts at req[off:] and labels land at resp[off:], so
+// the legacy and tagged arms differ only in the one-byte offset. This
+// is the whole per-datagram fast path between the two syscalls; with
+// a batch engine it performs zero heap allocations (enforced by
+// TestHandleZeroAllocs).
+func handleAt(l Lookuper, req, resp []byte, sc *scratch, off, body int) int {
 	count := body / 4
 	switch e := l.(type) {
 	case batchIntoLookuper:
 		for i := 0; i < count; i++ {
-			w.addrs[i] = binary.BigEndian.Uint32(w.req[off+4*i:])
+			sc.addrs[i] = binary.BigEndian.Uint32(req[off+4*i:])
 		}
-		e.LookupBatchInto(w.labels[:count], w.addrs[:count])
-		for i, label := range w.labels[:count] {
-			binary.BigEndian.PutUint32(w.resp[off+4*i:], label)
+		e.LookupBatchInto(sc.labels[:count], sc.addrs[:count])
+		for i, label := range sc.labels[:count] {
+			binary.BigEndian.PutUint32(resp[off+4*i:], label)
 		}
 	case BatchLookuper:
 		for i := 0; i < count; i++ {
-			w.addrs[i] = binary.BigEndian.Uint32(w.req[off+4*i:])
+			sc.addrs[i] = binary.BigEndian.Uint32(req[off+4*i:])
 		}
-		for i, label := range e.LookupBatch(w.addrs[:count]) {
-			binary.BigEndian.PutUint32(w.resp[off+4*i:], label)
+		for i, label := range e.LookupBatch(sc.addrs[:count]) {
+			binary.BigEndian.PutUint32(resp[off+4*i:], label)
 		}
 	default:
 		for i := 0; i < count; i++ {
-			addr := binary.BigEndian.Uint32(w.req[off+4*i:])
-			binary.BigEndian.PutUint32(w.resp[off+4*i:], l.Lookup(addr))
+			addr := binary.BigEndian.Uint32(req[off+4*i:])
+			binary.BigEndian.PutUint32(resp[off+4*i:], l.Lookup(addr))
 		}
 	}
 	return count
 }
 
 // handle6 serves an AF-tagged IPv6 request: 16-byte big-endian
-// addresses at w.req[1:], AF byte echoed, one 4-byte label each. A
-// nil engine (v6 unconfigured) answers ip6.NoLabel everywhere — the
-// answer an empty v6 table would give. As with handle, the batch-into
-// path performs zero heap allocations per datagram.
-func handle6(l6 Lookuper6, w *wire, body int) int {
+// addresses at req[1:], AF byte echoed, one 4-byte label each. A nil
+// engine (v6 unconfigured) answers ip6.NoLabel everywhere — the
+// answer an empty v6 table would give. As with handleAt, the
+// batch-into path performs zero heap allocations per datagram.
+func handle6(l6 Lookuper6, req, resp []byte, sc *scratch, body int) int {
 	count := body / addr6Size
-	w.resp[0] = AFInet6
+	resp[0] = AFInet6
 	if l6 == nil {
 		for i := 0; i < count; i++ {
-			binary.BigEndian.PutUint32(w.resp[1+4*i:], ip6.NoLabel)
+			binary.BigEndian.PutUint32(resp[1+4*i:], ip6.NoLabel)
 		}
 		return count
 	}
 	for i := 0; i < count; i++ {
-		w.addrs6[i] = ip6.Addr{
-			Hi: binary.BigEndian.Uint64(w.req[1+addr6Size*i:]),
-			Lo: binary.BigEndian.Uint64(w.req[1+addr6Size*i+8:]),
+		sc.addrs6[i] = ip6.Addr{
+			Hi: binary.BigEndian.Uint64(req[1+addr6Size*i:]),
+			Lo: binary.BigEndian.Uint64(req[1+addr6Size*i+8:]),
 		}
 	}
 	if e, ok := l6.(batchInto6Lookuper); ok {
-		e.LookupBatchInto(w.labels[:count], w.addrs6[:count])
-		for i, label := range w.labels[:count] {
-			binary.BigEndian.PutUint32(w.resp[1+4*i:], label)
+		e.LookupBatchInto(sc.labels[:count], sc.addrs6[:count])
+		for i, label := range sc.labels[:count] {
+			binary.BigEndian.PutUint32(resp[1+4*i:], label)
 		}
 		return count
 	}
 	for i := 0; i < count; i++ {
-		binary.BigEndian.PutUint32(w.resp[1+4*i:], l6.Lookup(w.addrs6[i]))
+		binary.BigEndian.PutUint32(resp[1+4*i:], l6.Lookup(sc.addrs6[i]))
 	}
 	return count
 }
@@ -375,6 +582,39 @@ func (c *Client) LookupBatch(addrs []uint32) ([]uint32, error) {
 	out := make([]uint32, len(addrs))
 	for i := range out {
 		out[i] = binary.BigEndian.Uint32(c.buf[4*i:])
+	}
+	return out, nil
+}
+
+// LookupBatchTagged4 resolves up to MaxBatch IPv4 addresses in one
+// round trip speaking the AF-tagged framing: family byte 4, then the
+// 4-byte big-endian addresses; the reply echoes the family byte
+// before the labels. Answers are identical to LookupBatch — this
+// exists for clients that tag every request uniformly regardless of
+// family.
+func (c *Client) LookupBatchTagged4(addrs []uint32) ([]uint32, error) {
+	if len(addrs) == 0 || len(addrs) > MaxBatch {
+		return nil, fmt.Errorf("lookupd: batch size %d out of [1,%d]", len(addrs), MaxBatch)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf[0] = AFInet
+	for i, a := range addrs {
+		binary.BigEndian.PutUint32(c.buf[1+4*i:], a)
+	}
+	if _, err := c.conn.Write(c.buf[:1+4*len(addrs)]); err != nil {
+		return nil, err
+	}
+	n, err := c.conn.Read(c.buf)
+	if err != nil {
+		return nil, err
+	}
+	if n != 1+4*len(addrs) || c.buf[0] != AFInet {
+		return nil, fmt.Errorf("lookupd: bad tagged v4 reply: %d bytes (af %d) for %d addresses", n, c.buf[0], len(addrs))
+	}
+	out := make([]uint32, len(addrs))
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(c.buf[1+4*i:])
 	}
 	return out, nil
 }

@@ -89,8 +89,8 @@ func TestBatchLookup(t *testing.T) {
 			t.Fatalf("batch[%d]: %d want %d", i, labels[i], oracle.Lookup(a))
 		}
 	}
-	if s.Lookups.Load() != MaxBatch {
-		t.Fatalf("server counted %d lookups", s.Lookups.Load())
+	if s.Lookups() != MaxBatch {
+		t.Fatalf("server counted %d lookups", s.Lookups())
 	}
 }
 
@@ -193,12 +193,12 @@ func TestMalformedDatagramDropped(t *testing.T) {
 	// The server must still answer well-formed requests afterwards.
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if s.Errors.Load() > 0 {
+		if s.Errors() > 0 {
 			break
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if s.Errors.Load() == 0 {
+	if s.Errors() == 0 {
 		t.Fatal("malformed datagram not counted")
 	}
 	if _, err := c.Lookup(0x0A000001); err != nil {
@@ -288,11 +288,11 @@ func TestShutdownGraceful(t *testing.T) {
 	if _, err := c.Lookup(0x0A000001); err != nil {
 		t.Fatal(err)
 	}
-	served := s.Lookups.Load()
+	served := s.Lookups()
 	if err := s.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.Lookups.Load(); got != served {
+	if got := s.Lookups(); got != served {
 		t.Fatalf("lookups changed across an idle shutdown: %d != %d", got, served)
 	}
 	// The socket is gone: a new request cannot be answered.
@@ -313,9 +313,9 @@ func TestShutdownGraceful(t *testing.T) {
 	}
 }
 
-// TestHandleZeroAllocs pins the serve loop's contract: once the wire
-// pool is warm, processing a full-size datagram against a batch
-// engine touches the heap zero times.
+// TestHandleZeroAllocs pins the serve loop's contract: processing a
+// full-size datagram against a batch engine with a loop-owned wire
+// buffer touches the heap zero times.
 func TestHandleZeroAllocs(t *testing.T) {
 	tb := fib.New()
 	rng := rand.New(rand.NewSource(9))
@@ -329,16 +329,15 @@ func TestHandleZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := wirePool.Get().(*wire)
-	defer wirePool.Put(w)
+	w := new(wire)
 	n := 4 * MaxBatch
 	for i := 0; i < MaxBatch; i++ {
 		binary.BigEndian.PutUint32(w.req[4*i:], rng.Uint32())
 	}
 	var l Lookuper = f
-	handle(l, w, n) // warm shardfib's internal pools
+	handleAt(l, w.req[:], w.resp[:], &w.scratch, 0, n) // warm shardfib's internal pools
 	allocs := testing.AllocsPerRun(200, func() {
-		if got := handle(l, w, n); got != MaxBatch {
+		if got := handleAt(l, w.req[:], w.resp[:], &w.scratch, 0, n); got != MaxBatch {
 			t.Fatalf("handle returned %d, want %d", got, MaxBatch)
 		}
 	})
@@ -356,9 +355,9 @@ func TestHandleZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	l = blob
-	handle(l, w, n)
+	handleAt(l, w.req[:], w.resp[:], &w.scratch, 0, n)
 	allocs = testing.AllocsPerRun(200, func() {
-		handle(l, w, n)
+		handleAt(l, w.req[:], w.resp[:], &w.scratch, 0, n)
 	})
 	if allocs != 0 {
 		t.Fatalf("blob handle allocated %.2f times per datagram, want 0", allocs)
@@ -375,9 +374,9 @@ func TestHandleZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, eng := range []Lookuper{blob2, f2} {
-		handle(eng, w, n)
+		handleAt(eng, w.req[:], w.resp[:], &w.scratch, 0, n)
 		allocs = testing.AllocsPerRun(200, func() {
-			handle(eng, w, n)
+			handleAt(eng, w.req[:], w.resp[:], &w.scratch, 0, n)
 		})
 		if allocs != 0 {
 			t.Fatalf("%T handle allocated %.2f times per datagram, want 0", eng, allocs)
@@ -403,14 +402,13 @@ func TestHandleMatchesLookup(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(10))
-	w := wirePool.Get().(*wire)
-	defer wirePool.Put(w)
+	w := new(wire)
 	count := 37 // not a lane multiple
 	for i := 0; i < count; i++ {
 		binary.BigEndian.PutUint32(w.req[4*i:], rng.Uint32())
 	}
 	for _, eng := range []Lookuper{d, blob} {
-		if got := handle(eng, w, 4*count); got != count {
+		if got := handleAt(eng, w.req[:], w.resp[:], &w.scratch, 0, 4*count); got != count {
 			t.Fatalf("handle returned %d, want %d", got, count)
 		}
 		for i := 0; i < count; i++ {
@@ -444,13 +442,12 @@ func TestHandleBatchLookuperDispatch(t *testing.T) {
 	eng := batchOnlyEngine{d}
 	var _ BatchLookuper = eng // compile-time: hits the BatchLookuper case
 	rng := rand.New(rand.NewSource(11))
-	w := wirePool.Get().(*wire)
-	defer wirePool.Put(w)
+	w := new(wire)
 	count := 19
 	for i := 0; i < count; i++ {
 		binary.BigEndian.PutUint32(w.req[4*i:], rng.Uint32())
 	}
-	if got := handle(eng, w, 4*count); got != count {
+	if got := handleAt(eng, w.req[:], w.resp[:], &w.scratch, 0, 4*count); got != count {
 		t.Fatalf("handle returned %d, want %d", got, count)
 	}
 	for i := 0; i < count; i++ {

@@ -1,0 +1,74 @@
+//go:build linux && (amd64 || arm64)
+
+package lookupd
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"fibcomp/internal/ip6"
+)
+
+// TestBurstDispatchZeroAllocs extends the 0-alloc-per-datagram
+// contract to the burst path: resolving a full recvmmsg burst of
+// mixed-family datagrams — one view pin for the whole burst, 32
+// dispatches, reply packing into the sendmmsg slots — touches the
+// heap zero times.
+func TestBurstDispatchZeroAllocs(t *testing.T) {
+	f4a, _, f6a, _, _, _ := parallelEngines(t)
+	s := &Server{}
+	s.fib.Store(&engineBox{f4a})
+	s.fib6.Store(&engineBox6{f6a})
+	b := new(burstConn)
+	sc := new(scratch)
+	st := new(workerStats)
+
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < burstSize; i++ {
+		switch i % 3 {
+		case 0: // legacy v4, full batch
+			for j := 0; j < MaxBatch; j++ {
+				binary.BigEndian.PutUint32(b.reqs[i][4*j:], rng.Uint32())
+			}
+			b.recvHdrs[i].n = 4 * MaxBatch
+		case 1: // tagged v4
+			b.reqs[i][0] = AFInet
+			for j := 0; j < MaxBatch; j++ {
+				binary.BigEndian.PutUint32(b.reqs[i][1+4*j:], rng.Uint32())
+			}
+			b.recvHdrs[i].n = 1 + 4*MaxBatch
+		case 2: // tagged v6, full batch
+			b.reqs[i][0] = AFInet6
+			for j := 0; j < MaxBatch; j++ {
+				a := ip6.Addr{Hi: rng.Uint64(), Lo: rng.Uint64()}
+				binary.BigEndian.PutUint64(b.reqs[i][1+16*j:], a.Hi)
+				binary.BigEndian.PutUint64(b.reqs[i][1+16*j+8:], a.Lo)
+			}
+			b.recvHdrs[i].n = 1 + 16*MaxBatch
+		}
+	}
+
+	if out := s.dispatchAll(b, burstSize, sc, st); out != burstSize {
+		t.Fatalf("dispatchAll packed %d replies, want %d", out, burstSize)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if out := s.dispatchAll(b, burstSize, sc, st); out != burstSize {
+			t.Fatalf("dispatchAll packed %d replies, want %d", out, burstSize)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("burst dispatch allocated %.2f times per burst, want 0", allocs)
+	}
+
+	// A malformed datagram in the middle of a burst costs its reply
+	// slot and an error count, nothing else.
+	b.recvHdrs[5].n = 3
+	errsBefore := st.errors.Load()
+	if out := s.dispatchAll(b, burstSize, sc, st); out != burstSize-1 {
+		t.Fatalf("burst with one malformed datagram packed %d replies, want %d", out, burstSize-1)
+	}
+	if st.errors.Load() != errsBefore+1 {
+		t.Fatal("malformed datagram in burst not counted")
+	}
+}

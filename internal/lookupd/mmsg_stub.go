@@ -1,0 +1,13 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package lookupd
+
+import "net"
+
+// burstConn is unavailable off Linux/amd64+arm64; newBurstConn
+// returning nil routes every worker to the portable serve loop.
+type burstConn struct{}
+
+func newBurstConn(conn *net.UDPConn) *burstConn { return nil }
+
+func (s *Server) serveBurst(b *burstConn, st *workerStats) {}

@@ -1,0 +1,12 @@
+//go:build linux && arm64
+
+package lookupd
+
+import "syscall"
+
+// sendmmsg postdates the syscall package's freeze, so its number
+// never made it in; 269 is __NR_sendmmsg on arm64.
+const (
+	sysRecvmmsg = syscall.SYS_RECVMMSG
+	sysSendmmsg = 269
+)

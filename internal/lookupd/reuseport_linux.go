@@ -1,0 +1,48 @@
+//go:build linux
+
+package lookupd
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported gates the N-sockets serving topology: true on
+// Linux, where SO_REUSEPORT load-balances UDP datagrams across every
+// socket in the group by flow hash.
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT. The syscall package predates the
+// option and never grew the constant; its value is 15 on every Linux
+// architecture (it lives in the arch-independent socket level).
+const soReusePort = 0xf
+
+// listenReusePort binds one UDP socket with SO_REUSEPORT set before
+// bind — the option must be on every socket in the group, and set
+// pre-bind, or the kernel refuses to share the port.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("listenReusePort: %T is not a UDP conn", pc)
+	}
+	return conn, nil
+}

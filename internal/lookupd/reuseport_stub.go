@@ -1,0 +1,16 @@
+//go:build !linux
+
+package lookupd
+
+import "net"
+
+// reusePortSupported is false off Linux: SO_REUSEPORT exists on the
+// BSDs but with different load-balancing semantics (and not at all on
+// Windows), so multi-worker serving falls back to N goroutines over
+// one shared socket there.
+const reusePortSupported = false
+
+// listenReusePort is never called when reusePortSupported is false.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	panic("lookupd: reuseport not supported on this platform")
+}

@@ -142,10 +142,16 @@ func (sh *shard6) publish(lambda int, format Format) {
 // slots of every shard's blob concatenated in shard order, each
 // shard's folded-region node words, and the pinned backing snapshots.
 type combined6 struct {
-	root    []uint32
-	nodes   [][]uint32
-	snaps   []*snapshot6
-	lambda  int
+	root  []uint32
+	nodes [][]uint32
+	snaps []*snapshot6
+
+	// Walk geometry for pinned View6 readers, frozen per rebuild.
+	lambda    int
+	format    Format
+	shardBits int
+	shift     uint
+
 	readers atomic.Int64
 }
 
@@ -306,6 +312,9 @@ func (f *FIB6) rebuildCombined() {
 	}
 	c.snaps = c.snaps[:ns]
 	c.nodes = c.nodes[:ns]
+	c.format = f.format
+	c.shardBits = f.shardBits
+	c.shift = f.shift
 	merged := f.shardBits <= f.lambda && f.lambda <= mergedRootMaxLambda
 	for s := range f.shards {
 		snap := f.shards[s].pin() // held until the view is reclaimed
@@ -362,28 +371,12 @@ func (f *FIB6) LookupBatch(addrs []ip6.Addr) []uint32 {
 
 // LookupBatchInto is LookupBatch writing labels into dst (at least
 // len(addrs) long) — the allocation-free fast path the dual-stack
-// serve loop uses, one pinned merged view per batch.
+// serve loop uses, one pinned merged view per batch. Burst callers
+// amortize the pin further with PinView.
 func (f *FIB6) LookupBatchInto(dst []uint32, addrs []ip6.Addr) {
-	n := len(addrs)
-	if n == 0 {
-		return
-	}
-	dst = dst[:n]
-	c := f.pinCombined()
-	if len(c.root) != 0 {
-		if f.format == FormatV2 {
-			ip6.LookupBatchMergedV2(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda)
-		} else {
-			ip6.LookupBatchMerged(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda)
-		}
-	} else {
-		// Barrier outside [k, 16]: resolve per address against the
-		// view's pinned snapshots (correctness path).
-		for i, a := range addrs {
-			dst[i] = c.snaps[a.Hi>>f.shift].lookup(a)
-		}
-	}
-	c.unpin()
+	v := f.PinView()
+	v.LookupBatchInto(dst, addrs)
+	v.Release()
 }
 
 // Set inserts or changes the association for an IPv6 prefix; each

@@ -213,11 +213,19 @@ func (sh *shard) publish(lambda int, format Format) {
 // recycling protocol as snapshots; recycling a retired view is what
 // finally unpins its snapshots.
 type combined struct {
-	root    []uint32
-	nodes   [][]uint32
-	snaps   []*snapshot
-	lambda  int
-	width   int
+	root  []uint32
+	nodes [][]uint32
+	snaps []*snapshot
+
+	// The walk geometry a pinned View needs to resolve without
+	// touching the FIB again: the snapshot format, the shard index
+	// width and the owning FIB's shard shift, frozen per rebuild.
+	lambda    int
+	width     int
+	format    Format
+	shardBits int
+	shift     uint
+
 	readers atomic.Int64
 }
 
@@ -420,6 +428,9 @@ func (f *FIB) rebuildCombined() {
 	}
 	c.snaps = c.snaps[:ns]
 	c.nodes = c.nodes[:ns]
+	c.format = f.format
+	c.shardBits = f.shardBits
+	c.shift = f.shift
 	merged := f.shardBits <= f.lambda && f.lambda <= mergedRootMaxLambda
 	for s := range f.shards {
 		snap := f.shards[s].pin() // held until the view is reclaimed
@@ -492,29 +503,12 @@ func (f *FIB) LookupBatch(addrs []uint32) []uint32 {
 // pdag.LookupBatchMerged walker. (A counting-sort bucketing pass was
 // measured first and lost: grouping cost four extra passes over the
 // batch, more than the per-shard dispatch it saved at any shard count
-// ≤ 256.)
+// ≤ 256.) Callers resolving many batches back to back can amortize
+// even the per-batch pin with PinView.
 func (f *FIB) LookupBatchInto(dst, addrs []uint32) {
-	n := len(addrs)
-	if n == 0 {
-		return
-	}
-	dst = dst[:n]
-	c := f.pinCombined()
-	if len(c.root) != 0 {
-		if f.format == FormatV2 {
-			pdag.LookupBatchMergedV2(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda, c.width)
-		} else {
-			pdag.LookupBatchMerged(dst, addrs, c.root, c.nodes, f.shardBits, c.lambda, c.width)
-		}
-	} else {
-		// Barrier outside [k, 16]: no merged root is maintained;
-		// resolve per address against the view's pinned snapshots
-		// (correctness path, never hit at serving barriers).
-		for i, a := range addrs {
-			dst[i] = c.snaps[a>>f.shift].lookup(a)
-		}
-	}
-	c.unpin()
+	v := f.PinView()
+	v.LookupBatchInto(dst, addrs)
+	v.Release()
 }
 
 // Set inserts or changes the association for prefix addr/plen. Each
