@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"fibcomp/internal/lookupd"
+	"fibcomp/internal/obs"
+	"fibcomp/internal/ribd"
+	"fibcomp/internal/shardfib"
+)
+
+// status is the one telemetry view every operator surface renders
+// from: the startup banner, the /statusz JSON document, and the
+// shutdown drain report all read the same registry-backed snapshot,
+// so they cannot drift apart. The static fields describe the serving
+// topology fixed at startup; everything live is read through the
+// handles at render time.
+type status struct {
+	srv   *lookupd.Server
+	plane *ribd.Plane // nil without -updates
+	upd   *ribd.Server
+	ins   *shardfib.Instruments
+	reg   *obs.Registry
+
+	// IPv4 serving topology, as the banner reports it.
+	prefixes int
+	size     int
+	shards   int
+	blob     string
+	sockets  string
+
+	// IPv6, when -fib6 configured it.
+	dual      bool
+	prefixes6 int
+	size6     int
+	lambda6   int
+	blob6     string
+
+	// Update plane configuration, when -updates enabled it.
+	families string
+	grace    string
+	idle     string
+}
+
+// printBanner emits the startup lines. The formats are pinned: CI and
+// operator scripts match them verbatim.
+func (st *status) printBanner() {
+	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB (%d shard(s), blob %s), serving on %s (%d worker(s), %s)\n",
+		st.prefixes, float64(st.size)/1024, st.shards, st.blob, st.srv.Addr(), st.srv.Workers(), st.sockets)
+	if st.dual {
+		fmt.Printf("fibserve: dual-stack: %d IPv6 prefixes compressed to %.1f KB (λ6=%d, blob %s)\n",
+			st.prefixes6, float64(st.size6)/1024, st.lambda6, st.blob6)
+	}
+	if st.upd != nil {
+		fmt.Printf("fibserve: route-update plane on %s (%s, staleness bound %s, restart time %s, idle timeout %s)\n",
+			st.upd.Addr(), st.families, st.plane.MaxStaleness(), st.grace, st.idle)
+	}
+}
+
+// printDrainReport emits the shutdown lines after the update plane
+// drained and the serve loops stopped. Every pre-existing line keeps
+// its exact format; the per-worker rows are appended when the server
+// ran more than one loop.
+func (st *status) printDrainReport(peersSeen uint64, pstats ribd.Stats, infos []ribd.PeerInfo) {
+	if st.plane != nil {
+		fmt.Printf("fibserve: update plane: %d peers, %d received, %d coalesced, %d applied, %d flushes, %d swept, %d shed\n",
+			peersSeen, pstats.Received, pstats.Coalesced, pstats.Applied, pstats.Flushes, pstats.Swept, pstats.Shed)
+		for _, pi := range infos {
+			state := "down"
+			if pi.Up {
+				state = "up"
+			}
+			fmt.Printf("fibserve: peer %s: %s, %d routes, seq %d, %d bytes, %d resets (%d idle)\n",
+				pi.Name, state, pi.Routes, pi.Seq, pi.Bytes, pi.Resets, pi.Timeouts)
+		}
+	}
+	fmt.Printf("fibserve: %d requests, %d lookups, %d errors\n",
+		st.srv.Requests(), st.srv.Lookups(), st.srv.Errors())
+	if ws := st.srv.WorkerStats(); len(ws) > 1 {
+		for _, w := range ws {
+			fmt.Printf("fibserve: worker %d: %d requests, %d lookups, %d errors, %d drops\n",
+				w.Worker, w.Requests, w.Lookups, w.Errors, w.Drops)
+		}
+	}
+}
+
+// statuszPayload is the /statusz JSON document.
+type statuszPayload struct {
+	Serving struct {
+		Addr      string `json:"addr"`
+		Workers   int    `json:"workers"`
+		Sockets   string `json:"sockets"`
+		Prefixes  int    `json:"prefixes"`
+		SizeBytes int    `json:"size_bytes"`
+		Shards    int    `json:"shards"`
+		Blob      string `json:"blob"`
+	} `json:"serving"`
+	Serving6 *struct {
+		Prefixes  int    `json:"prefixes"`
+		SizeBytes int    `json:"size_bytes"`
+		Lambda    int    `json:"lambda"`
+		Blob      string `json:"blob"`
+	} `json:"serving6,omitempty"`
+	Workers []lookupd.WorkerStat `json:"workers"`
+	Plane   *struct {
+		ribd.Stats
+		Pending int `json:"pending"`
+	} `json:"plane,omitempty"`
+	Peers []ribd.PeerInfo  `json:"peers,omitempty"`
+	Trace []obs.TraceEvent `json:"trace"`
+}
+
+func (st *status) statusz() statuszPayload {
+	var p statuszPayload
+	p.Serving.Addr = st.srv.Addr().String()
+	p.Serving.Workers = st.srv.Workers()
+	p.Serving.Sockets = st.sockets
+	p.Serving.Prefixes = st.prefixes
+	p.Serving.SizeBytes = st.size
+	p.Serving.Shards = st.shards
+	p.Serving.Blob = st.blob
+	if st.dual {
+		p.Serving6 = &struct {
+			Prefixes  int    `json:"prefixes"`
+			SizeBytes int    `json:"size_bytes"`
+			Lambda    int    `json:"lambda"`
+			Blob      string `json:"blob"`
+		}{st.prefixes6, st.size6, st.lambda6, st.blob6}
+	}
+	p.Workers = st.srv.WorkerStats()
+	if st.plane != nil {
+		p.Plane = &struct {
+			ribd.Stats
+			Pending int `json:"pending"`
+		}{st.plane.Stats(), st.plane.Pending()}
+		p.Peers = st.plane.PeerInfo()
+	}
+	p.Trace = st.ins.Trace.Snapshot()
+	return p
+}
+
+// adminMux builds the admin HTTP handler: Prometheus exposition on
+// /metrics, a liveness probe on /healthz, the full JSON status
+// document (including the publish-pipeline trace ring) on /statusz,
+// and the pprof handlers under /debug/pprof/ — the surface the old
+// standalone -pprof listener used to carry.
+func adminMux(st *status) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		st.reg.WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st.statusz())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startAdmin binds the admin listener synchronously — a bad address
+// fails startup, and the port is live before the banner prints, so
+// scripts can curl it the moment the process reports serving — then
+// serves the mux in the background.
+func startAdmin(addr string, st *status) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := http.Serve(ln, adminMux(st)); err != nil {
+			fmt.Fprintf(os.Stderr, "fibserve: admin: %v\n", err)
+		}
+	}()
+	return nil
+}

@@ -28,6 +28,14 @@
 // gracefully: stop accepting peers, drain the pending update batch,
 // answer the in-flight lookup, then exit.
 //
+// -admin exposes the telemetry endpoint over HTTP: /metrics
+// (Prometheus text exposition from the internal/obs registry every
+// layer registers on), /healthz, /statusz (JSON: serving topology,
+// per-worker counters, update-plane stats, peers, and the publish-
+// pipeline trace ring), and /debug/pprof (the old -pprof flag is a
+// deprecated alias serving the same mux). Instrumentation rides the
+// hot paths at zero allocation; scrapes never block a serve loop.
+//
 // -fib6 serves IPv6 alongside IPv4 from the same UDP socket: the v6
 // table is folded into its own sharded engine (ip6 serialized blobs
 // behind the same pin/validate republish machinery), v6 datagrams are
@@ -48,8 +56,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof" // -pprof exposes the serving hot paths
 	"os"
 	"os/signal"
 	"runtime"
@@ -59,6 +65,7 @@ import (
 	"fibcomp/internal/fib"
 	"fibcomp/internal/ip6"
 	"fibcomp/internal/lookupd"
+	"fibcomp/internal/obs"
 	"fibcomp/internal/pdag"
 	"fibcomp/internal/ribd"
 	"fibcomp/internal/shardfib"
@@ -81,19 +88,10 @@ func main() {
 		budget  = flag.Int("peer-budget", ribd.DefaultPeerBudget, "update plane: shed a peer whose unflushed backlog exceeds this many updates")
 		query   = flag.String("query", "", "client mode: address to look up (IPv4 or IPv6)")
 		server  = flag.String("server", "127.0.0.1:7000", "client mode: server address")
-		pprof   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) to profile serving in place")
+		admin   = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:6060): /metrics, /healthz, /statusz, /debug/pprof")
+		pprof   = flag.String("pprof", "", "deprecated alias for -admin (the admin endpoint carries the pprof handlers)")
 	)
 	flag.Parse()
-
-	if *pprof != "" {
-		go func() {
-			// DefaultServeMux carries the pprof handlers via the
-			// side-effect import above.
-			if err := http.ListenAndServe(*pprof, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "fibserve: pprof: %v\n", err)
-			}
-		}()
-	}
 
 	if *query != "" {
 		c, err := lookupd.Dial(*server)
@@ -225,27 +223,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	// The banner names the real serving topology: per-worker reuseport
-	// sockets when the platform granted them, the shared-socket
-	// fallback when it didn't.
-	sockets := "shared socket"
-	if s.ShardedSockets() {
-		sockets = "reuseport sockets"
-	}
-	fmt.Printf("fibserve: %d prefixes compressed to %.1f KB (%d shard(s), blob %s), serving on %s (%d worker(s), %s)\n",
-		t.N(), float64(size)/1024, *shards, served, s.Addr(), s.Workers(), sockets)
-	if sharded6 != nil {
-		// Report what the v6 engine actually serves, not the requested
-		// form: the barrier can force the folded-DAG fallback exactly
-		// as it does for v4, and the per-family blob sizes differ.
-		served6 := sharded6.Format().String()
-		if !sharded6.SnapshotsSerialized() {
-			served6 = "dag (unserialized)"
-		}
-		fmt.Printf("fibserve: dual-stack: %d IPv6 prefixes compressed to %.1f KB (λ6=%d, blob %s)\n",
-			n6, float64(sharded6.SizeBytes())/1024, *lambda6, served6)
-	}
-
 	// The live route-update plane: TCP peer sessions feeding the
 	// coalescing queue and paced republisher over the sharded engine.
 	var (
@@ -262,13 +239,65 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		families := "v4"
-		if sharded6 != nil {
-			families = "dual-stack"
-		}
-		fmt.Printf("fibserve: route-update plane on %s (%s, staleness bound %s, restart time %s, idle timeout %s)\n",
-			upd.Addr(), families, plane.MaxStaleness(), *grace, *idle)
 	}
+
+	// One registry for every layer's telemetry, one snapshot for every
+	// operator surface. The instruments ride the engines' publish path
+	// at zero allocation; registration itself adds no hot-path cost.
+	reg := obs.NewRegistry()
+	s.RegisterMetrics(reg)
+	ins := &shardfib.Instruments{PublishSeconds: obs.NewHistogram(1e-9), Trace: obs.NewTraceRing(256)}
+	if sharded != nil {
+		sharded.SetInstruments(ins)
+	}
+	if sharded6 != nil {
+		sharded6.SetInstruments(ins)
+	}
+	shardfib.RegisterMetrics(reg, ins, sharded, sharded6)
+	if plane != nil {
+		plane.RegisterMetrics(reg)
+	}
+
+	// The banner names the real serving topology: per-worker reuseport
+	// sockets when the platform granted them, the shared-socket
+	// fallback when it didn't.
+	sockets := "shared socket"
+	if s.ShardedSockets() {
+		sockets = "reuseport sockets"
+	}
+	st := &status{
+		srv: s, plane: plane, upd: upd, ins: ins, reg: reg,
+		prefixes: t.N(), size: size, shards: *shards, blob: served, sockets: sockets,
+		grace: grace.String(), idle: idle.String(),
+	}
+	if sharded6 != nil {
+		// Report what the v6 engine actually serves, not the requested
+		// form: the barrier can force the folded-DAG fallback exactly
+		// as it does for v4, and the per-family blob sizes differ.
+		served6 := sharded6.Format().String()
+		if !sharded6.SnapshotsSerialized() {
+			served6 = "dag (unserialized)"
+		}
+		st.dual, st.prefixes6, st.size6, st.lambda6, st.blob6 =
+			true, n6, sharded6.SizeBytes(), *lambda6, served6
+	}
+	st.families = "v4"
+	if sharded6 != nil {
+		st.families = "dual-stack"
+	}
+	// -pprof folds into the admin endpoint: both flags serve the same
+	// mux, so old profiling invocations keep working.
+	if *admin != "" {
+		if err := startAdmin(*admin, st); err != nil {
+			fatal(err)
+		}
+	}
+	if *pprof != "" && *pprof != *admin {
+		if err := startAdmin(*pprof, st); err != nil {
+			fatal(err)
+		}
+	}
+	st.printBanner()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
@@ -320,26 +349,21 @@ func main() {
 	if upd != nil {
 		upd.Close()
 	}
+	var (
+		peersSeen uint64
+		pstats    ribd.Stats
+		infos     []ribd.PeerInfo
+	)
 	if plane != nil {
 		// Snapshot the graceful-restart registry before Close tears
 		// down the flusher that maintains it.
-		infos := plane.PeerInfo()
+		infos = plane.PeerInfo()
 		plane.Close()
-		st := plane.Stats()
-		fmt.Printf("fibserve: update plane: %d peers, %d received, %d coalesced, %d applied, %d flushes, %d swept, %d shed\n",
-			upd.Peers(), st.Received, st.Coalesced, st.Applied, st.Flushes, st.Swept, st.Shed)
-		for _, pi := range infos {
-			state := "down"
-			if pi.Up {
-				state = "up"
-			}
-			fmt.Printf("fibserve: peer %s: %s, %d routes, seq %d, %d bytes, %d resets (%d idle)\n",
-				pi.Name, state, pi.Routes, pi.Seq, pi.Bytes, pi.Resets, pi.Timeouts)
-		}
+		pstats = plane.Stats()
+		peersSeen = upd.Peers()
 	}
 	s.Shutdown()
-	fmt.Printf("fibserve: %d requests, %d lookups, %d errors\n",
-		s.Requests(), s.Lookups(), s.Errors())
+	st.printDrainReport(peersSeen, pstats, infos)
 }
 
 func readFIB(path string) (*fib.Table, error) {

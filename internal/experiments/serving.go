@@ -7,12 +7,12 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"sort"
 	"time"
 
 	"fibcomp/internal/fib"
 	"fibcomp/internal/gen"
 	"fibcomp/internal/ip6"
+	"fibcomp/internal/obs"
 	"fibcomp/internal/pdag"
 	"fibcomp/internal/ribd"
 	"fibcomp/internal/shardfib"
@@ -39,6 +39,13 @@ type ServingResult struct {
 	// Workers marks a wire-serving row: parallel lookupd serve loops
 	// driving the reported MLps over real UDP sockets.
 	Workers int `json:"workers,omitempty"`
+	// Service-time percentiles of a wire row, read from the server's
+	// obs dispatch histogram: one sample per recvmmsg burst (Linux) or
+	// per datagram (portable loop), the same series /metrics exports
+	// as lookupd_service_seconds.
+	SvcP50Us float64 `json:"svc_p50_us,omitempty"`
+	SvcP90Us float64 `json:"svc_p90_us,omitempty"`
+	SvcP99Us float64 `json:"svc_p99_us,omitempty"`
 }
 
 // ServingRun is one dated measurement of the serving suite, the unit
@@ -315,36 +322,33 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 		plane := ribd.New(eng, ribd.Options{})
 		storm := gen.FlapStorm(rand.New(rand.NewSource(cfg.Seed+16)), t, 1<<14, 256)
 		const flapBurst = 128
-		lags := make([]time.Duration, 0, len(storm)/flapBurst)
+		// Lags go straight into an obs histogram — the same log-bucketed
+		// series a production fibserve would export — so the percentiles
+		// reported here are computed exactly the way /metrics consumers
+		// would compute them (±6.25% bucket resolution, not exact order
+		// statistics).
+		lagHist := obs.NewHistogram(1e-9)
 		st0 := plane.Stats()
 		start := time.Now()
 		for off := 0; off+flapBurst <= len(storm); off += flapBurst {
 			b0 := time.Now()
 			plane.EnqueueBatch(storm[off : off+flapBurst])
 			plane.Sync()
-			lags = append(lags, time.Since(b0))
+			lagHist.Observe(uint64(time.Since(b0)))
 		}
 		elapsed := time.Since(start)
 		st1 := plane.Stats()
 		if err := plane.Close(); err != nil {
 			return nil, err
 		}
-		sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
-		pct := func(p float64) float64 {
-			if len(lags) == 0 {
-				return 0
-			}
-			i := int(p * float64(len(lags)-1))
-			return float64(lags[i].Nanoseconds()) / 1e3
-		}
 		results = append(results, ServingResult{
 			Name:        "sharded16-flapstorm",
 			UpdatesPerS: float64(st1.Applied-st0.Applied) / elapsed.Seconds(),
 			MutatedPerS: float64(st1.Mutated-st0.Mutated) / elapsed.Seconds(),
 			SizeBytes:   eng.SizeBytes(),
-			LagP50Us:    pct(0.50),
-			LagP90Us:    pct(0.90),
-			LagP99Us:    pct(0.99),
+			LagP50Us:    lagHist.Quantile(0.50) / 1e3,
+			LagP90Us:    lagHist.Quantile(0.90) / 1e3,
+			LagP99Us:    lagHist.Quantile(0.99) / 1e3,
 		})
 	}
 
@@ -585,7 +589,8 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 	for _, r := range results {
 		switch {
 		case r.Workers != 0:
-			fmt.Fprintf(w, "  %-26s %8.1f Mlps  (%d serve loop(s), UDP wire path)\n", r.Name, r.MLps, r.Workers)
+			fmt.Fprintf(w, "  %-26s %8.1f Mlps  (%d serve loop(s), UDP wire path)  svc p50 %.0f µs  p99 %.0f µs\n",
+				r.Name, r.MLps, r.Workers, r.SvcP50Us, r.SvcP99Us)
 		case r.LagP50Us != 0:
 			fmt.Fprintf(w, "  %-26s lag p50 %6.0f µs  p90 %6.0f µs  p99 %6.0f µs  %8.0f applied/s (%.0f mutated/s)\n",
 				r.Name, r.LagP50Us, r.LagP90Us, r.LagP99Us, r.UpdatesPerS, r.MutatedPerS)

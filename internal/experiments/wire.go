@@ -49,15 +49,23 @@ func runWireSweep(cfg Config, f *shardfib.FIB, keys []uint32) ([]ServingResult, 
 			clients = 16
 		}
 		mlps, err := wireMLps(s.Addr().String(), clients, keys, 300*time.Millisecond)
+		// Service-time percentiles come off the server's own dispatch
+		// histogram — the series /metrics exports — read before Close
+		// tears the workers down.
+		svc := s.Metrics().ServiceSeconds
+		row := ServingResult{
+			Name:     fmt.Sprintf("wire-sharded16-w%d", workers),
+			MLps:     mlps,
+			Workers:  workers,
+			SvcP50Us: svc.Quantile(0.50) / 1e3,
+			SvcP90Us: svc.Quantile(0.90) / 1e3,
+			SvcP99Us: svc.Quantile(0.99) / 1e3,
+		}
 		s.Close()
 		if err != nil {
 			return nil, err
 		}
-		results = append(results, ServingResult{
-			Name:    fmt.Sprintf("wire-sharded16-w%d", workers),
-			MLps:    mlps,
-			Workers: workers,
-		})
+		results = append(results, row)
 	}
 	return results, nil
 }

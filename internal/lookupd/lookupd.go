@@ -34,11 +34,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fibcomp/internal/ip6"
+	"fibcomp/internal/obs"
 	"fibcomp/internal/shardfib"
 )
 
@@ -115,15 +117,22 @@ type wire struct {
 	scratch
 }
 
-// workerStats is one serve loop's counters, padded to its own pair of
-// cache lines so concurrent loops never write-share a line (the
-// global atomics they replace were measured bouncing between every
-// core at high datagram rates). Reads aggregate across loops.
+// workerStats is one serve loop's counters on obs cells: each cell is
+// padded to its own pair of cache lines so concurrent loops never
+// write-share a line (the global atomics the cells replace were
+// measured bouncing between every core at high datagram rates). Reads
+// aggregate across loops. The histogram pointers alias the
+// server-wide service-time and burst-size histograms so the burst
+// loop reaches all its telemetry through one pointer; they are nil in
+// the socketless tests that build a bare workerStats, which
+// Histogram.Observe tolerates.
 type workerStats struct {
-	requests atomic.Uint64
-	lookups  atomic.Uint64
-	errors   atomic.Uint64
-	_        [128 - 3*8]byte
+	requests obs.Cell
+	lookups  obs.Cell
+	errors   obs.Cell // socket errors
+	drops    obs.Cell // malformed datagrams dropped unanswered
+	svc      *obs.Histogram
+	burst    *obs.Histogram
 }
 
 // Options configures Listen's serving topology.
@@ -148,6 +157,14 @@ type Server struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 	stats  []workerStats // one padded slot per worker
+
+	// svcHist records burst dispatch service time in nanoseconds;
+	// burstHist records datagrams per recvmmsg burst. Shared across
+	// loops — an Observe is two atomic adds spread over a 4 KiB bucket
+	// array, and the burst path observes once per burst, not per
+	// datagram.
+	svcHist   *obs.Histogram
+	burstHist *obs.Histogram
 }
 
 // Listen binds a UDP socket ("127.0.0.1:0" picks an ephemeral port)
@@ -210,9 +227,15 @@ func ListenOptions(addr string, l Lookuper, l6 Lookuper6, o Options) (*Server, e
 		conns = []*net.UDPConn{conn}
 	}
 	s := &Server{
-		conns:   conns,
-		workers: workers,
-		stats:   make([]workerStats, workers),
+		conns:     conns,
+		workers:   workers,
+		stats:     make([]workerStats, workers),
+		svcHist:   obs.NewHistogram(1e-9), // ns observed, seconds exposed
+		burstHist: obs.NewHistogram(0),
+	}
+	for i := range s.stats {
+		s.stats[i].svc = s.svcHist
+		s.stats[i].burst = s.burstHist
 	}
 	s.fib.Store(&engineBox{l})
 	s.fib6.Store(&engineBox6{l6})
@@ -264,13 +287,105 @@ func (s *Server) Lookups() uint64 {
 }
 
 // Errors reports the number of dropped datagrams and socket errors,
-// aggregated across serve loops.
+// aggregated across serve loops. (Drops narrows to just the malformed
+// datagrams; Errors keeps the historical both-kinds meaning the
+// fibserve drain line reports.)
 func (s *Server) Errors() uint64 {
 	var n uint64
 	for i := range s.stats {
-		n += s.stats[i].errors.Load()
+		n += s.stats[i].errors.Load() + s.stats[i].drops.Load()
 	}
 	return n
+}
+
+// Drops reports the number of malformed datagrams dropped unanswered,
+// aggregated across serve loops.
+func (s *Server) Drops() uint64 {
+	var n uint64
+	for i := range s.stats {
+		n += s.stats[i].drops.Load()
+	}
+	return n
+}
+
+// WorkerStat is one serve loop's counters, the per-worker row the
+// fibserve drain report and /statusz render.
+type WorkerStat struct {
+	Worker   int    `json:"worker"`
+	Requests uint64 `json:"requests"`
+	Lookups  uint64 `json:"lookups"`
+	Errors   uint64 `json:"errors"`
+	Drops    uint64 `json:"drops"`
+}
+
+// WorkerStats snapshots every serve loop's counters.
+func (s *Server) WorkerStats() []WorkerStat {
+	out := make([]WorkerStat, len(s.stats))
+	for i := range s.stats {
+		out[i] = WorkerStat{
+			Worker:   i,
+			Requests: s.stats[i].requests.Load(),
+			Lookups:  s.stats[i].lookups.Load(),
+			Errors:   s.stats[i].errors.Load(),
+			Drops:    s.stats[i].drops.Load(),
+		}
+	}
+	return out
+}
+
+// Metrics is the server's aggregate telemetry view: the counter
+// totals plus the shared latency and burst-size histograms (service
+// time in raw nanoseconds, burst size in raw datagram counts).
+type Metrics struct {
+	Requests uint64
+	Lookups  uint64
+	Errors   uint64
+	Drops    uint64
+
+	ServiceSeconds *obs.Histogram
+	BurstSize      *obs.Histogram
+}
+
+// Metrics snapshots the aggregate counters and hands out the live
+// histograms (reads of which are atomic and cheap).
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Requests:       s.Requests(),
+		Lookups:        s.Lookups(),
+		Errors:         s.Errors(),
+		Drops:          s.Drops(),
+		ServiceSeconds: s.svcHist,
+		BurstSize:      s.burstHist,
+	}
+}
+
+// RegisterMetrics registers the server's metrics on r under the
+// lookupd_ prefix: per-worker counter series (a single unlabeled
+// series when the server runs one loop) plus the service-time and
+// burst-size histograms. Scrapes read the same per-worker cells the
+// serve loops write — registration adds no hot-path cost.
+func (s *Server) RegisterMetrics(r *obs.Registry) {
+	counter := func(name, help string, read func(*workerStats) uint64) {
+		if s.workers == 1 {
+			st := &s.stats[0]
+			r.MustCounterFunc(name, "", help, func() uint64 { return read(st) })
+			return
+		}
+		for i := range s.stats {
+			st := &s.stats[i]
+			r.MustCounterFunc(name, `worker="`+strconv.Itoa(i)+`"`, help, func() uint64 { return read(st) })
+		}
+	}
+	counter("lookupd_requests_total", "Well-formed request datagrams served.",
+		func(st *workerStats) uint64 { return st.requests.Load() })
+	counter("lookupd_lookups_total", "Addresses resolved.",
+		func(st *workerStats) uint64 { return st.lookups.Load() })
+	counter("lookupd_errors_total", "Socket errors.",
+		func(st *workerStats) uint64 { return st.errors.Load() })
+	counter("lookupd_drops_total", "Malformed datagrams dropped unanswered.",
+		func(st *workerStats) uint64 { return st.drops.Load() })
+	r.MustHistogram("lookupd_service_seconds", "", "Dispatch service time per burst (Linux) or per datagram (portable loop).", s.svcHist)
+	r.MustHistogram("lookupd_burst_datagrams", "", "Datagrams drained per recvmmsg burst.", s.burstHist)
 }
 
 // Swap atomically replaces the serving IPv4 FIB. Loops running a
@@ -356,15 +471,17 @@ func (s *Server) serveSimple(conn *net.UDPConn, st *workerStats) {
 			if s.closed.Load() {
 				return
 			}
-			st.errors.Add(1)
+			st.errors.Inc()
 			continue
 		}
+		start := time.Now()
 		respLen, _ := s.dispatchOne(w, n, st)
+		st.svc.Observe(uint64(time.Since(start)))
 		if respLen == 0 {
 			continue // malformed request: drop, like a router would
 		}
 		if _, err := conn.WriteToUDPAddrPort(w.resp[:respLen], peer); err != nil {
-			st.errors.Add(1)
+			st.errors.Inc()
 		}
 	}
 }
@@ -432,10 +549,10 @@ func (s *Server) dispatchOne(w *wire, n int, st *workerStats) (respLen, count in
 // count records one dispatch outcome.
 func (st *workerStats) count(respLen, lookups int) {
 	if respLen == 0 {
-		st.errors.Add(1)
+		st.drops.Inc()
 		return
 	}
-	st.requests.Add(1)
+	st.requests.Inc()
 	st.lookups.Add(uint64(lookups))
 }
 

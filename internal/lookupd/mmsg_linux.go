@@ -5,6 +5,7 @@ package lookupd
 import (
 	"net"
 	"syscall"
+	"time"
 	"unsafe"
 )
 
@@ -128,8 +129,11 @@ func (b *burstConn) send(out int) error {
 // peer sockaddrs) into the send slots, release the pins. Malformed
 // datagrams produce no reply slot. Returns the number of replies
 // packed. Split from serveBurst so the zero-allocation test can drive
-// it without sockets.
+// it without sockets. Telemetry cost per burst: one clock read pair
+// plus four atomic adds (burst-size and service-time histograms),
+// amortized across up to burstSize datagrams.
 func (s *Server) dispatchAll(b *burstConn, got int, sc *scratch, st *workerStats) int {
+	start := time.Now()
 	p := s.pinEngines()
 	out := 0
 	for i := 0; i < got; i++ {
@@ -146,6 +150,10 @@ func (s *Server) dispatchAll(b *burstConn, got int, sc *scratch, st *workerStats
 		out++
 	}
 	p.release()
+	if got > 0 {
+		st.burst.Observe(uint64(got))
+		st.svc.Observe(uint64(time.Since(start)))
+	}
 	return out
 }
 
@@ -159,7 +167,7 @@ func (s *Server) serveBurst(b *burstConn, st *workerStats) {
 			if s.closed.Load() {
 				return
 			}
-			st.errors.Add(1)
+			st.errors.Inc()
 			continue
 		}
 		out := s.dispatchAll(b, got, sc, st)
@@ -170,7 +178,7 @@ func (s *Server) serveBurst(b *burstConn, st *workerStats) {
 			if s.closed.Load() {
 				return
 			}
-			st.errors.Add(1)
+			st.errors.Inc()
 		}
 	}
 }

@@ -8,13 +8,16 @@ import (
 	"testing"
 
 	"fibcomp/internal/ip6"
+	"fibcomp/internal/obs"
 )
 
 // TestBurstDispatchZeroAllocs extends the 0-alloc-per-datagram
 // contract to the burst path: resolving a full recvmmsg burst of
 // mixed-family datagrams — one view pin for the whole burst, 32
 // dispatches, reply packing into the sendmmsg slots — touches the
-// heap zero times.
+// heap zero times. The worker's stats slot carries live service-time
+// and burst-size histograms, so the contract covers the fully
+// instrumented path, not a telemetry-stripped one.
 func TestBurstDispatchZeroAllocs(t *testing.T) {
 	f4a, _, f6a, _, _, _ := parallelEngines(t)
 	s := &Server{}
@@ -23,6 +26,8 @@ func TestBurstDispatchZeroAllocs(t *testing.T) {
 	b := new(burstConn)
 	sc := new(scratch)
 	st := new(workerStats)
+	st.svc = obs.NewHistogram(1e-9)
+	st.burst = obs.NewHistogram(0)
 
 	rng := rand.New(rand.NewSource(41))
 	for i := 0; i < burstSize; i++ {
@@ -62,13 +67,25 @@ func TestBurstDispatchZeroAllocs(t *testing.T) {
 	}
 
 	// A malformed datagram in the middle of a burst costs its reply
-	// slot and an error count, nothing else.
+	// slot and a drop count, nothing else.
 	b.recvHdrs[5].n = 3
-	errsBefore := st.errors.Load()
+	dropsBefore := st.drops.Load()
 	if out := s.dispatchAll(b, burstSize, sc, st); out != burstSize-1 {
 		t.Fatalf("burst with one malformed datagram packed %d replies, want %d", out, burstSize-1)
 	}
-	if st.errors.Load() != errsBefore+1 {
-		t.Fatal("malformed datagram in burst not counted")
+	if st.drops.Load() != dropsBefore+1 {
+		t.Fatal("malformed datagram in burst not counted as a drop")
+	}
+
+	// The instrumentation actually recorded: one histogram sample per
+	// burst, every sample a full burstSize datagrams.
+	if n := st.burst.Count(); n == 0 {
+		t.Fatal("burst-size histogram recorded nothing")
+	}
+	if st.svc.Count() != st.burst.Count() {
+		t.Fatalf("service-time samples (%d) != burst samples (%d)", st.svc.Count(), st.burst.Count())
+	}
+	if got := st.burst.Quantile(0.5); got < float64(burstSize)*0.9 || got > float64(burstSize)*1.1 {
+		t.Fatalf("burst-size p50 = %.1f, want ~%d", got, burstSize)
 	}
 }

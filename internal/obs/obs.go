@@ -1,0 +1,102 @@
+// Package obs is the serving stack's telemetry substrate: lock-free
+// counters and gauges on cache-line-padded cells, log-bucketed
+// fixed-size histograms, a registry with Prometheus text exposition,
+// and a bounded ring-buffer event trace for the publish pipeline.
+//
+// The package exists to make a live fibserve process observable
+// without touching the hot-path contracts the engine is built on:
+// every write-side primitive — Cell.Add, Histogram.Observe,
+// TraceRing.Record — is a handful of atomic operations into
+// preallocated fixed-size storage, performs zero heap allocations,
+// and never takes a lock. Exposition (the /metrics scrape, the
+// /statusz snapshot) reads the same atomics; a scrape can therefore
+// never block or slow a writer, only observe a value mid-flight —
+// which for monotone counters and histogram buckets is harmless
+// (the scrape sees a consistent-enough point between two updates).
+//
+// obs depends on nothing but the standard library and is imported by
+// the layers it instruments (lookupd, ribd, shardfib); it must never
+// import them back.
+package obs
+
+import "sync/atomic"
+
+// CellSize is the padded footprint of one counter cell: two cache
+// lines, so adjacent cells in a per-worker array can never
+// write-share a line even on CPUs that prefetch line pairs (the same
+// discipline the lookupd per-worker stats were measured to need — a
+// single shared atomic bounced between every core at high datagram
+// rates).
+const CellSize = 128
+
+// Cell is one padded atomic counter slot. A worker owns a cell
+// outright and Adds to it without contention; readers aggregate
+// across cells with Load. The zero value is ready to use.
+type Cell struct {
+	v atomic.Uint64
+	_ [CellSize - 8]byte
+}
+
+// Add increments the cell.
+func (c *Cell) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the cell by one.
+func (c *Cell) Inc() { c.v.Add(1) }
+
+// Load reads the cell.
+func (c *Cell) Load() uint64 { return c.v.Load() }
+
+// Store sets the cell (gauge use).
+func (c *Cell) Store(n uint64) { c.v.Store(n) }
+
+// Counter is a monotone counter sharded across per-worker padded
+// cells: writers touch only their own cell, readers sum. With one
+// cell it degenerates to a plain padded atomic.
+type Counter struct {
+	cells []Cell
+}
+
+// NewCounter makes a counter with one padded cell per worker
+// (workers < 1 is treated as 1).
+func NewCounter(workers int) *Counter {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Counter{cells: make([]Cell, workers)}
+}
+
+// Cell returns worker i's cell for direct, indirection-free Adds on
+// the hot path.
+func (c *Counter) Cell(i int) *Cell { return &c.cells[i] }
+
+// Cells reports the number of per-worker cells.
+func (c *Counter) Cells() int { return len(c.cells) }
+
+// Add increments worker i's cell.
+func (c *Counter) Add(i int, n uint64) { c.cells[i].Add(n) }
+
+// Value sums every cell.
+func (c *Counter) Value() uint64 {
+	var n uint64
+	for i := range c.cells {
+		n += c.cells[i].Load()
+	}
+	return n
+}
+
+// CellValue reads one worker's cell.
+func (c *Counter) CellValue(i int) uint64 { return c.cells[i].Load() }
+
+// Gauge is a last-write-wins instantaneous value.
+type Gauge struct {
+	cell Cell
+}
+
+// NewGauge makes a gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n uint64) { g.cell.Store(n) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() uint64 { return g.cell.Load() }

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestBucketGeometry pins the log-linear bucket math: every value
+// lands in a bucket whose bounds contain it, indices are monotone in
+// the value, and upper bounds are strictly increasing — the
+// properties the exposition's cumulative-bucket convention and the
+// quantile estimator both rest on.
+func TestBucketGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	probe := func(v uint64) {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of [0,%d)", v, i, histBuckets)
+		}
+		if up := bucketUpper(i); v > up {
+			t.Fatalf("value %d above its bucket %d's upper bound %d", v, i, up)
+		}
+		if i > 0 {
+			if lo := bucketUpper(i-1) + 1; v < lo {
+				t.Fatalf("value %d below its bucket %d's lower bound %d", v, i, lo)
+			}
+		}
+	}
+	for v := uint64(0); v < 4096; v++ {
+		probe(v)
+	}
+	for k := 0; k < 100000; k++ {
+		probe(rng.Uint64())
+	}
+	probe(^uint64(0))
+	for i := 1; i < histBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucket upper bounds not increasing at %d: %d then %d", i, bucketUpper(i-1), bucketUpper(i))
+		}
+	}
+}
+
+// TestHistogramQuantile checks the estimator against an exact
+// distribution: with log-linear buckets at histSubBits=3 the relative
+// error of any quantile is bounded by one bucket width (12.5% of the
+// value, plus half a bucket of interpolation slack).
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0)
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := uint64(rng.Intn(1_000_000))
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := q * 1_000_000 // uniform distribution
+		if rel := (got - want) / want; rel < -0.15 || rel > 0.15 {
+			t.Fatalf("Quantile(%.2f) = %.0f, want ~%.0f (rel err %.2f)", q, got, want, rel)
+		}
+	}
+	empty := NewHistogram(0)
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+}
+
+// TestCounterCells checks per-cell isolation and aggregation.
+func TestCounterCells(t *testing.T) {
+	c := NewCounter(4)
+	for i := 0; i < 4; i++ {
+		c.Cell(i).Add(uint64(i + 1))
+	}
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d, want 10", c.Value())
+	}
+	if c.CellValue(2) != 3 {
+		t.Fatalf("CellValue(2) = %d, want 3", c.CellValue(2))
+	}
+	if NewCounter(0).Cells() != 1 {
+		t.Fatal("NewCounter(0) should clamp to one cell")
+	}
+}
+
+// TestRegistryErrors pins registration validation: bad names and
+// duplicate name+label pairs are refused, distinct label blocks under
+// one name are fine.
+func TestRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.CounterFunc("0bad", "", "", func() uint64 { return 0 }); err == nil {
+		t.Fatal("name starting with a digit accepted")
+	}
+	if err := r.CounterFunc("x_total", `family="4"`, "", func() uint64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CounterFunc("x_total", `family="4"`, "", func() uint64 { return 0 }); err == nil {
+		t.Fatal("duplicate name+labels accepted")
+	}
+	if err := r.CounterFunc("x_total", `family="6"`, "", func() uint64 { return 0 }); err != nil {
+		t.Fatalf("second label block under one name refused: %v", err)
+	}
+}
+
+// TestTraceRing checks wrap-around retention and newest-first
+// snapshots.
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(10) // rounds up to 16
+	if r.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", r.Cap())
+	}
+	for i := 0; i < 40; i++ {
+		r.Record(TraceEvent{Kind: TraceApplyBatch, Ops: int32(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("snapshot kept %d events, want 16", len(evs))
+	}
+	for k, ev := range evs {
+		if want := int32(39 - k); ev.Ops != want {
+			t.Fatalf("snapshot[%d].Ops = %d, want %d (newest first)", k, ev.Ops, want)
+		}
+		if ev.KindS != "apply_batch" {
+			t.Fatalf("snapshot[%d].KindS = %q", k, ev.KindS)
+		}
+	}
+	var nilRing *TraceRing
+	nilRing.Record(TraceEvent{}) // must be a safe no-op
+	if nilRing.Snapshot() != nil || nilRing.Len() != 0 || nilRing.Cap() != 0 {
+		t.Fatal("nil ring not inert")
+	}
+}
+
+// TestWriteAllocs pins the hot-path contract the whole package exists
+// to keep: recording into cells, histograms and the trace ring
+// allocates nothing.
+func TestWriteAllocs(t *testing.T) {
+	c := NewCounter(2)
+	h := NewHistogram(1e-9)
+	r := NewTraceRing(64)
+	cell := c.Cell(1)
+	allocs := testing.AllocsPerRun(200, func() {
+		cell.Add(3)
+		h.Observe(12345)
+		r.Record(TraceEvent{Kind: TraceApplyBatch, Family: 4, Shards: 3, Bytes: 4096, DurUs: 17})
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry writes allocated %.2f times per round, want 0", allocs)
+	}
+}
+
+// TestSnapshot checks the statusz-side view: values, per-cell rows
+// and histogram quantiles in exposition units.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter(2)
+	c.Cell(0).Add(5)
+	c.Cell(1).Add(7)
+	r.MustCounter("w_total", "", "", c, "worker")
+	h := NewHistogram(1e-3)
+	h.Observe(1000) // raw ms-ish unit: 1000 raw = 1.0 exposed
+	r.MustHistogram("d_seconds", "", "", h)
+	snaps := r.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	// Sorted by name: d_seconds then w_total.
+	if snaps[0].Name != "d_seconds" || snaps[0].Count != 1 {
+		t.Fatalf("histogram snapshot wrong: %+v", snaps[0])
+	}
+	if snaps[0].P50 < 0.8 || snaps[0].P50 > 1.2 {
+		t.Fatalf("scaled P50 = %v, want ~1.0", snaps[0].P50)
+	}
+	if snaps[1].Value != 12 || len(snaps[1].Cells) != 2 || snaps[1].Cells[1] != 7 {
+		t.Fatalf("counter snapshot wrong: %+v", snaps[1])
+	}
+}
+
+// TestHelpTypeOncePerFamily checks that two label blocks of one
+// metric family share a single # TYPE header (Prometheus requires
+// it).
+func TestHelpTypeOncePerFamily(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounterFunc("f_total", `family="4"`, "per-family", func() uint64 { return 1 })
+	r.MustCounterFunc("f_total", `family="6"`, "per-family", func() uint64 { return 2 })
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE f_total counter") != 1 {
+		t.Fatalf("TYPE header not emitted exactly once:\n%s", out)
+	}
+	if !strings.Contains(out, `f_total{family="4"} 1`) || !strings.Contains(out, `f_total{family="6"} 2`) {
+		t.Fatalf("label blocks missing:\n%s", out)
+	}
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a set of named metrics with Prometheus text exposition
+// and a JSON-friendly snapshot. Registration takes a mutex; scraping
+// takes the same mutex only to walk the entry list — the metric
+// values themselves are read with atomic loads, so a scrape never
+// blocks a writer and a writer never blocks a scrape. Metric names
+// follow the Prometheus grammar ([a-zA-Z_:][a-zA-Z0-9_:]*); labels
+// are passed pre-rendered (`family="4",format="v1"`) since the
+// instrumenting layers know their label sets statically.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	index   map[string]bool // name+labels, to reject duplicates
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered metric. Exactly one of counter, fn and hist
+// is set; cellLabel names the per-cell label dimension of a sharded
+// counter ("worker"), empty for single-series metrics.
+type entry struct {
+	name      string
+	labels    string
+	help      string
+	kind      metricKind
+	counter   *Counter
+	cellLabel string
+	fn        func() uint64
+	hist      *Histogram
+}
+
+// NewRegistry makes an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]bool)}
+}
+
+func (r *Registry) add(e *entry) error {
+	if !validName(e.name) {
+		return fmt.Errorf("obs: invalid metric name %q", e.name)
+	}
+	key := e.name + "{" + e.labels + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.index[key] {
+		return fmt.Errorf("obs: duplicate metric %s", key)
+	}
+	r.index[key] = true
+	r.entries = append(r.entries, e)
+	return nil
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers a per-worker sharded counter. cellLabel, when
+// non-empty, emits one series per cell labeled cellLabel="i"; empty
+// emits one summed series. labels is a pre-rendered constant label
+// block ("" for none).
+func (r *Registry) Counter(name, labels, help string, c *Counter, cellLabel string) error {
+	return r.add(&entry{name: name, labels: labels, help: help, kind: kindCounter, counter: c, cellLabel: cellLabel})
+}
+
+// CounterFunc registers a monotone counter whose value is read from
+// fn at scrape time — the zero-overhead way to expose a subsystem's
+// existing atomic counters.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() uint64) error {
+	return r.add(&entry{name: name, labels: labels, help: help, kind: kindCounter, fn: fn})
+}
+
+// GaugeFunc registers an instantaneous value read from fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() uint64) error {
+	return r.add(&entry{name: name, labels: labels, help: help, kind: kindGauge, fn: fn})
+}
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name, labels, help string, h *Histogram) error {
+	return r.add(&entry{name: name, labels: labels, help: help, kind: kindHistogram, hist: h})
+}
+
+// MustCounter is Counter, panicking on registration error (invalid
+// name, duplicate) — wiring mistakes, not runtime conditions.
+func (r *Registry) MustCounter(name, labels, help string, c *Counter, cellLabel string) {
+	must(r.Counter(name, labels, help, c, cellLabel))
+}
+
+// MustCounterFunc is CounterFunc, panicking on registration error.
+func (r *Registry) MustCounterFunc(name, labels, help string, fn func() uint64) {
+	must(r.CounterFunc(name, labels, help, fn))
+}
+
+// MustGaugeFunc is GaugeFunc, panicking on registration error.
+func (r *Registry) MustGaugeFunc(name, labels, help string, fn func() uint64) {
+	must(r.GaugeFunc(name, labels, help, fn))
+}
+
+// MustHistogram is Histogram, panicking on registration error.
+func (r *Registry) MustHistogram(name, labels, help string, h *Histogram) {
+	must(r.Histogram(name, labels, help, h))
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// WriteProm writes the Prometheus text exposition format: one # HELP
+// and # TYPE pair per metric family, then its sample lines.
+// Histograms follow the cumulative-bucket convention — only occupied
+// boundaries are emitted (plus +Inf), which is valid exposition: any
+// subset of cumulative boundaries is.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	var b strings.Builder
+	seenFamily := make(map[string]bool)
+	for _, e := range entries {
+		if !seenFamily[e.name] {
+			seenFamily[e.name] = true
+			if e.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, e.kind)
+		}
+		switch e.kind {
+		case kindCounter, kindGauge:
+			if e.counter != nil && e.cellLabel != "" && e.counter.Cells() > 1 {
+				for i := 0; i < e.counter.Cells(); i++ {
+					writeSample(&b, e.name, joinLabels(e.labels, e.cellLabel+`="`+strconv.Itoa(i)+`"`), formatUint(e.counter.CellValue(i)))
+				}
+				continue
+			}
+			v := uint64(0)
+			if e.counter != nil {
+				v = e.counter.Value()
+			} else if e.fn != nil {
+				v = e.fn()
+			}
+			writeSample(&b, e.name, e.labels, formatUint(v))
+		case kindHistogram:
+			writeHistogram(&b, e)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, e *entry) {
+	uppers, counts := e.hist.snapshotBuckets()
+	var cum uint64
+	for i, up := range uppers {
+		cum += counts[i]
+		le := strconv.FormatFloat(float64(up)*e.hist.Scale, 'g', -1, 64)
+		writeSample(b, e.name+"_bucket", joinLabels(e.labels, `le="`+le+`"`), formatUint(cum))
+	}
+	writeSample(b, e.name+"_bucket", joinLabels(e.labels, `le="+Inf"`), formatUint(cum))
+	writeSample(b, e.name+"_sum", e.labels, strconv.FormatFloat(float64(e.hist.Sum())*e.hist.Scale, 'g', -1, 64))
+	writeSample(b, e.name+"_count", e.labels, formatUint(cum))
+}
+
+func writeSample(b *strings.Builder, name, labels, value string) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return a + "," + b
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// MetricSnapshot is one metric's point-in-time state in JSON-friendly
+// form, the unit /statusz serves. Counters and gauges carry Value
+// (and per-cell values when sharded); histograms carry Count, Sum and
+// the three headline quantiles, all in exposition units.
+type MetricSnapshot struct {
+	Name   string   `json:"name"`
+	Labels string   `json:"labels,omitempty"`
+	Kind   string   `json:"kind"`
+	Value  uint64   `json:"value,omitempty"`
+	Cells  []uint64 `json:"cells,omitempty"`
+	Count  uint64   `json:"count,omitempty"`
+	Sum    float64  `json:"sum,omitempty"`
+	P50    float64  `json:"p50,omitempty"`
+	P90    float64  `json:"p90,omitempty"`
+	P99    float64  `json:"p99,omitempty"`
+}
+
+// Snapshot captures every registered metric, sorted by name then
+// label block, for the JSON status endpoint.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	out := make([]MetricSnapshot, 0, len(entries))
+	for _, e := range entries {
+		m := MetricSnapshot{Name: e.name, Labels: e.labels, Kind: e.kind.String()}
+		switch e.kind {
+		case kindCounter, kindGauge:
+			switch {
+			case e.counter != nil && e.cellLabel != "" && e.counter.Cells() > 1:
+				m.Cells = make([]uint64, e.counter.Cells())
+				for i := range m.Cells {
+					m.Cells[i] = e.counter.CellValue(i)
+					m.Value += m.Cells[i]
+				}
+			case e.counter != nil:
+				m.Value = e.counter.Value()
+			case e.fn != nil:
+				m.Value = e.fn()
+			}
+		case kindHistogram:
+			m.Count = e.hist.Count()
+			m.Sum = float64(e.hist.Sum()) * e.hist.Scale
+			m.P50 = e.hist.Quantile(0.50) * e.hist.Scale
+			m.P90 = e.hist.Quantile(0.90) * e.hist.Scale
+			m.P99 = e.hist.Quantile(0.99) * e.hist.Scale
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}

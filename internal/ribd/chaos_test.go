@@ -12,6 +12,7 @@ import (
 	"fibcomp/internal/gen"
 	"fibcomp/internal/ip6"
 	"fibcomp/internal/lookupd"
+	"fibcomp/internal/obs"
 	"fibcomp/internal/shardfib"
 )
 
@@ -80,6 +81,16 @@ func chaosRun(t *testing.T, resume bool) {
 		RestartTime: time.Hour,
 	})
 	defer p.Close()
+	// Full telemetry live for the whole chaos run: the plane's
+	// registry metrics plus the engines' publish instrumentation, so
+	// the conservation law below can be re-checked from a scrape, the
+	// way an operator would see it.
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg)
+	ins := &shardfib.Instruments{PublishSeconds: obs.NewHistogram(1e-9), Trace: obs.NewTraceRing(128)}
+	eng.SetInstruments(ins)
+	eng6.SetInstruments(ins)
+	shardfib.RegisterMetrics(reg, ins, eng, eng6)
 	srv, err := ServeOptions(p, "127.0.0.1:0", ServerOptions{IdleTimeout: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -205,6 +216,29 @@ func chaosRun(t *testing.T, resume bool) {
 	}
 	if st.Received+st.Swept != st.Coalesced+st.Applied {
 		t.Fatalf("conservation through chaos: %+v", st)
+	}
+	// The same law, read the way an operator would: off a registry
+	// scrape (with the pending gauge closing the identity mid-stream —
+	// zero here, after the feeder's final barrier).
+	vals := scrapeValues(t, reg)
+	if vals["ribd_received_total"]+vals["ribd_swept_total"] !=
+		vals["ribd_coalesced_total"]+vals["ribd_applied_total"]+vals["ribd_pending"] {
+		t.Fatalf("scraped conservation violated: %v", vals)
+	}
+	if vals["ribd_flushes_total"] == 0 || vals["ribd_apply_errors_total"] != 0 {
+		t.Fatalf("scraped flush counters wrong: %v", vals)
+	}
+	// The publish pipeline traced its work: ApplyBatch events for both
+	// families landed in the ring while the chaos feed churned.
+	fams := map[uint8]bool{}
+	for _, ev := range ins.Trace.Snapshot() {
+		fams[ev.Family] = true
+	}
+	if !fams[4] || !fams[6] {
+		t.Fatalf("trace ring missing a family: %v", fams)
+	}
+	if ins.PublishSeconds.Count() == 0 {
+		t.Fatal("publish histogram empty after a chaos run")
 	}
 	if resume {
 		// Every bounce reconnected inside the restart window with seq

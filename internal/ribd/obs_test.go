@@ -1,0 +1,206 @@
+package ribd
+
+import (
+	"math/rand"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"fibcomp/internal/gen"
+	"fibcomp/internal/obs"
+	"fibcomp/internal/shardfib"
+)
+
+// Prometheus text-exposition grammar: comment lines and sample lines.
+// Metric names [a-zA-Z_:][a-zA-Z0-9_:]*, optional pre-rendered label
+// block, and a decimal or scientific-notation value.
+var (
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	promSample  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+]Inf|NaN)$`)
+)
+
+// scrapeValues renders the registry in exposition format, validates
+// every line against the grammar, and returns the samples summed by
+// bare metric name (label blocks collapse — exactly what the
+// conservation identity wants). Histogram series keep their suffixed
+// names; only a series' +Inf bucket counts toward <name>_bucket.
+func scrapeValues(t *testing.T, reg *obs.Registry) map[string]float64 {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, labels := m[1], m[2]
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if strings.HasSuffix(name, "_bucket") && !strings.Contains(labels, `le="+Inf"`) {
+			continue
+		}
+		vals[name] += v
+	}
+	return vals
+}
+
+// TestMetricsExposition drives a small dual-stack plane with every
+// telemetry layer registered and checks the scrape end to end: the
+// text parses clean under the exposition grammar, histogram buckets
+// are cumulative and monotone with +Inf equal to _count, and the
+// plane's counters obey Received + Swept = Coalesced + Applied +
+// pending at a sync barrier.
+func TestMetricsExposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	tab, err := gen.SplitFIB(rng, 800, []float64{0.5, 0.3, 0.15, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := shardfib.Build(tab, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(eng, Options{MaxStaleness: time.Millisecond})
+	defer p.Close()
+
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg)
+	ins := &shardfib.Instruments{PublishSeconds: obs.NewHistogram(1e-9), Trace: obs.NewTraceRing(64)}
+	eng.SetInstruments(ins)
+	shardfib.RegisterMetrics(reg, ins, eng, nil)
+
+	// A churny feed with built-in redundancy: BGP-style updates where
+	// re-announcements and flaps are common, plus a literal duplicate
+	// burst so coalescing is guaranteed to fire.
+	us := gen.BGPUpdates(rng, tab, 600)
+	us = append(us, us[:50]...)
+	for _, u := range us {
+		p.Enqueue(u)
+	}
+	p.Sync()
+
+	vals := scrapeValues(t, reg)
+	for _, name := range []string{"ribd_received_total", "ribd_applied_total", "ribd_flushes_total"} {
+		if vals[name] == 0 {
+			t.Fatalf("%s = 0 after a churny feed: %v", name, vals)
+		}
+	}
+	if vals["ribd_pending"] != 0 {
+		t.Fatalf("pending = %v at a sync barrier, want 0", vals["ribd_pending"])
+	}
+	if vals["ribd_received_total"]+vals["ribd_swept_total"] !=
+		vals["ribd_coalesced_total"]+vals["ribd_applied_total"] {
+		t.Fatalf("conservation violated at barrier: %v", vals)
+	}
+	if vals["shardfib_publish_seconds_bucket"] == 0 || vals["ribd_flush_seconds_bucket"] == 0 {
+		t.Fatalf("histograms recorded nothing: %v", vals)
+	}
+
+	// Histogram series invariants, checked per label-block series:
+	// cumulative bucket counts never decrease as le grows, and the
+	// +Inf bucket equals _count.
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	type series struct {
+		last    float64
+		inf     float64
+		lastLe  float64
+		started bool
+	}
+	hists := make(map[string]*series)
+	counts := make(map[string]float64)
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		name, labels := m[1], m[2]
+		v, _ := strconv.ParseFloat(m[4], 64)
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base := strings.TrimSuffix(name, "_bucket")
+			key := base + stripLe(labels)
+			s := hists[key]
+			if s == nil {
+				s = &series{}
+				hists[key] = s
+			}
+			le := leOf(t, labels)
+			if le == -1 { // +Inf
+				s.inf = v
+				break
+			}
+			if s.started && (v < s.last || le <= s.lastLe) {
+				t.Fatalf("bucket series %s not monotone at le=%v: %v after %v", key, le, v, s.last)
+			}
+			s.last, s.lastLe, s.started = v, le, true
+		case strings.HasSuffix(name, "_count"):
+			counts[strings.TrimSuffix(name, "_count")+labels] = v
+		}
+	}
+	if len(hists) == 0 {
+		t.Fatal("no histogram series in the exposition")
+	}
+	for key, s := range hists {
+		if s.inf != counts[key] {
+			t.Fatalf("series %s: +Inf bucket %v != _count %v", key, s.inf, counts[key])
+		}
+		if s.started && s.last > s.inf {
+			t.Fatalf("series %s: finite bucket %v exceeds +Inf %v", key, s.last, s.inf)
+		}
+	}
+}
+
+// stripLe removes the le label from a histogram label block, leaving
+// the series key shared by every bucket of one histogram.
+func stripLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, kv := range strings.Split(inner, ",") {
+		if !strings.HasPrefix(kv, `le="`) {
+			kept = append(kept, kv)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// leOf extracts the le boundary from a bucket label block; -1 for
+// +Inf.
+func leOf(t *testing.T, labels string) float64 {
+	t.Helper()
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		t.Fatalf("bucket sample without le label: %q", labels)
+	}
+	rest := labels[i+4:]
+	j := strings.IndexByte(rest, '"')
+	if rest[:j] == "+Inf" {
+		return -1
+	}
+	v, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		t.Fatalf("unparseable le %q: %v", rest[:j], err)
+	}
+	return v
+}

@@ -74,13 +74,13 @@ type peerState struct {
 
 // PeerInfo is a point-in-time snapshot of one named peer's state.
 type PeerInfo struct {
-	Name     string
-	Up       bool
-	Seq      uint64 // updates accepted, lifetime
-	Routes   int64  // prefixes currently owned
-	Bytes    uint64 // feed bytes read from this peer's sessions
-	Resets   uint64 // sessions ended abnormally
-	Timeouts uint64 // sessions reset by the idle deadline
+	Name     string `json:"name"`
+	Up       bool   `json:"up"`
+	Seq      uint64 `json:"seq"`      // updates accepted, lifetime
+	Routes   int64  `json:"routes"`   // prefixes currently owned
+	Bytes    uint64 `json:"bytes"`    // feed bytes read from this peer's sessions
+	Resets   uint64 `json:"resets"`   // sessions ended abnormally
+	Timeouts uint64 `json:"timeouts"` // sessions reset by the idle deadline
 }
 
 // PeerInfo snapshots every named peer the plane has seen, for

@@ -37,6 +37,7 @@ import (
 	"fibcomp/internal/fib"
 	"fibcomp/internal/gen"
 	"fibcomp/internal/ip6"
+	"fibcomp/internal/obs"
 	"fibcomp/internal/shardfib"
 )
 
@@ -108,15 +109,15 @@ func (o Options) withDefaults() Options {
 // enter the pending maps like any received update and are published
 // by the same flushes.
 type Stats struct {
-	Received    uint64 // updates accepted into the plane
-	Coalesced   uint64 // updates squashed into an already-pending prefix
-	Applied     uint64 // coalesced updates handed to the engine
-	Mutated     uint64 // applied updates that actually changed the engine (the rest were no-op re-announcements it squashed)
-	Rejected    uint64 // updates dropped for invalid prefix/label
-	Flushes     uint64 // paced batch publishes
-	ApplyErrors uint64 // engine errors during a flush (should stay 0)
-	Swept       uint64 // stale-route withdrawals generated by graceful-restart sweeps
-	Shed        uint64 // sessions reset for exceeding their peer's backlog budget
+	Received    uint64 `json:"received"`     // updates accepted into the plane
+	Coalesced   uint64 `json:"coalesced"`    // updates squashed into an already-pending prefix
+	Applied     uint64 `json:"applied"`      // coalesced updates handed to the engine
+	Mutated     uint64 `json:"mutated"`      // applied updates that actually changed the engine (the rest were no-op re-announcements it squashed)
+	Rejected    uint64 `json:"rejected"`     // updates dropped for invalid prefix/label
+	Flushes     uint64 `json:"flushes"`      // paced batch publishes
+	ApplyErrors uint64 `json:"apply_errors"` // engine errors during a flush (should stay 0)
+	Swept       uint64 `json:"swept"`        // stale-route withdrawals generated by graceful-restart sweeps
+	Shed        uint64 `json:"shed"`         // sessions reset for exceeding their peer's backlog budget
 }
 
 // item is one unit on the ingest channel: a single update, a burst of
@@ -205,6 +206,28 @@ type Plane struct {
 	applyErrors atomic.Uint64
 	swept       atomic.Uint64
 	shed        atomic.Uint64
+
+	// pendingN mirrors the flusher-owned npending for scrape-time
+	// reads: the gauge term that closes the conservation law
+	// Received + Swept = Coalesced + Applied + pending between
+	// barriers.
+	pendingN atomic.Int64
+
+	// met is the optional flush-telemetry hook installed by
+	// RegisterMetrics; nil costs the flush path one pointer load.
+	met atomic.Pointer[planeMetrics]
+}
+
+// planeMetrics is the plane's histogram pair, recorded by the flusher
+// and read by scrapes.
+type planeMetrics struct {
+	// flushSeconds is one flush's span — pending-map drain, both
+	// families' ApplyBatch — in raw nanoseconds.
+	flushSeconds *obs.Histogram
+	// staleness is the gap between a flush's start and the previous
+	// flush's end: the realized pacing interval, whose p99 should sit
+	// at or under Options.MaxStaleness.
+	staleness *obs.Histogram
 }
 
 // New starts a plane over eng. The caller keeps ownership of eng for
@@ -312,6 +335,36 @@ func (p *Plane) Close() error {
 	p.stop.Do(func() { close(p.quit) })
 	<-p.done
 	return nil
+}
+
+// Pending reports the number of distinct prefixes currently waiting
+// in the coalescing maps (0 at every Sync barrier).
+func (p *Plane) Pending() int { return int(p.pendingN.Load()) }
+
+// RegisterMetrics registers the plane's counters, the pending gauge
+// and the flush-duration and staleness histograms on r under the
+// ribd_ prefix. The counters are exposed straight off the existing
+// atomics (zero added hot-path cost); the histograms are installed
+// behind an atomic pointer the flusher checks per flush.
+func (p *Plane) RegisterMetrics(r *obs.Registry) {
+	m := &planeMetrics{
+		flushSeconds: obs.NewHistogram(1e-9),
+		staleness:    obs.NewHistogram(1e-9),
+	}
+	p.met.Store(m)
+	r.MustCounterFunc("ribd_received_total", "", "Updates accepted into the plane.", p.received.Load)
+	r.MustCounterFunc("ribd_coalesced_total", "", "Updates squashed into an already-pending prefix.", p.coalesced.Load)
+	r.MustCounterFunc("ribd_applied_total", "", "Coalesced updates handed to the engine.", p.applied.Load)
+	r.MustCounterFunc("ribd_mutated_total", "", "Applied updates that actually changed the engine.", p.mutated.Load)
+	r.MustCounterFunc("ribd_rejected_total", "", "Updates dropped for invalid prefix or label.", p.rejected.Load)
+	r.MustCounterFunc("ribd_flushes_total", "", "Paced batch publishes.", p.flushes.Load)
+	r.MustCounterFunc("ribd_apply_errors_total", "", "Engine errors during a flush.", p.applyErrors.Load)
+	r.MustCounterFunc("ribd_swept_total", "", "Stale-route withdrawals from graceful-restart sweeps.", p.swept.Load)
+	r.MustCounterFunc("ribd_shed_total", "", "Sessions reset for exceeding their peer backlog budget.", p.shed.Load)
+	r.MustGaugeFunc("ribd_pending", "", "Distinct prefixes waiting in the coalescing maps.",
+		func() uint64 { return uint64(p.pendingN.Load()) })
+	r.MustHistogram("ribd_flush_seconds", "", "Flush span: pending-map drain plus both families' ApplyBatch.", m.flushSeconds)
+	r.MustHistogram("ribd_staleness_seconds", "", "Realized pacing gap between consecutive flushes.", m.staleness)
 }
 
 // Stats snapshots the plane's counters.
@@ -514,6 +567,7 @@ func (p *Plane) absorbUpdate(u gen.Update, src *peerState) {
 		p.coalesced.Add(1)
 	} else {
 		p.npending++
+		p.pendingN.Add(1)
 	}
 	if u.Withdraw {
 		m[key] = fib.NoLabel
@@ -546,6 +600,7 @@ func (p *Plane) absorbUpdate6(u gen.Update, src *peerState) {
 		p.coalesced.Add(1)
 	} else {
 		p.npending++
+		p.pendingN.Add(1)
 	}
 	if u.Withdraw {
 		m[key] = ip6.NoLabel
@@ -569,6 +624,12 @@ func (p *Plane) flush() {
 		return
 	}
 	start := time.Now()
+	met := p.met.Load()
+	if met != nil {
+		// The realized pacing gap: how long this batch's oldest-possible
+		// update could have waited beyond the previous publish.
+		met.staleness.Observe(uint64(start.Sub(p.lastEnd)))
+	}
 	ops := p.ops[:0]
 	for _, m := range p.pending {
 		for key, label := range m {
@@ -616,7 +677,11 @@ func (p *Plane) flush() {
 	p.flushes.Add(1)
 	p.lastBatch = len(ops) + len(ops6)
 	p.npending = 0
+	p.pendingN.Store(0)
 	now := time.Now()
 	p.lastDur = now.Sub(start)
 	p.lastEnd = now
+	if met != nil {
+		met.flushSeconds.Observe(uint64(p.lastDur))
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"fibcomp/internal/fib"
 	"fibcomp/internal/gen"
+	"fibcomp/internal/obs"
 )
 
 // opsFromUpdates converts a generated update sequence into engine ops.
@@ -164,7 +165,9 @@ func TestApplyBatchRejectsInvalid(t *testing.T) {
 // TestApplyBatchZeroAllocs extends the steady-churn zero-allocation
 // contract to the batched path: once the double buffers and the
 // grouping scratch are warm, a recycled batch applies and republishes
-// without heap allocations.
+// without heap allocations — with the publish-duration histogram and
+// trace ring installed, so the contract covers the fully instrumented
+// pipeline, not a telemetry-stripped one.
 func TestApplyBatchZeroAllocs(t *testing.T) {
 	tab := testTable(t, 4000, 22)
 	for _, format := range []Format{FormatV1, FormatV2} {
@@ -172,6 +175,8 @@ func TestApplyBatchZeroAllocs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		ins := &Instruments{PublishSeconds: obs.NewHistogram(1e-9), Trace: obs.NewTraceRing(64)}
+		f.SetInstruments(ins)
 		us := gen.RandomUpdates(rand.New(rand.NewSource(23)), tab, 512)
 		// Two variants of the batch with different labels per prefix
 		// (withdraws become announces in the twin), alternated so
@@ -206,6 +211,23 @@ func TestApplyBatchZeroAllocs(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Fatalf("%v: steady batched republish allocated %.2f times per batch, want 0", format, allocs)
+		}
+		// The instrumentation recorded the batches it rode along with:
+		// one histogram sample and one trace event per ApplyBatch, each
+		// event carrying the batch's shape.
+		if ins.PublishSeconds.Count() == 0 {
+			t.Fatalf("%v: publish histogram recorded nothing", format)
+		}
+		evs := ins.Trace.Snapshot()
+		if len(evs) == 0 {
+			t.Fatalf("%v: trace ring recorded nothing", format)
+		}
+		ev := evs[0]
+		if ev.KindS != "apply_batch" || ev.Family != 4 || ev.Format != uint8(format) {
+			t.Fatalf("%v: trace event misdescribes the batch: %+v", format, ev)
+		}
+		if ev.Ops != 512 || ev.Mutated == 0 || ev.Dirty == 0 || ev.Dirty > ev.Shards || ev.Bytes == 0 {
+			t.Fatalf("%v: trace event shape wrong: %+v", format, ev)
 		}
 	}
 }

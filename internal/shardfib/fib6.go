@@ -5,8 +5,10 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fibcomp/internal/ip6"
+	"fibcomp/internal/obs"
 )
 
 // FIB6 is the IPv6 family of the sharded serving engine: the 128-bit
@@ -46,6 +48,10 @@ type FIB6 struct {
 	applyMu      sync.Mutex
 	applyScratch [][]Op6
 	applyTouched []int
+
+	// ins is the optional telemetry hook (see Instruments); nil costs
+	// the write path one pointer load per batch.
+	ins atomic.Pointer[Instruments]
 }
 
 // shard6 is one slice of the IPv6 address space, the v6 twin of
@@ -102,6 +108,7 @@ func (sh *shard6) pin() *snapshot6 {
 			return s
 		}
 		s.readers.Add(-1)
+		snapPinRetries.Inc()
 	}
 }
 
@@ -261,6 +268,7 @@ func (f *FIB6) pinCombined() *combined6 {
 			return c
 		}
 		c.readers.Add(-1)
+		viewPinRetries.Inc()
 	}
 }
 
@@ -473,7 +481,13 @@ func (f *FIB6) ApplyBatch(ops []Op6) (int, error) {
 	f.combMu.Lock()
 	f.reclaimCombined()
 	f.combMu.Unlock()
+	ins := f.ins.Load()
+	var start time.Time
+	if ins != nil {
+		start = time.Now()
+	}
 	mutated, published := 0, false
+	npub, pubBytes := 0, int64(0)
 	var firstErr error
 	for _, s := range touched {
 		sh := &f.shards[s]
@@ -506,6 +520,10 @@ func (f *FIB6) ApplyBatch(ops []Op6) (int, error) {
 		if changed {
 			sh.publish(f.lambda, f.format)
 			published = true
+			npub++
+			if ins != nil {
+				pubBytes += int64(snapshot6Bytes(sh.cur.Load()))
+			}
 		}
 		sh.mu.Unlock()
 		f.applyScratch[s] = f.applyScratch[s][:0]
@@ -515,12 +533,33 @@ func (f *FIB6) ApplyBatch(ops []Op6) (int, error) {
 		f.rebuildCombined()
 		f.combMu.Unlock()
 	}
+	if ins != nil {
+		d := time.Since(start)
+		ins.PublishSeconds.Observe(uint64(d))
+		ins.Trace.Record(obs.TraceEvent{
+			UnixNs:  start.UnixNano(),
+			Kind:    obs.TraceApplyBatch,
+			Family:  6,
+			Format:  uint8(f.format),
+			Shards:  int32(len(touched)),
+			Dirty:   int32(npub),
+			Ops:     int32(len(ops)),
+			Mutated: int32(mutated),
+			Bytes:   pubBytes,
+			DurUs:   d.Microseconds(),
+		})
+	}
 	return mutated, firstErr
 }
 
 // Reload atomically replaces the whole IPv6 FIB shard by shard from a
 // fresh table; lookups proceed throughout.
 func (f *FIB6) Reload(t *ip6.Table) error {
+	ins := f.ins.Load()
+	var start time.Time
+	if ins != nil {
+		start = time.Now()
+	}
 	for i, tr := range f.partition(t) {
 		d, err := ip6.FromTrie(tr, f.lambda)
 		if err != nil {
@@ -531,6 +570,20 @@ func (f *FIB6) Reload(t *ip6.Table) error {
 		sh.dag = d
 		f.publishShard(sh)
 		sh.mu.Unlock()
+	}
+	if ins != nil {
+		d := time.Since(start)
+		ins.PublishSeconds.Observe(uint64(d))
+		ins.Trace.Record(obs.TraceEvent{
+			UnixNs: start.UnixNano(),
+			Kind:   obs.TraceReload,
+			Family: 6,
+			Format: uint8(f.format),
+			Shards: int32(len(f.shards)),
+			Dirty:  int32(len(f.shards)),
+			Bytes:  int64(f.SizeBytes()),
+			DurUs:  d.Microseconds(),
+		})
 	}
 	return nil
 }

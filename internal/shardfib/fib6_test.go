@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fibcomp/internal/ip6"
+	"fibcomp/internal/obs"
 )
 
 func testTable6(t *testing.T, n int, seed int64) *ip6.Table {
@@ -176,6 +177,10 @@ func TestRepublish6ZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Instrumented throughout: the 0-alloc contract must hold with the
+	// publish histogram and trace ring live.
+	ins := &Instruments{PublishSeconds: obs.NewHistogram(1e-9), Trace: obs.NewTraceRing(64)}
+	f.SetInstruments(ins)
 	rng := rand.New(rand.NewSource(76))
 	// A fixed op set with alternating labels: every batch mutates
 	// every prefix, so each round republishes its touched shards.
@@ -206,6 +211,12 @@ func TestRepublish6ZeroAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("steady-churn v6 republish allocated %.2f times per batch, want 0", allocs)
 	}
+	if ins.PublishSeconds.Count() == 0 {
+		t.Fatal("publish histogram recorded nothing")
+	}
+	if evs := ins.Trace.Snapshot(); len(evs) == 0 || evs[0].Family != 6 || evs[0].Ops != 64 {
+		t.Fatalf("trace ring misrecorded the v6 batches: %+v", evs)
+	}
 }
 
 // TestRepublish6V2ZeroAllocs is the same write-side contract for the
@@ -218,6 +229,7 @@ func TestRepublish6V2ZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	f.SetInstruments(&Instruments{PublishSeconds: obs.NewHistogram(1e-9), Trace: obs.NewTraceRing(64)})
 	rng := rand.New(rand.NewSource(86))
 	ops := make([]Op6, 64)
 	for i := range ops {

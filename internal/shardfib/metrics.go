@@ -1,0 +1,104 @@
+package shardfib
+
+import "fibcomp/internal/obs"
+
+// Instruments is the optional telemetry hook a FIB publishes through:
+// a publish-duration histogram and a bounded trace ring that records
+// one event per ApplyBatch (and per Reload). Both fields may be nil —
+// the obs write primitives are nil-safe — and the hook itself is
+// installed through an atomic pointer, so an uninstrumented engine
+// pays one pointer load per batch and the instrumented write path
+// stays on the zero-allocation contract (a TraceEvent is a
+// pointer-free value copy, an Observe two atomic adds).
+//
+// One Instruments value is typically shared by the v4 and v6 engines
+// of a dual-stack server: the trace events carry the family, and the
+// publish histogram deliberately aggregates both (it measures the
+// write path the ribd flusher drives, which batches both families in
+// one flush).
+type Instruments struct {
+	// PublishSeconds records the publish span of one ApplyBatch or
+	// Reload — shard serialization plus merged-view rebuild — in raw
+	// nanoseconds (register with scale 1e-9).
+	PublishSeconds *obs.Histogram
+	// Trace receives one event per ApplyBatch/Reload.
+	Trace *obs.TraceRing
+}
+
+// SetInstruments installs (or replaces, or removes with nil) the
+// engine's telemetry hook. Safe concurrently with ApplyBatch; a batch
+// in flight keeps the hook it loaded.
+func (f *FIB) SetInstruments(ins *Instruments) { f.ins.Store(ins) }
+
+// SetInstruments is the IPv6 twin.
+func (f *FIB6) SetInstruments(ins *Instruments) { f.ins.Store(ins) }
+
+// Pin/validate retry counters, package-wide across engines of both
+// families. The retry branch of the snapshot and merged-view pin
+// loops only runs when a reader raced a concurrent retirement —
+// effectively never under healthy churn — so counting there costs the
+// fast path nothing while making the race's actual frequency
+// observable instead of folklore.
+var (
+	snapPinRetries obs.Cell
+	viewPinRetries obs.Cell
+)
+
+// SnapshotPinRetries reports how many times a reader lost the
+// pin/validate race against a shard snapshot retirement and retried.
+func SnapshotPinRetries() uint64 { return snapPinRetries.Load() }
+
+// ViewPinRetries is SnapshotPinRetries for the merged serving views.
+func ViewPinRetries() uint64 { return viewPinRetries.Load() }
+
+// snapshotBytes is one published snapshot's serialized size, the
+// per-shard term of SizeBytes. Callers hold the shard's mu (the
+// snapshot cannot be retired mid-read).
+func snapshotBytes(s *snapshot) int {
+	switch {
+	case s.blob != nil:
+		return s.blob.SizeBytes()
+	case s.blob2 != nil:
+		return s.blob2.SizeBytes()
+	default:
+		return s.dag.ModelBytes()
+	}
+}
+
+// snapshot6Bytes is the IPv6 twin of snapshotBytes.
+func snapshot6Bytes(s *snapshot6) int {
+	switch {
+	case s.blob != nil:
+		return s.blob.SizeBytes()
+	case s.blob2 != nil:
+		return s.blob2.SizeBytes()
+	default:
+		return s.dag.ModelBytes()
+	}
+}
+
+// RegisterMetrics registers the publish-pipeline metrics on r: the
+// publish-duration histogram held by ins, the package-wide
+// pin/validate retry counters, and a blob-size gauge per configured
+// engine (f and f6 may each be nil; the gauges read SizeBytes at
+// scrape time, costing the write path nothing).
+func RegisterMetrics(r *obs.Registry, ins *Instruments, f *FIB, f6 *FIB6) {
+	if ins != nil && ins.PublishSeconds != nil {
+		r.MustHistogram("shardfib_publish_seconds", "",
+			"ApplyBatch/Reload publish span: shard serialization plus merged-view rebuild.",
+			ins.PublishSeconds)
+	}
+	r.MustCounterFunc("shardfib_pin_retries_total", `kind="snapshot"`,
+		"Reader pin/validate retries against a concurrently retired snapshot or view.",
+		SnapshotPinRetries)
+	r.MustCounterFunc("shardfib_pin_retries_total", `kind="view"`, "", ViewPinRetries)
+	if f != nil {
+		r.MustGaugeFunc("shardfib_blob_bytes", `family="4",format="`+f.Format().String()+`"`,
+			"Serialized bytes of the published serving snapshots.",
+			func() uint64 { return uint64(f.SizeBytes()) })
+	}
+	if f6 != nil {
+		r.MustGaugeFunc("shardfib_blob_bytes", `family="6",format="`+f6.Format().String()+`"`, "",
+			func() uint64 { return uint64(f6.SizeBytes()) })
+	}
+}

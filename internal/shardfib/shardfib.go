@@ -36,8 +36,10 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fibcomp/internal/fib"
+	"fibcomp/internal/obs"
 	"fibcomp/internal/pdag"
 	"fibcomp/internal/trie"
 )
@@ -153,6 +155,7 @@ func (sh *shard) pin() *snapshot {
 			return s
 		}
 		s.readers.Add(-1)
+		snapPinRetries.Inc()
 	}
 }
 
@@ -256,6 +259,10 @@ type FIB struct {
 	applyMu      sync.Mutex
 	applyScratch [][]Op
 	applyTouched []int
+
+	// ins is the optional telemetry hook (see Instruments); nil costs
+	// the write path one pointer load per batch.
+	ins atomic.Pointer[Instruments]
 }
 
 // Build partitions a FIB table into `shards` prefix DAGs (a power of
@@ -368,6 +375,7 @@ func (f *FIB) pinCombined() *combined {
 			return c
 		}
 		c.readers.Add(-1)
+		viewPinRetries.Inc()
 	}
 }
 
@@ -629,7 +637,13 @@ func (f *FIB) ApplyBatch(ops []Op) (int, error) {
 	f.combMu.Lock()
 	f.reclaimCombined()
 	f.combMu.Unlock()
+	ins := f.ins.Load()
+	var start time.Time
+	if ins != nil {
+		start = time.Now()
+	}
 	mutated, published := 0, false
+	npub, pubBytes := 0, int64(0)
 	var firstErr error
 	for _, s := range touched {
 		sh := &f.shards[s]
@@ -668,6 +682,10 @@ func (f *FIB) ApplyBatch(ops []Op) (int, error) {
 		if changed {
 			sh.publish(f.lambda, f.format)
 			published = true
+			npub++
+			if ins != nil {
+				pubBytes += int64(snapshotBytes(sh.cur.Load()))
+			}
 		}
 		sh.mu.Unlock()
 		f.applyScratch[s] = f.applyScratch[s][:0]
@@ -677,6 +695,22 @@ func (f *FIB) ApplyBatch(ops []Op) (int, error) {
 		f.rebuildCombined()
 		f.combMu.Unlock()
 	}
+	if ins != nil {
+		d := time.Since(start)
+		ins.PublishSeconds.Observe(uint64(d))
+		ins.Trace.Record(obs.TraceEvent{
+			UnixNs:  start.UnixNano(),
+			Kind:    obs.TraceApplyBatch,
+			Family:  4,
+			Format:  uint8(f.format),
+			Shards:  int32(len(touched)),
+			Dirty:   int32(npub),
+			Ops:     int32(len(ops)),
+			Mutated: int32(mutated),
+			Bytes:   pubBytes,
+			DurUs:   d.Microseconds(),
+		})
+	}
 	return mutated, firstErr
 }
 
@@ -685,6 +719,11 @@ func (f *FIB) ApplyBatch(ops []Op) (int, error) {
 // proceed throughout; each shard flips to the new table's routes the
 // moment its publish lands in the merged view.
 func (f *FIB) Reload(t *fib.Table) error {
+	ins := f.ins.Load()
+	var start time.Time
+	if ins != nil {
+		start = time.Now()
+	}
 	for i, tr := range f.partition(t) {
 		d, err := pdag.FromTrie(tr, f.lambda)
 		if err != nil {
@@ -695,6 +734,20 @@ func (f *FIB) Reload(t *fib.Table) error {
 		sh.dag = d
 		f.publishShard(sh)
 		sh.mu.Unlock()
+	}
+	if ins != nil {
+		d := time.Since(start)
+		ins.PublishSeconds.Observe(uint64(d))
+		ins.Trace.Record(obs.TraceEvent{
+			UnixNs: start.UnixNano(),
+			Kind:   obs.TraceReload,
+			Family: 4,
+			Format: uint8(f.format),
+			Shards: int32(len(f.shards)),
+			Dirty:  int32(len(f.shards)),
+			Bytes:  int64(f.SizeBytes()),
+			DurUs:  d.Microseconds(),
+		})
 	}
 	return nil
 }
