@@ -21,6 +21,12 @@
 // ip6 prefix DAG, and the -stream differential sweep speaks the
 // AF-tagged v6 datagram framing at the server's lookup port.
 //
+// -vrf scopes a -stream run to one tenant of a multi-tenant server:
+// the feeder session opens with "hello <peer> vrf <id>" so the whole
+// feed lands in that VRF's plane, and the verification sweep speaks
+// the VRF-tagged datagram framing, proving that tenant — and only
+// that tenant — converged to the control replay.
+//
 //	fibgen -profile taz > taz.fib
 //	fibreplay -fib taz.fib -synth 100000          # synthesize + replay
 //	fibreplay -fib taz.fib -feed updates.log      # replay a saved feed
@@ -61,10 +67,14 @@ func main() {
 		resume  = flag.Bool("resume", false, "-stream: resume reconnects from the server's accepted cursor instead of a full restart replay")
 		pace    = flag.Int("pace", 0, "-stream: cap the send rate, updates/s (0 = full speed)")
 		retries = flag.Int("retries", ribd.DefaultFeederRetries, "-stream: consecutive no-progress reconnect attempts before giving up")
+		vrf     = flag.Int("vrf", -1, "-stream: scope the session and the verification sweep to this VRF tenant id on a multi-tenant server")
 	)
 	flag.Parse()
 	if *fibPath == "" {
 		fatal(fmt.Errorf("-fib is required"))
+	}
+	if *vrf > 0xFFFF {
+		fatal(fmt.Errorf("-vrf %d out of [0,65535]", *vrf))
 	}
 	fo := ribd.FeederOptions{
 		Peer:    *peer,
@@ -72,6 +82,9 @@ func main() {
 		Pace:    *pace,
 		Retries: *retries,
 		Seed:    *seed,
+	}
+	if *vrf >= 0 {
+		fo.VRFSet, fo.VRF = true, uint16(*vrf)
 	}
 	if *v6 {
 		replay6(*fibPath, *feed, *emit, *stream, *server, *synth, *lambda6, *verify, *seed, fo)
@@ -217,7 +230,12 @@ func streamFeed(table *fib.Table, updates []gen.Update, stream, server string, l
 		for i := 0; i < n; i++ {
 			batch[i] = rng.Uint32()
 		}
-		labels, err := c.LookupBatch(batch[:n])
+		var labels []uint32
+		if fo.VRFSet {
+			labels, err = c.LookupBatchVRF(fo.VRF, batch[:n])
+		} else {
+			labels, err = c.LookupBatch(batch[:n])
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -335,7 +353,12 @@ func replay6(fibPath, feed, emit, stream, server string, synth, lambda, verify i
 			for i := 0; i < n; i++ {
 				batch[i] = ip6.Addr{Hi: 0x2000000000000000 | rng.Uint64()>>3, Lo: rng.Uint64()}
 			}
-			labels, err := c.LookupBatch6(batch[:n])
+			var labels []uint32
+			if fo.VRFSet {
+				labels, err = c.LookupBatch6VRF(fo.VRF, batch[:n])
+			} else {
+				labels, err = c.LookupBatch6(batch[:n])
+			}
 			if err != nil {
 				fatal(err)
 			}

@@ -12,6 +12,7 @@ import (
 	"fibcomp/internal/obs"
 	"fibcomp/internal/ribd"
 	"fibcomp/internal/shardfib"
+	"fibcomp/internal/vrftab"
 )
 
 // status is the one telemetry view every operator surface renders
@@ -45,6 +46,12 @@ type status struct {
 	families string
 	grace    string
 	idle     string
+
+	// Multi-tenant VRF serving, when -vrfs configured it. vrfCounts
+	// snapshots the per-tenant prefix counts (maintained across SIGHUP
+	// reloads under the caller's lock).
+	vreg      *vrftab.Registry
+	vrfCounts func() map[uint16][2]int
 }
 
 // printBanner emits the startup lines. The formats are pinned: CI and
@@ -55,6 +62,10 @@ func (st *status) printBanner() {
 	if st.dual {
 		fmt.Printf("fibserve: dual-stack: %d IPv6 prefixes compressed to %.1f KB (λ6=%d, blob %s)\n",
 			st.prefixes6, float64(st.size6)/1024, st.lambda6, st.blob6)
+	}
+	if st.vreg != nil {
+		fmt.Printf("fibserve: %d VRF tenants sharing one hash-cons index (shared arenas %.1f KB, tenant-private %.1f KB)\n",
+			st.vreg.Len(), float64(st.vreg.SharedBytes())/1024, float64(st.vreg.UniqueBytes())/1024)
 	}
 	if st.upd != nil {
 		fmt.Printf("fibserve: route-update plane on %s (%s, staleness bound %s, restart time %s, idle timeout %s)\n",
@@ -112,7 +123,25 @@ type statuszPayload struct {
 		Pending int `json:"pending"`
 	} `json:"plane,omitempty"`
 	Peers []ribd.PeerInfo  `json:"peers,omitempty"`
+	VRFs  *vrfStatus       `json:"vrfs,omitempty"`
 	Trace []obs.TraceEvent `json:"trace"`
+}
+
+// vrfStatus is the multi-tenant section of /statusz: the shared-index
+// economics plus one row per tenant.
+type vrfStatus struct {
+	Tenants     int      `json:"tenants"`
+	SharedBytes int      `json:"shared_bytes"`
+	UniqueBytes int      `json:"unique_bytes"`
+	Rows        []vrfRow `json:"rows"`
+}
+
+type vrfRow struct {
+	ID         uint16 `json:"id"`
+	Prefixes   int    `json:"prefixes"`
+	Prefixes6  int    `json:"prefixes6"`
+	SizeBytes  int    `json:"size_bytes"`  // v4: published root windows (arena counted once in shared_bytes)
+	SizeBytes6 int    `json:"size_bytes6"` // v6: tenant-private blobs
 }
 
 func (st *status) statusz() statuszPayload {
@@ -139,6 +168,22 @@ func (st *status) statusz() statuszPayload {
 			Pending int `json:"pending"`
 		}{st.plane.Stats(), st.plane.Pending()}
 		p.Peers = st.plane.PeerInfo()
+	}
+	if st.vreg != nil {
+		counts := st.vrfCounts()
+		vs := &vrfStatus{
+			Tenants:     st.vreg.Len(),
+			SharedBytes: st.vreg.SharedBytes(),
+			UniqueBytes: st.vreg.UniqueBytes(),
+		}
+		for _, tn := range st.vreg.Tenants() {
+			c := counts[tn.ID]
+			vs.Rows = append(vs.Rows, vrfRow{
+				ID: tn.ID, Prefixes: c[0], Prefixes6: c[1],
+				SizeBytes: tn.V4.SizeBytes(), SizeBytes6: tn.V6.SizeBytes(),
+			})
+		}
+		p.VRFs = vs
 	}
 	p.Trace = st.ins.Trace.Snapshot()
 	return p

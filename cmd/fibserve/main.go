@@ -43,6 +43,18 @@
 // PR 1 format, the update plane accepts interleaved dual-stack feeds,
 // and SIGHUP reloads both files.
 //
+// -vrfs serves multi-tenant VRF tables next to the default one:
+// comma-separated "id=v4file[:v6file]" entries, every tenant folded
+// into one shared hash-cons index so near-identical tenant tables
+// share their common structure (and, for IPv4, their serialized
+// arenas — hundreds of tenants cost little more resident memory than
+// one). VRF-tagged lookup datagrams (leading 0x84/0x86 byte plus a
+// 2-byte tenant id) select the tenant; -query -vrf <id> scopes a
+// client query; a ribd session opened with "hello <peer> vrf <id>"
+// feeds that tenant's own update plane; SIGHUP re-reads every
+// tenant's files with per-tenant failure isolation; /statusz and
+// /metrics report the shared/unique byte split and per-tenant rows.
+//
 //	fibgen -profile access(v) > t.fib
 //	fibgen -6 -n 150000 > t6.fib
 //	fibserve -listen 127.0.0.1:7000 -updates 127.0.0.1:7001 -shards 16 -fib6 t6.fib t.fib &
@@ -59,7 +71,9 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 
 	"fibcomp/internal/fib"
@@ -69,7 +83,72 @@ import (
 	"fibcomp/internal/pdag"
 	"fibcomp/internal/ribd"
 	"fibcomp/internal/shardfib"
+	"fibcomp/internal/vrftab"
 )
+
+// vrfSpec is one -vrfs entry: a tenant id and its FIB files.
+type vrfSpec struct {
+	id uint16
+	p4 string // IPv4 table file; empty serves an empty v4 table
+	p6 string // IPv6 table file; empty serves an empty v6 table
+}
+
+// parseVRFSpecs parses the -vrfs value: comma-separated
+// "id=v4file[:v6file]" entries ("id=:v6file" for a v6-only tenant).
+func parseVRFSpecs(s string) ([]vrfSpec, error) {
+	var specs []vrfSpec
+	seen := make(map[uint16]bool)
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		eq := strings.IndexByte(ent, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("vrfs: %q: want id=v4file[:v6file]", ent)
+		}
+		id, err := strconv.ParseUint(ent[:eq], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("vrfs: bad tenant id %q: %v", ent[:eq], err)
+		}
+		if seen[uint16(id)] {
+			return nil, fmt.Errorf("vrfs: duplicate tenant id %d", id)
+		}
+		seen[uint16(id)] = true
+		sp := vrfSpec{id: uint16(id), p4: ent[eq+1:]}
+		if i := strings.IndexByte(sp.p4, ':'); i >= 0 {
+			sp.p4, sp.p6 = sp.p4[:i], sp.p4[i+1:]
+		}
+		if sp.p4 == "" && sp.p6 == "" {
+			return nil, fmt.Errorf("vrfs: tenant %d names no FIB file", id)
+		}
+		specs = append(specs, sp)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("vrfs: no tenants in %q", s)
+	}
+	return specs, nil
+}
+
+// loadVRFTables reads one tenant's table files; a missing path yields
+// an empty table for that family.
+func loadVRFTables(sp vrfSpec) (*fib.Table, *ip6.Table, error) {
+	t4 := &fib.Table{}
+	if sp.p4 != "" {
+		var err error
+		if t4, err = readFIB(sp.p4); err != nil {
+			return nil, nil, fmt.Errorf("vrf %d: %v", sp.id, err)
+		}
+	}
+	t6 := ip6.New()
+	if sp.p6 != "" {
+		var err error
+		if t6, err = readFIB6(sp.p6); err != nil {
+			return nil, nil, fmt.Errorf("vrf %d: %v", sp.id, err)
+		}
+	}
+	return t4, t6, nil
+}
 
 func main() {
 	var (
@@ -86,7 +165,9 @@ func main() {
 		idle    = flag.Duration("peer-idle-timeout", ribd.DefaultIdleTimeout, "update plane: reset a peer session after this long without a line (negative disables)")
 		grace   = flag.Duration("restart-time", ribd.DefaultRestartTime, "update plane: retain a lost named peer's routes this long awaiting its reconnect (negative sweeps immediately)")
 		budget  = flag.Int("peer-budget", ribd.DefaultPeerBudget, "update plane: shed a peer whose unflushed backlog exceeds this many updates")
+		vrfs    = flag.String("vrfs", "", `multi-tenant VRF tables: comma-separated "id=v4file[:v6file]" entries sharing one hash-cons index; SIGHUP reloads each tenant's files`)
 		query   = flag.String("query", "", "client mode: address to look up (IPv4 or IPv6)")
+		qvrf    = flag.Int("vrf", -1, "client mode: VRF tenant id for -query (default: the untagged default table)")
 		server  = flag.String("server", "127.0.0.1:7000", "client mode: server address")
 		admin   = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:6060): /metrics, /healthz, /statusz, /debug/pprof")
 		pprof   = flag.String("pprof", "", "deprecated alias for -admin (the admin endpoint carries the pprof handlers)")
@@ -103,12 +184,19 @@ func main() {
 			label   uint32
 			noRoute bool
 		)
+		if *qvrf > 0xFFFF {
+			fatal(fmt.Errorf("-vrf %d out of [0,65535]", *qvrf))
+		}
 		if strings.Contains(*query, ":") {
 			addr, err := ip6.ParseAddr(*query)
 			if err != nil {
 				fatal(err)
 			}
-			label, err = c.Lookup6(addr)
+			if *qvrf >= 0 {
+				label, err = c.Lookup6VRF(uint16(*qvrf), addr)
+			} else {
+				label, err = c.Lookup6(addr)
+			}
 			if err != nil {
 				fatal(err)
 			}
@@ -118,7 +206,11 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			label, err = c.Lookup(addr)
+			if *qvrf >= 0 {
+				label, err = c.LookupVRF(uint16(*qvrf), addr)
+			} else {
+				label, err = c.Lookup(addr)
+			}
 			if err != nil {
 				fatal(err)
 			}
@@ -216,9 +308,42 @@ func main() {
 		n6 = tab6.N()
 	}
 
+	// The multi-tenant VRF registry: every tenant's tables fold into
+	// one shared hash-cons index, and VRF-tagged datagrams resolve
+	// against their own tenant through the registry's lock-free map.
+	var (
+		vreg     *vrftab.Registry
+		vspecs   []vrfSpec
+		vcounts  map[uint16][2]int // live prefix counts per tenant, for statusz
+		vcountMu sync.Mutex
+	)
+	if *vrfs != "" {
+		vspecs, err = parseVRFSpecs(*vrfs)
+		if err != nil {
+			fatal(err)
+		}
+		vreg = vrftab.New(*lambda, *lambda6, *shards)
+		vcounts = make(map[uint16][2]int, len(vspecs))
+		for _, sp := range vspecs {
+			t4, t6, err := loadVRFTables(sp)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := vreg.Add(sp.id, t4, t6); err != nil {
+				fatal(err)
+			}
+			vcounts[sp.id] = [2]int{t4.N(), t6.N()}
+		}
+	}
+
+	var vrfOpt lookupd.VRFResolver
+	if vreg != nil {
+		vrfOpt = vreg
+	}
 	s, err := lookupd.ListenOptions(*listen, engine, eng6, lookupd.Options{
 		Workers:   *workers,
 		ReusePort: *reuse,
+		VRFs:      vrfOpt,
 	})
 	if err != nil {
 		fatal(err)
@@ -226,16 +351,33 @@ func main() {
 	// The live route-update plane: TCP peer sessions feeding the
 	// coalescing queue and paced republisher over the sharded engine.
 	var (
-		plane *ribd.Plane
-		upd   *ribd.Server
+		plane     *ribd.Plane
+		upd       *ribd.Server
+		vrfPlanes map[uint16]*ribd.Plane
 	)
 	if *updates != "" {
-		plane = ribd.NewDual(sharded, sharded6, ribd.Options{
+		popts := ribd.Options{
 			MaxStaleness: *stale,
 			RestartTime:  *grace,
 			PeerBudget:   *budget,
-		})
-		upd, err = ribd.ServeOptions(plane, *updates, ribd.ServerOptions{IdleTimeout: *idle})
+		}
+		plane = ribd.NewDual(sharded, sharded6, popts)
+		sopts := ribd.ServerOptions{IdleTimeout: *idle}
+		if vreg != nil {
+			// One update plane per tenant, resolved by the session's
+			// "hello ... vrf <id>" clause; each coalesces and paces its
+			// own tenant's publishes independently.
+			vrfPlanes = make(map[uint16]*ribd.Plane, len(vspecs))
+			for _, sp := range vspecs {
+				tn, ok := vreg.Tenant(sp.id)
+				if !ok {
+					fatal(fmt.Errorf("vrf %d vanished before plane setup", sp.id))
+				}
+				vrfPlanes[sp.id] = ribd.NewDual(tn.V4, tn.V6, popts)
+			}
+			sopts.VRF = func(id uint16) *ribd.Plane { return vrfPlanes[id] }
+		}
+		upd, err = ribd.ServeOptions(plane, *updates, sopts)
 		if err != nil {
 			fatal(err)
 		}
@@ -257,6 +399,9 @@ func main() {
 	if plane != nil {
 		plane.RegisterMetrics(reg)
 	}
+	if vreg != nil {
+		vreg.RegisterMetrics(reg)
+	}
 
 	// The banner names the real serving topology: per-worker reuseport
 	// sockets when the platform granted them, the shared-socket
@@ -269,6 +414,15 @@ func main() {
 		srv: s, plane: plane, upd: upd, ins: ins, reg: reg,
 		prefixes: t.N(), size: size, shards: *shards, blob: served, sockets: sockets,
 		grace: grace.String(), idle: idle.String(),
+		vreg: vreg, vrfCounts: func() map[uint16][2]int {
+			vcountMu.Lock()
+			defer vcountMu.Unlock()
+			out := make(map[uint16][2]int, len(vcounts))
+			for k, v := range vcounts {
+				out[k] = v
+			}
+			return out
+		},
 	}
 	if sharded6 != nil {
 		// Report what the v6 engine actually serves, not the requested
@@ -329,6 +483,24 @@ func main() {
 			s.Swap(next)
 		}
 		fmt.Printf("fibserve: reloaded %d prefixes from %s\n", t.N(), path)
+		// Per-tenant reload: each tenant's files are re-read and swapped
+		// independently, so one tenant's bad file never blocks another's
+		// reload (or the default table's, above).
+		for _, sp := range vspecs {
+			t4, t6, err := loadVRFTables(sp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fibserve: reload: %v (keeping old tables)\n", err)
+				continue
+			}
+			if err := vreg.Reload(sp.id, t4, t6); err != nil {
+				fmt.Fprintf(os.Stderr, "fibserve: reload vrf %d: %v (keeping old tables)\n", sp.id, err)
+				continue
+			}
+			vcountMu.Lock()
+			vcounts[sp.id] = [2]int{t4.N(), t6.N()}
+			vcountMu.Unlock()
+			fmt.Printf("fibserve: reloaded vrf %d: %d prefixes, %d IPv6 prefixes\n", sp.id, t4.N(), t6.N())
+		}
 		if sharded6 != nil {
 			tab6, err := readFIB6(*fib6)
 			if err != nil {
@@ -348,6 +520,9 @@ func main() {
 	// closes.
 	if upd != nil {
 		upd.Close()
+	}
+	for _, vp := range vrfPlanes {
+		vp.Close()
 	}
 	var (
 		peersSeen uint64

@@ -16,6 +16,7 @@ import (
 	"fibcomp/internal/pdag"
 	"fibcomp/internal/ribd"
 	"fibcomp/internal/shardfib"
+	"fibcomp/internal/vrftab"
 )
 
 // ServingResult is one measured row of the serving-engine benchmark:
@@ -39,6 +40,10 @@ type ServingResult struct {
 	// Workers marks a wire-serving row: parallel lookupd serve loops
 	// driving the reported MLps over real UDP sockets.
 	Workers int `json:"workers,omitempty"`
+	// Tenants marks a multi-tenant VRF row: N near-identical tenant
+	// tables served through one shared hash-cons registry, with
+	// SizeBytes the resident blob footprint of the whole registry.
+	Tenants int `json:"tenants,omitempty"`
 	// Service-time percentiles of a wire row, read from the server's
 	// obs dispatch histogram: one sample per recvmmsg burst (Linux) or
 	// per datagram (portable loop), the same series /metrics exports
@@ -352,6 +357,87 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 		})
 	}
 
+	// ---- Multi-tenant VRF sweep: N near-identical tenant tables — a
+	// common provider base plus a few tenant-specific routes — behind
+	// one vrftab registry, so every tenant's folded DAG and serialized
+	// windows alias the shared arenas. The t1→t256 SizeBytes trend is
+	// the headline: resident blob bytes must grow far sublinearly in the
+	// tenant count (the acceptance bar is t256 < 3× t1, where private
+	// engines would cost ~256×). MLps is the per-tenant serving rate
+	// with the resolver on the hot path, rotating across tenants; the
+	// resolve+batch-lookup path must stay allocation-free. Like the
+	// deep-walk rows this is a fixed-size microbenchmark, not a scaled
+	// paper instance: the geometry (16 shards, λ=11, node-dominated
+	// base) is the one that makes window interning pay.
+	{
+		const vrfBase, vrfDelta = 12000, 4
+		tenantTab := func(tenant int) (*fib.Table, error) {
+			tb := &fib.Table{}
+			brng := rand.New(rand.NewSource(cfg.Seed + 17))
+			for i := 0; i < vrfBase; i++ {
+				plen := 8 + brng.Intn(17)
+				addr := brng.Uint32() &^ (1<<uint(32-plen) - 1)
+				if err := tb.Add(addr, plen, uint32(1+brng.Intn(200))); err != nil {
+					return nil, err
+				}
+			}
+			drng := rand.New(rand.NewSource(cfg.Seed + int64(100000+tenant)))
+			for i := 0; i < vrfDelta; i++ {
+				plen := 16 + drng.Intn(9)
+				addr := drng.Uint32() &^ (1<<uint(32-plen) - 1)
+				if err := tb.Add(addr, plen, uint32(1+drng.Intn(200))); err != nil {
+					return nil, err
+				}
+			}
+			return tb, nil
+		}
+		for _, tenants := range []int{1, 16, 256} {
+			reg := vrftab.New(11, 12, 16)
+			for id := 0; id < tenants; id++ {
+				tb, err := tenantTab(id)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := reg.Add(uint16(id), tb, nil); err != nil {
+					return nil, err
+				}
+			}
+			rot := 0
+			mlps := batchMLps(func(b []uint32) {
+				f4, _, ok := reg.Resolve(uint16(rot % tenants))
+				if ok {
+					f4.LookupBatchInto(dst, b)
+				}
+				rot++
+			}, batches, minDur)
+			// Allocation count of the full serving path (resolve + batch
+			// lookup), measured over its own short loop.
+			const allocRounds = 256
+			for i := 0; i < len(batches); i++ { // warm
+				f4, _, _ := reg.Resolve(uint16(i % tenants))
+				f4.LookupBatchInto(dst, batches[i])
+			}
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			for i := 0; i < allocRounds; i++ {
+				f4, _, _ := reg.Resolve(uint16(i % tenants))
+				f4.LookupBatchInto(dst, batches[i%len(batches)])
+			}
+			runtime.ReadMemStats(&ms1)
+			// SizeBytes is the shared v4 serving arenas — node words and
+			// interned root windows, counted once across all tenants. The
+			// sweep carries no v6 tables, so this is the registry's whole
+			// v4 resident blob footprint.
+			results = append(results, ServingResult{
+				Name:        fmt.Sprintf("vrf-sharded16-t%d", tenants),
+				MLps:        mlps,
+				AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / allocRounds,
+				SizeBytes:   reg.SharedBytes(),
+				Tenants:     tenants,
+			})
+		}
+	}
+
 	// ---- IPv6 rows: the dual-stack serving engine. A synthetic v6
 	// table at the same scale knob, served through the ip6 blob's
 	// lanes flat and sharded, plus the per-update republish cost and
@@ -591,6 +677,9 @@ func RunServing(cfg Config, w io.Writer) ([]ServingResult, error) {
 		case r.Workers != 0:
 			fmt.Fprintf(w, "  %-26s %8.1f Mlps  (%d serve loop(s), UDP wire path)  svc p50 %.0f µs  p99 %.0f µs\n",
 				r.Name, r.MLps, r.Workers, r.SvcP50Us, r.SvcP99Us)
+		case r.Tenants != 0:
+			fmt.Fprintf(w, "  %-26s %8.1f Mlps  %8.1f KB resident across %d tenant(s)  %.2f allocs/op\n",
+				r.Name, r.MLps, float64(r.SizeBytes)/1024, r.Tenants, r.AllocsPerOp)
 		case r.LagP50Us != 0:
 			fmt.Fprintf(w, "  %-26s lag p50 %6.0f µs  p90 %6.0f µs  p99 %6.0f µs  %8.0f applied/s (%.0f mutated/s)\n",
 				r.Name, r.LagP50Us, r.LagP90Us, r.LagP99Us, r.UpdatesPerS, r.MutatedPerS)

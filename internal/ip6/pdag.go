@@ -42,6 +42,14 @@ type DAG struct {
 	leaves  map[uint32]*dnode
 	nextID  uint64
 
+	// space is non-nil for a DAG folded into a shared hash-cons
+	// universe (FromTrieShared): sub and leaves alias the space's
+	// maps, interior ids draw from the space-wide counter, and the
+	// serialization epoch counter is space-wide so a stamp written
+	// through one member DAG can never match an epoch drawn by
+	// another on a shared node.
+	space *Space6
+
 	// SerializeInto scratch (see serial.go): the current stamping
 	// epoch, the folded interior nodes in index order, and the DFS
 	// stack — kept on the DAG so steady-churn republishing reuses
@@ -107,6 +115,32 @@ func (d *DAG) newDnode() *dnode {
 func (d *DAG) recycleDnode(n *dnode) {
 	*n = dnode{left: d.freeNode}
 	d.freeNode = n
+}
+
+// allocID draws the next interior-node id: from the shared space's
+// counter when the DAG is a member of one (ids key the shared cons
+// index, so per-DAG counters would collide), else from the DAG's own.
+func (d *DAG) allocID() uint64 {
+	if d.space != nil {
+		d.space.nextID++
+		return d.space.nextID
+	}
+	d.nextID++
+	return d.nextID
+}
+
+// nextEpoch starts a fresh stamping epoch for one group emission. For
+// a space-member DAG the counter is space-wide: with per-DAG counters,
+// tenant B's counter could numerically reach the value tenant A
+// stamped on a node both tables share, making A's index look valid
+// inside B's emission.
+func (d *DAG) nextEpoch() {
+	if d.space != nil {
+		d.space.epoch++
+		d.serialEpoch = d.space.epoch
+		return
+	}
+	d.serialEpoch++
 }
 
 // Build folds an IPv6 table with leaf-push barrier lambda ∈ [0, 128].
@@ -201,8 +235,7 @@ func (d *DAG) acquireNode(l, r *dnode) *dnode {
 	}
 	n := d.newDnode()
 	if n.id == 0 {
-		d.nextID++
-		n.id = d.nextID
+		n.id = d.allocID()
 	}
 	n.kind, n.left, n.right, n.ref = kindInt, l, r, 1
 	d.sub[key] = n

@@ -290,7 +290,7 @@ func (d *DAG) emitAllV1(b *Blob, relayout bool) error {
 // allocates.
 func (d *DAG) emitGroupV1(b *Blob, g int, limit uint32, grow bool) error {
 	base := d.geo1.base[g]
-	d.serialEpoch++
+	d.nextEpoch()
 	d.serialList = d.serialList[:0]
 	d.serialBase = base
 	d.serialLimit = limit

@@ -219,7 +219,7 @@ func (d *DAG) emitAllV2(b *BlobV2, relayout bool) error {
 // discovers sizes.
 func (d *DAG) emitGroupV2(b *BlobV2, g int, limit uint32, grow bool) error {
 	base := d.geo2.base[g]
-	d.serialEpoch++
+	d.nextEpoch()
 	d.serialList = d.serialList[:0]
 	d.serialExps = d.serialExps[:0]
 	d.serialBase = base

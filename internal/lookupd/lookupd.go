@@ -13,7 +13,15 @@
 // echoes the AF byte followed by the 4-byte labels. Tagged lengths
 // are ≡ 1 (mod 4) while legacy lengths are ≡ 0, so the two framings
 // can never be confused and v4 clients keep working bit-for-bit.
-// Anything else — zero addresses, a bad family byte, a short v6
+//
+// A VRF-tagged request scopes the batch to one tenant table: first
+// byte VRFInet (0x84) or VRFInet6 (0x86), a 2-byte big-endian tenant
+// id, then the address block; the reply echoes the 3-byte header
+// before the labels. VRF lengths are ≡ 3 (mod 4) — provably disjoint
+// from both legacy (≡ 0) and AF-tagged (≡ 1) framings — and the
+// 0x84/0x86 first byte disambiguates the two VRF families. A VRF id
+// the server has no table for answers "no route" on every address,
+// exactly as an empty tenant would. Anything else — zero addresses, a bad family byte, a short v6
 // address, an oversized batch — is dropped and counted, never
 // answered with garbage and never a panic.
 //
@@ -39,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fibcomp/internal/fib"
 	"fibcomp/internal/ip6"
 	"fibcomp/internal/obs"
 	"fibcomp/internal/shardfib"
@@ -72,6 +81,16 @@ type Lookuper6 interface {
 	Lookup(addr ip6.Addr) uint32
 }
 
+// VRFResolver maps a wire tenant id to its serving engine pair.
+// vrftab.Registry is the canonical implementation; the contract is
+// concrete (sharded engines, not interfaces) so the VRF dispatch arms
+// can pin per-datagram views without boxing. Resolve must be safe for
+// unsynchronized concurrent use and should not allocate — it sits on
+// the datagram fast path.
+type VRFResolver interface {
+	Resolve(id uint16) (*shardfib.FIB, *shardfib.FIB6, bool)
+}
+
 // batchInto6Lookuper is the allocation-free IPv6 refinement, the
 // LookupBatchInto twin over 128-bit addresses.
 type batchInto6Lookuper interface {
@@ -88,9 +107,18 @@ const (
 	AFInet  = 4
 	AFInet6 = 6
 
+	// VRFInet / VRFInet6 open a VRF-tagged request: frame-type byte,
+	// 2-byte big-endian tenant id, then the address block. The high bit
+	// keeps them disjoint from the AF bytes, and the 3-byte header
+	// makes VRF lengths ≡ 3 (mod 4), disjoint from both other framings.
+	VRFInet  = 0x84
+	VRFInet6 = 0x86
+
+	vrfHdrSize = 3 // frame-type byte + 2-byte tenant id
+
 	addr6Size   = 16
-	maxRequest  = 1 + addr6Size*MaxBatch // largest well-formed datagram (tagged v6)
-	maxResponse = 1 + 4*MaxBatch         // tagged reply: AF byte + labels
+	maxRequest  = vrfHdrSize + addr6Size*MaxBatch // largest well-formed datagram (VRF-tagged v6)
+	maxResponse = vrfHdrSize + 4*MaxBatch         // VRF reply: 3-byte header + labels
 )
 
 // MaxWorkers bounds the serve-loop count; past the socket buffer and
@@ -145,6 +173,11 @@ type Options struct {
 	// or when false, all workers share a single socket — correct on
 	// every platform, with reads serialized by the runtime.
 	ReusePort bool
+
+	// VRFs resolves VRF-tagged requests to tenant tables. Nil servers
+	// answer every VRF-tagged request with "no route" labels (the
+	// frames stay well-formed — they are answered, not dropped).
+	VRFs VRFResolver
 }
 
 // Server serves lookups over UDP.
@@ -153,6 +186,7 @@ type Server struct {
 	workers int
 	fib     atomic.Value // *engineBox (Lookuper)
 	fib6    atomic.Value // *engineBox6 (Lookuper6; l6 nil when v6 is unconfigured)
+	vrfs    VRFResolver  // fixed at Listen; nil means no VRF tables
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -229,6 +263,7 @@ func ListenOptions(addr string, l Lookuper, l6 Lookuper6, o Options) (*Server, e
 	s := &Server{
 		conns:     conns,
 		workers:   workers,
+		vrfs:      o.VRFs,
 		stats:     make([]workerStats, workers),
 		svcHist:   obs.NewHistogram(1e-9), // ns observed, seconds exposed
 		burstHist: obs.NewHistogram(0),
@@ -540,7 +575,7 @@ func (p *pinned) release() {
 // across up to burstSize datagrams.
 func (s *Server) dispatchOne(w *wire, n int, st *workerStats) (respLen, count int) {
 	p := s.pinEngines()
-	respLen, count = dispatch(p.l, p.l6, w.req[:n], w.resp[:], &w.scratch)
+	respLen, count = dispatch(p.l, p.l6, s.vrfs, w.req[:n], w.resp[:], &w.scratch)
 	p.release()
 	st.count(respLen, count)
 	return respLen, count
@@ -557,13 +592,15 @@ func (st *workerStats) count(respLen, lookups int) {
 }
 
 // dispatch classifies one request datagram against the wire framing
-// (legacy v4, tagged v4, tagged v6), runs the matching handler and
-// reports the reply length — 0 for a malformed datagram the caller
-// must drop — plus the number of addresses resolved. Legacy lengths
-// are multiples of 4 and tagged lengths are 1 (mod 4), so the
-// classification is branch-exact, and every arm stays on the
-// caller-owned-buffer zero-allocation path.
-func dispatch(l Lookuper, l6 Lookuper6, req, resp []byte, sc *scratch) (respLen, count int) {
+// (legacy v4, tagged v4, tagged v6, VRF-tagged v4/v6), runs the
+// matching handler and reports the reply length — 0 for a malformed
+// datagram the caller must drop — plus the number of addresses
+// resolved. Legacy lengths are multiples of 4, tagged lengths are
+// 1 (mod 4) and VRF lengths are 3 (mod 4), so the classification is
+// branch-exact (every datagram lands in exactly one arm or the drop),
+// and every arm stays on the caller-owned-buffer zero-allocation
+// path.
+func dispatch(l Lookuper, l6 Lookuper6, vrfs VRFResolver, req, resp []byte, sc *scratch) (respLen, count int) {
 	n := len(req)
 	switch {
 	case n > 0 && n%4 == 0 && n <= maxDatagram:
@@ -576,6 +613,12 @@ func dispatch(l Lookuper, l6 Lookuper6, req, resp []byte, sc *scratch) (respLen,
 	case n > 1 && req[0] == AFInet6 && (n-1)%addr6Size == 0 && n-1 <= addr6Size*MaxBatch:
 		count = handle6(l6, req, resp, sc, n-1)
 		return 1 + 4*count, count
+	case n > vrfHdrSize && req[0] == VRFInet && (n-vrfHdrSize)%4 == 0 && n-vrfHdrSize <= maxDatagram:
+		count = handleVRF4(vrfs, req, resp, sc, n-vrfHdrSize)
+		return vrfHdrSize + 4*count, count
+	case n > vrfHdrSize && req[0] == VRFInet6 && (n-vrfHdrSize)%addr6Size == 0 && n-vrfHdrSize <= addr6Size*MaxBatch:
+		count = handleVRF6(vrfs, req, resp, sc, n-vrfHdrSize)
+		return vrfHdrSize + 4*count, count
 	default:
 		return 0, 0 // zero addresses, bad family byte, torn address, oversize
 	}
@@ -647,15 +690,118 @@ func handle6(l6 Lookuper6, req, resp []byte, sc *scratch, body int) int {
 	return count
 }
 
-// Client is a blocking client for the lookup service.
-type Client struct {
-	conn *net.UDPConn
-	mu   sync.Mutex
-	buf  []byte
+// handleVRF4 serves a VRF-tagged IPv4 request: 3-byte header echoed,
+// 4-byte big-endian addresses at req[3:], one 4-byte label each,
+// resolved against the tenant's own table. An unknown tenant id — or
+// a server with no VRF resolver at all — answers fib.NoLabel on every
+// address, the answer an empty tenant table would give; tenant ids
+// are data, and data never turns into a drop that a co-tenant could
+// observe as a behavioural difference. The tenant's merged view is
+// pinned once per datagram (a View is one pointer, so no boxing) and
+// the whole body stays on the zero-allocation path.
+func handleVRF4(vrfs VRFResolver, req, resp []byte, sc *scratch, body int) int {
+	count := body / 4
+	resp[0], resp[1], resp[2] = VRFInet, req[1], req[2]
+	var f4 *shardfib.FIB
+	if vrfs != nil {
+		f4, _, _ = vrfs.Resolve(binary.BigEndian.Uint16(req[1:vrfHdrSize]))
+	}
+	if f4 == nil {
+		for i := 0; i < count; i++ {
+			binary.BigEndian.PutUint32(resp[vrfHdrSize+4*i:], fib.NoLabel)
+		}
+		return count
+	}
+	for i := 0; i < count; i++ {
+		sc.addrs[i] = binary.BigEndian.Uint32(req[vrfHdrSize+4*i:])
+	}
+	v := f4.PinView()
+	v.LookupBatchInto(sc.labels[:count], sc.addrs[:count])
+	v.Release()
+	for i, label := range sc.labels[:count] {
+		binary.BigEndian.PutUint32(resp[vrfHdrSize+4*i:], label)
+	}
+	return count
 }
 
-// Dial connects a client to a server address.
+// handleVRF6 is handleVRF4 for the v6 family: 16-byte addresses,
+// same 3-byte echoed header, unknown tenants answering ip6.NoLabel.
+func handleVRF6(vrfs VRFResolver, req, resp []byte, sc *scratch, body int) int {
+	count := body / addr6Size
+	resp[0], resp[1], resp[2] = VRFInet6, req[1], req[2]
+	var f6 *shardfib.FIB6
+	if vrfs != nil {
+		_, f6, _ = vrfs.Resolve(binary.BigEndian.Uint16(req[1:vrfHdrSize]))
+	}
+	if f6 == nil {
+		for i := 0; i < count; i++ {
+			binary.BigEndian.PutUint32(resp[vrfHdrSize+4*i:], ip6.NoLabel)
+		}
+		return count
+	}
+	for i := 0; i < count; i++ {
+		sc.addrs6[i] = ip6.Addr{
+			Hi: binary.BigEndian.Uint64(req[vrfHdrSize+addr6Size*i:]),
+			Lo: binary.BigEndian.Uint64(req[vrfHdrSize+addr6Size*i+8:]),
+		}
+	}
+	v := f6.PinView()
+	v.LookupBatchInto(sc.labels[:count], sc.addrs6[:count])
+	v.Release()
+	for i, label := range sc.labels[:count] {
+		binary.BigEndian.PutUint32(resp[vrfHdrSize+4*i:], label)
+	}
+	return count
+}
+
+// DefaultTimeout is the reply deadline a Dial'd client starts with.
+// UDP replies can be lost; a client that waited forever on a dropped
+// reply deadlocked every caller sharing it, which is the bug this
+// default exists to make impossible.
+const DefaultTimeout = 2 * time.Second
+
+// TimeoutError reports a lookup whose reply did not arrive within the
+// client's timeout. It satisfies the net.Error Timeout contract, so
+// callers can discriminate it with errors.As or a Timeout() check.
+type TimeoutError struct {
+	Addr string        // server address
+	Wait time.Duration // how long the client waited
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("lookupd: no reply from %s within %v", e.Addr, e.Wait)
+}
+
+// Timeout reports true; a lookupd timeout is always retryable.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Temporary reports true, matching net.Error's historical contract.
+func (e *TimeoutError) Temporary() bool { return true }
+
+// Client is a blocking client for the lookup service. Every lookup is
+// bounded by the reply timeout (DefaultTimeout unless DialTimeout or
+// SetTimeout chose otherwise): a request whose reply never arrives
+// returns *TimeoutError instead of blocking forever. After a timeout
+// the client re-dials its socket from a fresh ephemeral port, so a
+// late reply to the timed-out request can never be mistaken for the
+// answer to a later one — stale datagrams land on a port nobody reads.
+type Client struct {
+	mu      sync.Mutex
+	conn    *net.UDPConn
+	raddr   *net.UDPAddr
+	timeout time.Duration
+	buf     []byte
+}
+
+// Dial connects a client to a server address with DefaultTimeout.
 func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, DefaultTimeout)
+}
+
+// DialTimeout is Dial with an explicit reply timeout; timeout <= 0
+// means DefaultTimeout (an unbounded client is not offered — see the
+// Client contract).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("lookupd: %v", err)
@@ -664,7 +810,68 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lookupd: %v", err)
 	}
-	return &Client{conn: conn, buf: make([]byte, maxRequest)}, nil
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Client{conn: conn, raddr: ua, timeout: timeout, buf: make([]byte, maxRequest)}, nil
+}
+
+// SetTimeout changes the reply timeout for subsequent lookups;
+// d <= 0 restores DefaultTimeout.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		d = DefaultTimeout
+	}
+	c.timeout = d
+}
+
+// exchange writes c.buf[:reqLen] and reads the reply back into c.buf
+// under the client's deadline, re-dialing on timeout so no stale reply
+// survives into the next call. Called with c.mu held.
+func (c *Client) exchange(reqLen int) (int, error) {
+	if _, err := c.conn.Write(c.buf[:reqLen]); err != nil {
+		return 0, err
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	n, err := c.conn.Read(c.buf)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			c.redial()
+			return 0, &TimeoutError{Addr: c.raddr.String(), Wait: c.timeout}
+		}
+		return 0, err
+	}
+	return n, nil
+}
+
+// redial replaces the client socket with one bound to a fresh
+// ephemeral port. A reply that arrives after its deadline is
+// addressed to the old port and can therefore never satisfy — or even
+// reach — a later request; the reply buffer needs no draining because
+// nothing stale can land in it. If the re-dial itself fails the old
+// socket is kept: its queue may hold a stale datagram, but a broken
+// socket would fail every future call outright. Called with c.mu
+// held.
+func (c *Client) redial() {
+	conn, err := net.DialUDP("udp", nil, c.raddr)
+	if err != nil {
+		return
+	}
+	c.conn.Close()
+	c.conn = conn
+}
+
+// replyAF reports the address-family/frame byte of a reply, or -1 for
+// an empty reply — so error paths never index an empty buffer.
+func replyAF(buf []byte, n int) int {
+	if n < 1 {
+		return -1
+	}
+	return int(buf[0])
 }
 
 // Lookup resolves a single address.
@@ -686,10 +893,7 @@ func (c *Client) LookupBatch(addrs []uint32) ([]uint32, error) {
 	for i, a := range addrs {
 		binary.BigEndian.PutUint32(c.buf[4*i:], a)
 	}
-	if _, err := c.conn.Write(c.buf[:4*len(addrs)]); err != nil {
-		return nil, err
-	}
-	n, err := c.conn.Read(c.buf)
+	n, err := c.exchange(4 * len(addrs))
 	if err != nil {
 		return nil, err
 	}
@@ -719,15 +923,12 @@ func (c *Client) LookupBatchTagged4(addrs []uint32) ([]uint32, error) {
 	for i, a := range addrs {
 		binary.BigEndian.PutUint32(c.buf[1+4*i:], a)
 	}
-	if _, err := c.conn.Write(c.buf[:1+4*len(addrs)]); err != nil {
-		return nil, err
-	}
-	n, err := c.conn.Read(c.buf)
+	n, err := c.exchange(1 + 4*len(addrs))
 	if err != nil {
 		return nil, err
 	}
 	if n != 1+4*len(addrs) || c.buf[0] != AFInet {
-		return nil, fmt.Errorf("lookupd: bad tagged v4 reply: %d bytes (af %d) for %d addresses", n, c.buf[0], len(addrs))
+		return nil, fmt.Errorf("lookupd: bad tagged v4 reply: %d bytes (af %d) for %d addresses", n, replyAF(c.buf, n), len(addrs))
 	}
 	out := make([]uint32, len(addrs))
 	for i := range out {
@@ -760,15 +961,12 @@ func (c *Client) LookupBatch6(addrs []ip6.Addr) ([]uint32, error) {
 		binary.BigEndian.PutUint64(c.buf[1+addr6Size*i:], a.Hi)
 		binary.BigEndian.PutUint64(c.buf[1+addr6Size*i+8:], a.Lo)
 	}
-	if _, err := c.conn.Write(c.buf[:1+addr6Size*len(addrs)]); err != nil {
-		return nil, err
-	}
-	n, err := c.conn.Read(c.buf)
+	n, err := c.exchange(1 + addr6Size*len(addrs))
 	if err != nil {
 		return nil, err
 	}
 	if n != 1+4*len(addrs) || c.buf[0] != AFInet6 {
-		return nil, fmt.Errorf("lookupd: bad v6 reply: %d bytes (af %d) for %d addresses", n, c.buf[0], len(addrs))
+		return nil, fmt.Errorf("lookupd: bad v6 reply: %d bytes (af %d) for %d addresses", n, replyAF(c.buf, n), len(addrs))
 	}
 	out := make([]uint32, len(addrs))
 	for i := range out {
@@ -777,5 +975,86 @@ func (c *Client) LookupBatch6(addrs []ip6.Addr) ([]uint32, error) {
 	return out, nil
 }
 
+// LookupVRF resolves a single IPv4 address within a tenant table.
+func (c *Client) LookupVRF(vrf uint16, addr uint32) (uint32, error) {
+	labels, err := c.LookupBatchVRF(vrf, []uint32{addr})
+	if err != nil {
+		return 0, err
+	}
+	return labels[0], nil
+}
+
+// LookupBatchVRF resolves up to MaxBatch IPv4 addresses against one
+// tenant's table in one round trip, speaking the VRF-tagged framing.
+// The reply must echo the full 3-byte header — frame byte and tenant
+// id — or it is rejected, so a reply belonging to a different tenant's
+// request can never be mis-attributed.
+func (c *Client) LookupBatchVRF(vrf uint16, addrs []uint32) ([]uint32, error) {
+	if len(addrs) == 0 || len(addrs) > MaxBatch {
+		return nil, fmt.Errorf("lookupd: batch size %d out of [1,%d]", len(addrs), MaxBatch)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf[0] = VRFInet
+	binary.BigEndian.PutUint16(c.buf[1:], vrf)
+	for i, a := range addrs {
+		binary.BigEndian.PutUint32(c.buf[vrfHdrSize+4*i:], a)
+	}
+	n, err := c.exchange(vrfHdrSize + 4*len(addrs))
+	if err != nil {
+		return nil, err
+	}
+	if n != vrfHdrSize+4*len(addrs) || c.buf[0] != VRFInet || binary.BigEndian.Uint16(c.buf[1:]) != vrf {
+		return nil, fmt.Errorf("lookupd: bad vrf v4 reply: %d bytes (frame %d) for %d addresses in vrf %d", n, replyAF(c.buf, n), len(addrs), vrf)
+	}
+	out := make([]uint32, len(addrs))
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(c.buf[vrfHdrSize+4*i:])
+	}
+	return out, nil
+}
+
+// Lookup6VRF resolves a single IPv6 address within a tenant table.
+func (c *Client) Lookup6VRF(vrf uint16, addr ip6.Addr) (uint32, error) {
+	labels, err := c.LookupBatch6VRF(vrf, []ip6.Addr{addr})
+	if err != nil {
+		return 0, err
+	}
+	return labels[0], nil
+}
+
+// LookupBatch6VRF resolves up to MaxBatch IPv6 addresses against one
+// tenant's table in one round trip, with the same full-header echo
+// validation as LookupBatchVRF.
+func (c *Client) LookupBatch6VRF(vrf uint16, addrs []ip6.Addr) ([]uint32, error) {
+	if len(addrs) == 0 || len(addrs) > MaxBatch {
+		return nil, fmt.Errorf("lookupd: batch size %d out of [1,%d]", len(addrs), MaxBatch)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf[0] = VRFInet6
+	binary.BigEndian.PutUint16(c.buf[1:], vrf)
+	for i, a := range addrs {
+		binary.BigEndian.PutUint64(c.buf[vrfHdrSize+addr6Size*i:], a.Hi)
+		binary.BigEndian.PutUint64(c.buf[vrfHdrSize+addr6Size*i+8:], a.Lo)
+	}
+	n, err := c.exchange(vrfHdrSize + addr6Size*len(addrs))
+	if err != nil {
+		return nil, err
+	}
+	if n != vrfHdrSize+4*len(addrs) || c.buf[0] != VRFInet6 || binary.BigEndian.Uint16(c.buf[1:]) != vrf {
+		return nil, fmt.Errorf("lookupd: bad vrf v6 reply: %d bytes (frame %d) for %d addresses in vrf %d", n, replyAF(c.buf, n), len(addrs), vrf)
+	}
+	out := make([]uint32, len(addrs))
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(c.buf[vrfHdrSize+4*i:])
+	}
+	return out, nil
+}
+
 // Close releases the client socket.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -137,7 +137,7 @@ func (s *Server) dispatchAll(b *burstConn, got int, sc *scratch, st *workerStats
 	p := s.pinEngines()
 	out := 0
 	for i := 0; i < got; i++ {
-		respLen, count := dispatch(p.l, p.l6, b.reqs[i][:b.recvHdrs[i].n], b.resps[i][:], sc)
+		respLen, count := dispatch(p.l, p.l6, s.vrfs, b.reqs[i][:b.recvHdrs[i].n], b.resps[i][:], sc)
 		st.count(respLen, count)
 		if respLen == 0 {
 			continue

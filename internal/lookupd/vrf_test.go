@@ -1,0 +1,533 @@
+package lookupd
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/ip6"
+	"fibcomp/internal/trie"
+	"fibcomp/internal/vrftab"
+)
+
+// vrfTable builds one tenant's v4 table: a common base (same seed for
+// every tenant) plus a few tenant-specific routes, so cross-tenant
+// answers genuinely differ.
+func vrfTable(t *testing.T, tenant int) *fib.Table {
+	t.Helper()
+	tb := &fib.Table{}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 400; i++ {
+		plen := 8 + rng.Intn(17)
+		addr := rng.Uint32() &^ (1<<uint(32-plen) - 1)
+		if err := tb.Add(addr, plen, uint32(1+rng.Intn(100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drng := rand.New(rand.NewSource(int64(500 + tenant)))
+	for i := 0; i < 20; i++ {
+		plen := 16 + drng.Intn(9)
+		addr := drng.Uint32() &^ (1<<uint(32-plen) - 1)
+		if err := tb.Add(addr, plen, 101+uint32(tenant%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func vrfTable6(t *testing.T, tenant int) *ip6.Table {
+	t.Helper()
+	tb := ip6.New()
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 300; i++ {
+		plen := 16 + rng.Intn(33)
+		a := ip6.Addr{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		if err := tb.Add(ip6.Canonical(a, plen), plen, uint32(1+rng.Intn(100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drng := rand.New(rand.NewSource(int64(800 + tenant)))
+	for i := 0; i < 15; i++ {
+		plen := 24 + drng.Intn(25)
+		a := ip6.Addr{Hi: drng.Uint64(), Lo: drng.Uint64()}
+		if err := tb.Add(ip6.Canonical(a, plen), plen, 101+uint32(tenant%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// deltaProbes replays vrfTable's tenant-specific generator and returns
+// one address inside each delta prefix, so sweeps genuinely exercise
+// the routes that differ across tenants.
+func deltaProbes(tenant int) []uint32 {
+	drng := rand.New(rand.NewSource(int64(500 + tenant)))
+	probes := make([]uint32, 0, 20)
+	for i := 0; i < 20; i++ {
+		plen := 16 + drng.Intn(9)
+		addr := drng.Uint32() &^ (1<<uint(32-plen) - 1)
+		probes = append(probes, addr|1)
+	}
+	return probes
+}
+
+// vrfRegistry builds a registry with the given tenant ids, returning
+// per-tenant oracles built from the same tables.
+func vrfRegistry(t *testing.T, ids []uint16) (*vrftab.Registry, map[uint16]*trie.Trie, map[uint16]*ip6.Trie) {
+	t.Helper()
+	r := vrftab.New(11, 16, 16)
+	o4 := make(map[uint16]*trie.Trie, len(ids))
+	o6 := make(map[uint16]*ip6.Trie, len(ids))
+	for _, id := range ids {
+		t4 := vrfTable(t, int(id))
+		t6 := vrfTable6(t, int(id))
+		if _, err := r.Add(id, t4, t6); err != nil {
+			t.Fatal(err)
+		}
+		o4[id] = trie.FromTable(t4)
+		o6[id] = ip6.FromTable(t6)
+	}
+	return r, o4, o6
+}
+
+// TestVRFEndToEnd serves four tenants from one socket and checks each
+// tenant's remote answers — both families — against that tenant's own
+// oracle, on the same connection the legacy framings keep using.
+func TestVRFEndToEnd(t *testing.T) {
+	ids := []uint16{1, 2, 7, 300}
+	reg, o4, o6 := vrfRegistry(t, ids)
+	f4, f6, _ := reg.Resolve(1)
+	s, err := ListenOptions("127.0.0.1:0", f4, f6, Options{VRFs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	rng := rand.New(rand.NewSource(41))
+	addrs := make([]uint32, 128)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	for _, id := range ids {
+		addrs = append(addrs, deltaProbes(int(id))...)
+	}
+	if len(addrs) > MaxBatch {
+		addrs = addrs[:MaxBatch]
+	}
+	addrs6 := ip6.RandomAddrs(rng, 64)
+	for _, id := range ids {
+		labels, err := c.LookupBatchVRF(id, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range addrs {
+			if want := o4[id].Lookup(a); labels[i] != want {
+				t.Fatalf("vrf %d addr %08x: %d want %d", id, a, labels[i], want)
+			}
+		}
+		labels6, err := c.LookupBatch6VRF(id, addrs6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range addrs6 {
+			if want := o6[id].Lookup(a); labels6[i] != want {
+				t.Fatalf("vrf %d addr %s: %d want %d", id, a, labels6[i], want)
+			}
+		}
+	}
+	// The tenants are near-identical, not identical: at least one sweep
+	// address must answer differently across tenants, or the isolation
+	// checks above proved nothing.
+	distinct := false
+	for _, a := range addrs {
+		if o4[1].Lookup(a) != o4[2].Lookup(a) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("tenant tables indistinguishable on the sweep; isolation untested")
+	}
+	// Unknown tenant: answered with "no route" everywhere, not dropped.
+	labels, err := c.LookupBatchVRF(9999, addrs[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, label := range labels {
+		if label != fib.NoLabel {
+			t.Fatalf("unknown vrf label[%d] = %d, want no route", i, label)
+		}
+	}
+	labels6, err := c.LookupBatch6VRF(9999, addrs6[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, label := range labels6 {
+		if label != ip6.NoLabel {
+			t.Fatalf("unknown vrf v6 label[%d] = %d, want no route", i, label)
+		}
+	}
+	// Legacy framing still resolves against the default engine.
+	if _, err := c.LookupBatch(addrs[:8]); err != nil {
+		t.Fatalf("legacy v4 on a VRF server: %v", err)
+	}
+	// Scalar VRF wrappers.
+	got, err := c.LookupVRF(2, addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := o4[2].Lookup(addrs[0]); got != want {
+		t.Fatalf("scalar vrf lookup: %d want %d", got, want)
+	}
+	got6, err := c.Lookup6VRF(2, addrs6[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := o6[2].Lookup(addrs6[0]); got6 != want {
+		t.Fatalf("scalar vrf v6 lookup: %d want %d", got6, want)
+	}
+}
+
+// TestVRFWithoutResolver: a server with no VRF tables answers
+// well-formed VRF-tagged requests with "no route" on every address —
+// answered, not dropped, exactly like a v6 request on a v4-only
+// server.
+func TestVRFWithoutResolver(t *testing.T) {
+	d, _ := testDAG(t)
+	_, c := startServer(t, d)
+	labels, err := c.LookupBatchVRF(3, []uint32{0x0A000001, 0x0B000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, label := range labels {
+		if label != fib.NoLabel {
+			t.Fatalf("label[%d] = %d on a VRF-less server, want no route", i, label)
+		}
+	}
+	labels6, err := c.LookupBatch6VRF(3, []ip6.Addr{{Hi: 0x2001_0db8 << 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels6[0] != ip6.NoLabel {
+		t.Fatalf("v6 label = %d on a VRF-less server, want no route", labels6[0])
+	}
+}
+
+// classify is the reference model of the wire framing: exactly which
+// arm a (first byte, length) pair must land in. It mirrors the five
+// dispatch cases as independent predicates and the test asserts they
+// are mutually exclusive — the framing invariant the protocol's length
+// moduli (0, 1 and 3 mod 4) were chosen to guarantee.
+func classify(t *testing.T, first byte, n int) string {
+	arms := []struct {
+		name string
+		hit  bool
+	}{
+		{"legacy4", n > 0 && n%4 == 0 && n <= 4*MaxBatch},
+		{"tagged4", n > 1 && first == AFInet && (n-1)%4 == 0 && n-1 <= 4*MaxBatch},
+		{"tagged6", n > 1 && first == AFInet6 && (n-1)%addr6Size == 0 && n-1 <= addr6Size*MaxBatch},
+		{"vrf4", n > vrfHdrSize && first == VRFInet && (n-vrfHdrSize)%4 == 0 && n-vrfHdrSize <= 4*MaxBatch},
+		{"vrf6", n > vrfHdrSize && first == VRFInet6 && (n-vrfHdrSize)%addr6Size == 0 && n-vrfHdrSize <= addr6Size*MaxBatch},
+	}
+	arm := "drop"
+	hits := 0
+	for _, a := range arms {
+		if a.hit {
+			hits++
+			arm = a.name
+		}
+	}
+	if hits > 1 {
+		t.Fatalf("first byte %d length %d matches %d arms", first, n, hits)
+	}
+	return arm
+}
+
+// TestDatagramClassificationTable sweeps every (first byte, length)
+// combination across the interesting length range and asserts each
+// datagram lands in exactly one of {legacy v4, tagged v4, tagged v6,
+// VRF-tagged v4, VRF-tagged v6, drop}, with the dispatch reply shape
+// proving which arm actually ran.
+func TestDatagramClassificationTable(t *testing.T) {
+	reg, _, _ := vrfRegistry(t, []uint16{1})
+	f4, f6, _ := reg.Resolve(1)
+	sc := new(scratch)
+	req := make([]byte, maxRequest+4)
+	resp := make([]byte, maxResponse)
+
+	lengths := make([]int, 0, 200)
+	for n := 0; n <= 128; n++ {
+		lengths = append(lengths, n)
+	}
+	// The boundary datagrams: the largest well-formed body per arm and
+	// one step past it.
+	for _, n := range []int{
+		4 * MaxBatch, 4*MaxBatch + 4,
+		1 + 4*MaxBatch, 1 + 4*(MaxBatch+1),
+		1 + addr6Size*MaxBatch, 1 + addr6Size*(MaxBatch+1),
+		vrfHdrSize + 4*MaxBatch, vrfHdrSize + 4*(MaxBatch+1),
+		vrfHdrSize + addr6Size*MaxBatch,
+	} {
+		lengths = append(lengths, n)
+	}
+	for first := 0; first < 256; first++ {
+		for _, n := range lengths {
+			if n > len(req) {
+				continue
+			}
+			for i := range req[:n] {
+				req[i] = 0
+			}
+			if n > 0 {
+				req[0] = byte(first)
+			}
+			arm := classify(t, byte(first), n)
+			respLen, count := dispatch(f4, f6, reg, req[:n], resp, sc)
+			if arm == "drop" {
+				if respLen != 0 || count != 0 {
+					t.Fatalf("first %d len %d: dropped by model, answered %d bytes", first, n, respLen)
+				}
+				continue
+			}
+			if respLen == 0 {
+				t.Fatalf("first %d len %d: model says %s, dispatch dropped", first, n, arm)
+			}
+			wantLen, wantFirst := 0, byte(first)
+			switch arm {
+			case "legacy4":
+				wantLen = n
+				wantFirst = resp[0] // legacy echoes no header byte
+			case "tagged4":
+				wantLen = 1 + 4*(n-1)/4
+			case "tagged6":
+				wantLen = 1 + 4*(n-1)/addr6Size
+			case "vrf4":
+				wantLen = vrfHdrSize + 4*(n-vrfHdrSize)/4
+			case "vrf6":
+				wantLen = vrfHdrSize + 4*(n-vrfHdrSize)/addr6Size
+			}
+			if respLen != wantLen {
+				t.Fatalf("first %d len %d (%s): reply %d bytes, want %d", first, n, arm, respLen, wantLen)
+			}
+			if resp[0] != wantFirst {
+				t.Fatalf("first %d len %d (%s): reply first byte %d, want %d", first, n, arm, resp[0], wantFirst)
+			}
+		}
+	}
+}
+
+// TestDispatchZeroAllocsVRF extends the zero-allocation dispatch
+// contract to the VRF arms: a full-size VRF-tagged batch of either
+// family, resolved through the registry's atomic map and a per-datagram
+// view pin, touches the heap zero times.
+func TestDispatchZeroAllocsVRF(t *testing.T) {
+	reg, _, _ := vrfRegistry(t, []uint16{5})
+	f4, f6, _ := reg.Resolve(5)
+	s := &Server{vrfs: reg}
+	s.fib.Store(&engineBox{f4})
+	s.fib6.Store(&engineBox6{f6})
+	w := new(wire)
+	st := new(workerStats)
+	rng := rand.New(rand.NewSource(43))
+
+	w.req[0] = VRFInet
+	binary.BigEndian.PutUint16(w.req[1:], 5)
+	for i := 0; i < MaxBatch; i++ {
+		binary.BigEndian.PutUint32(w.req[vrfHdrSize+4*i:], rng.Uint32())
+	}
+	n4 := vrfHdrSize + 4*MaxBatch
+	s.dispatchOne(w, n4, st) // warm pools
+	allocs := testing.AllocsPerRun(200, func() {
+		if got, _ := s.dispatchOne(w, n4, st); got != vrfHdrSize+4*MaxBatch {
+			t.Fatalf("vrf v4 dispatch reply %d, want %d", got, vrfHdrSize+4*MaxBatch)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("vrf v4 dispatch allocated %.2f times per datagram, want 0", allocs)
+	}
+
+	w.req[0] = VRFInet6
+	for i := 0; i < MaxBatch; i++ {
+		binary.BigEndian.PutUint64(w.req[vrfHdrSize+16*i:], rng.Uint64())
+		binary.BigEndian.PutUint64(w.req[vrfHdrSize+16*i+8:], rng.Uint64())
+	}
+	n6 := vrfHdrSize + 16*MaxBatch
+	s.dispatchOne(w, n6, st)
+	allocs = testing.AllocsPerRun(200, func() {
+		if got, _ := s.dispatchOne(w, n6, st); got != vrfHdrSize+4*MaxBatch {
+			t.Fatalf("vrf v6 dispatch reply %d, want %d", got, vrfHdrSize+4*MaxBatch)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("vrf v6 dispatch allocated %.2f times per datagram, want 0", allocs)
+	}
+}
+
+// swallowServer is a hand-rolled UDP peer for the client timeout
+// tests: it reads datagrams and hands each to a scripted step, which
+// decides what (if anything) to send back and to whom.
+func swallowServer(t *testing.T, steps func(step int, conn *net.UDPConn, req []byte, peer *net.UDPAddr)) *net.UDPConn {
+	t.Helper()
+	ua, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, maxRequest)
+		for step := 0; ; step++ {
+			n, peer, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			steps(step, conn, buf[:n], peer)
+		}
+	}()
+	return conn
+}
+
+// TestClientTimeout is the regression for the hanging-client bug: a
+// server that swallows the first request must produce a typed timeout
+// error — not a forever-blocked Read — and the very next request on
+// the same client must succeed.
+func TestClientTimeout(t *testing.T) {
+	srv := swallowServer(t, func(step int, conn *net.UDPConn, req []byte, peer *net.UDPAddr) {
+		if step == 0 {
+			return // swallow: the reply the old client would have waited on forever
+		}
+		resp := make([]byte, len(req))
+		for i := 0; i+4 <= len(req); i += 4 {
+			binary.BigEndian.PutUint32(resp[i:], 7)
+		}
+		conn.WriteToUDP(resp, peer)
+	})
+	c, err := DialTimeout(srv.LocalAddr().String(), 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, err = c.Lookup(0x0A000001)
+	waited := time.Since(start)
+	if err == nil {
+		t.Fatal("swallowed request returned no error")
+	}
+	te, ok := err.(*TimeoutError)
+	if !ok {
+		t.Fatalf("error %T (%v), want *TimeoutError", err, err)
+	}
+	if !te.Timeout() || !te.Temporary() {
+		t.Fatal("TimeoutError must satisfy the net.Error timeout contract")
+	}
+	if waited > 5*time.Second {
+		t.Fatalf("client waited %v; the timeout did not bound the Read", waited)
+	}
+	// The client recovered: next request answered.
+	got, err := c.Lookup(0x0A000001)
+	if err != nil {
+		t.Fatalf("lookup after timeout: %v", err)
+	}
+	if got != 7 {
+		t.Fatalf("lookup after timeout = %d, want 7", got)
+	}
+}
+
+// TestStaleReplyAfterTimeout pins the redial fix: a reply that arrives
+// after the client gave up must never be mistaken for the answer to
+// the next request. The server answers the first request late — with
+// poisoned labels — and the second promptly; if the client kept its
+// socket, the poisoned datagram would be first in its receive queue.
+func TestStaleReplyAfterTimeout(t *testing.T) {
+	type lateReply struct {
+		resp []byte
+		peer *net.UDPAddr
+	}
+	late := make(chan lateReply, 1)
+	srv := swallowServer(t, func(step int, conn *net.UDPConn, req []byte, peer *net.UDPAddr) {
+		if step == 0 {
+			resp := make([]byte, len(req))
+			for i := 0; i+4 <= len(req); i += 4 {
+				binary.BigEndian.PutUint32(resp[i:], 0xDEAD)
+			}
+			late <- lateReply{resp, peer}
+			return
+		}
+		resp := make([]byte, len(req))
+		for i := 0; i+4 <= len(req); i += 4 {
+			binary.BigEndian.PutUint32(resp[i:], 42)
+		}
+		conn.WriteToUDP(resp, peer)
+	})
+	c, err := DialTimeout(srv.LocalAddr().String(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Lookup(0x0A000001); err == nil {
+		t.Fatal("late-answered request returned no error")
+	}
+	// Deliver the stale reply to the client's *old* address after the
+	// timeout fired. The redial moved the client to a fresh port, so
+	// this datagram lands on a dead socket.
+	lr := <-late
+	if _, err := srv.WriteToUDP(lr.resp, lr.peer); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the stale datagram land
+	got, err := c.Lookup(0x0A000001)
+	if err != nil {
+		t.Fatalf("lookup after stale reply: %v", err)
+	}
+	if got == 0xDEAD {
+		t.Fatal("client consumed the stale pre-timeout reply")
+	}
+	if got != 42 {
+		t.Fatalf("lookup after stale reply = %d, want 42", got)
+	}
+}
+
+// TestEmptyReplyHardening is the n<1 regression: a zero-length reply
+// datagram must produce a clean error from every batch method, never a
+// read of stale buffer bytes. replyAF's contract is checked directly
+// too.
+func TestEmptyReplyHardening(t *testing.T) {
+	buf := []byte{AFInet6, 0, 0}
+	if got := replyAF(buf, 0); got != -1 {
+		t.Fatalf("replyAF(n=0) = %d, want -1", got)
+	}
+	if got := replyAF(buf, 2); got != int(AFInet6) {
+		t.Fatalf("replyAF(n=2) = %d, want %d", got, AFInet6)
+	}
+
+	srv := swallowServer(t, func(step int, conn *net.UDPConn, req []byte, peer *net.UDPAddr) {
+		conn.WriteToUDP(nil, peer) // zero-length UDP datagram: valid on the wire
+	})
+	c, err := DialTimeout(srv.LocalAddr().String(), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.LookupBatch6([]ip6.Addr{{Hi: 1}}); err == nil {
+		t.Fatal("empty v6 reply accepted")
+	}
+	if _, err := c.LookupBatchTagged4([]uint32{1}); err == nil {
+		t.Fatal("empty tagged v4 reply accepted")
+	}
+	if _, err := c.LookupBatchVRF(1, []uint32{1}); err == nil {
+		t.Fatal("empty vrf reply accepted")
+	}
+}

@@ -116,6 +116,16 @@ func depth0Label(e, p uint32) uint32 {
 // walk with a one-entry nodes table and no shard bits (addr>>32 is 0
 // in Go), so the subtle hot loop exists exactly once.
 func (b *Blob) LookupBatchInto(dst, addrs []uint32) {
+	if b.RootBase != 0 || len(b.Root) != 1<<uint(b.Lambda) {
+		// Shared-arena blobs carry only their shard's root window at
+		// offset RootBase, which the merged fetch pass cannot index;
+		// walk them scalar (the sharded engine splices windows into a
+		// combined root and never takes this path).
+		for i, a := range addrs {
+			dst[i] = b.Lookup(a)
+		}
+		return
+	}
 	nodes := [1][]uint32{b.Nodes}
 	LookupBatchMerged(dst, addrs, b.Root, nodes[:], 0, b.Lambda, b.Width)
 }

@@ -65,6 +65,13 @@ type DAG struct {
 	leaves  map[uint32]*Node    // the leaf table lp
 	nextID  uint64
 
+	// space is non-nil for a DAG folded into a shared hash-cons
+	// universe (FromTrieShared): sub and leaves then alias the space's
+	// maps, interior ids draw from the space-wide counter, and
+	// serialization epochs come from the space so stamps written
+	// through one member DAG can never collide with another's.
+	space *Space
+
 	// Serialize scratch, reused across republishes (see SerializeInto
 	// and SerializeV2Into, which share it — the epoch bump isolates
 	// the two formats' stamps): the current stamping epoch, the folded
@@ -195,11 +202,35 @@ func (d *DAG) acquireNode(l, r *Node) *Node {
 		d.release(r)
 		return n
 	}
-	d.nextID++
 	n := d.newNode()
-	n.kind, n.Left, n.Right, n.id, n.ref = kindInt, l, r, d.nextID, 1
+	n.kind, n.Left, n.Right, n.id, n.ref = kindInt, l, r, d.allocID(), 1
 	d.sub[key] = n
 	return n
+}
+
+// allocID draws the next interior-node id: from the shared space's
+// counter when the DAG is a member of one (ids key the shared cons
+// index, so per-DAG counters would collide), else from the DAG's own.
+func (d *DAG) allocID() uint64 {
+	if d.space != nil {
+		d.space.nextID++
+		return d.space.nextID
+	}
+	d.nextID++
+	return d.nextID
+}
+
+// bumpEpoch starts a fresh private-serialization stamping epoch. For a
+// space-member DAG the counter is space-wide: a per-DAG counter could
+// collide with a stamp another member wrote on a shared node, making a
+// stale index look current.
+func (d *DAG) bumpEpoch() {
+	if d.space != nil {
+		d.space.epoch++
+		d.serialEpoch = d.space.epoch
+		return
+	}
+	d.serialEpoch++
 }
 
 // release drops one reference — get(i, j) of §4.1 — deleting the node

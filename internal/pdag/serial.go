@@ -16,8 +16,15 @@ import (
 type Blob struct {
 	Lambda int
 	Width  int
-	Root   []uint32 // 2^λ entries: def<<24 | payload
+	Root   []uint32 // root entries: def<<24 | payload
 	Nodes  []uint32 // 2 words per interior node: payload each
+
+	// RootBase is the logical offset of Root[0] within the full
+	// 2^λ-entry root array. A privately serialized blob carries the
+	// whole array (RootBase 0); a shared-space blob (SerializeShared)
+	// carries only its shard's live window, with RootBase naming where
+	// that window sits — walks subtract it before indexing Root.
+	RootBase int
 }
 
 // Payload encoding (24 bits in root entries, 32 bits in node words).
@@ -68,7 +75,7 @@ func (d *DAG) SerializeInto(b *Blob) (*Blob, error) {
 	if b == nil {
 		b = &Blob{}
 	}
-	b.Lambda, b.Width = lambda, d.Width
+	b.Lambda, b.Width, b.RootBase = lambda, d.Width, 0
 	rootLen := 1 << uint(lambda)
 	if cap(b.Root) >= rootLen {
 		b.Root = b.Root[:rootLen]
@@ -78,7 +85,7 @@ func (d *DAG) SerializeInto(b *Blob) (*Blob, error) {
 
 	// One pass over the plain region fills every root-array entry and
 	// assigns node indices on first contact with a folded subtree.
-	d.serialEpoch++
+	d.bumpEpoch()
 	d.serialList = d.serialList[:0]
 	if err := d.fillRoot(b.Root, b.Lambda, d.root, 0, 0, fib.NoLabel, d.assign); err != nil {
 		return nil, err
@@ -223,7 +230,7 @@ func fillWords(s []uint32, v uint32) {
 // nil checks are perfectly predicted branches in the plain-Lookup
 // instantiation, measured at zero cost next to the walk's loads.
 func lookupWalk(b *Blob, addr uint32, visit func(byteOffset int)) (label uint32, depth int) {
-	ri := int(addr >> uint(fib.W-b.Lambda))
+	ri := int(addr>>uint(fib.W-b.Lambda)) - b.RootBase
 	if visit != nil {
 		visit(ri * 4)
 	}

@@ -150,7 +150,7 @@ func (d *DAG) SerializeV2Into(b *BlobV2) (*BlobV2, error) {
 	// word offset on first contact and sizing the words region. The
 	// expansions computed while sizing are kept (serialExps, reused
 	// across republishes) so pass 2 does not walk the DAG again.
-	d.serialEpoch++
+	d.bumpEpoch()
 	d.serialList = d.serialList[:0]
 	d.serialExps = d.serialExps[:0]
 	d.serialWatermark = 0

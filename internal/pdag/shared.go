@@ -1,0 +1,322 @@
+package pdag
+
+import (
+	"fmt"
+	"sync"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/trie"
+)
+
+// Space is a shared hash-cons universe: the sub-trie index S and the
+// leaf table lp of §4.1 lifted out of one DAG and spanned across many.
+// Every DAG built with FromTrieShared folds into the same two maps, so
+// an isomorphic labeled sub-trie appearing in any number of tenant
+// tables is stored exactly once — the paper's within-table sharing
+// argument extended across tables, which is what makes thousands of
+// near-identical VRFs cost little more than one.
+//
+// The space also owns the serialized form of that sharing: an
+// append-only arena of node words (words) that every member DAG's
+// SerializeShared emits into, stamping each folded node with its
+// arena index so the next tenant to reach the same node reuses the
+// emitted words instead of re-serializing them. Root-array windows are
+// content-deduplicated into a second arena (rootArena), so tenants
+// whose shard roots are bit-identical share those too. Published blobs
+// alias the arenas; appends never mutate an index a published slice
+// can reach, so readers need no synchronization.
+//
+// All mutation — folding, updates, serialization — must happen under
+// the space lock (Lock/Unlock); shardfib's shared-mode write paths
+// take it around every control-plane operation. Lookups on published
+// blobs never touch the space.
+type Space struct {
+	mu     sync.Mutex
+	sub    map[[2]uint64]*Node
+	leaves map[uint32]*Node
+	nextID uint64
+
+	// epoch backs the private serializers' stamping epochs for member
+	// DAGs: a space-wide counter keeps a stamp written through one DAG
+	// from ever matching an epoch drawn by another (per-DAG counters
+	// would collide on shared nodes). Always < 1<<63, so it is
+	// disjoint from the persistent arena-stamp epochs below.
+	epoch uint64
+
+	// gen is the arena generation: arena stamps are valid only under
+	// the epoch 1<<63|gen, so Compact — which bumps gen and replaces
+	// the arenas — invalidates every stamp at once without touching
+	// the nodes.
+	gen uint64
+
+	words     []uint32 // append-only arena: two words per emitted folded interior
+	rootArena []uint32 // append-only arena of deduplicated root windows
+	rootIdx   map[uint64][]rootWin
+
+	scratchRoot []uint32 // full 2^λ root scratch for SerializeShared
+	stack       []*Node  // shared-emission DFS stack
+	newList     []*Node  // nodes first stamped by the current emission
+}
+
+// rootWin locates one deduplicated root window in the root arena.
+type rootWin struct {
+	off int32
+	n   int32
+}
+
+// NewSpace creates an empty shared hash-cons space.
+func NewSpace() *Space {
+	return &Space{
+		sub:     make(map[[2]uint64]*Node),
+		leaves:  make(map[uint32]*Node),
+		rootIdx: make(map[uint64][]rootWin),
+	}
+}
+
+// Lock acquires the space's write exclusion. Every mutation of a
+// member DAG — fold, Set/Delete, serialization, release — must run
+// under it; shardfib's shared mode takes it around each operation.
+func (sp *Space) Lock() { sp.mu.Lock() }
+
+// Unlock releases the space's write exclusion.
+func (sp *Space) Unlock() { sp.mu.Unlock() }
+
+// SharedBytes reports the byte size of the shared serialized arenas —
+// the node words and deduplicated root windows every tenant's blobs
+// alias. This is the resident serialized cost of all member tables
+// together, counted once. Callers synchronize with writers (take the
+// space lock or quiesce the write paths) for an exact figure.
+func (sp *Space) SharedBytes() int {
+	return 4 * (len(sp.words) + len(sp.rootArena))
+}
+
+// FoldedInterior reports the number of shared interior nodes (|S|)
+// across every member DAG.
+func (sp *Space) FoldedInterior() int { return len(sp.sub) }
+
+// stampEpoch is the persistent arena-stamp epoch of the current
+// generation. Bit 63 keeps it disjoint from the private-serialization
+// counter, so a private SerializeInto on a member DAG can never forge
+// a valid arena stamp.
+func (sp *Space) stampEpoch() uint64 { return 1<<63 | sp.gen }
+
+// Compact begins a fresh arena generation: the word and root arenas
+// are replaced (never truncated — published blobs alias the old
+// backing arrays and keep serving until their snapshots drain) and
+// every arena stamp is invalidated by the generation bump. The caller
+// must republish every member DAG afterwards so new snapshots land in
+// the new arenas; until then retired blobs pin the old ones. Called
+// under the space lock.
+func (sp *Space) Compact() {
+	sp.gen++
+	sp.words = nil
+	sp.rootArena = nil
+	sp.rootIdx = make(map[uint64][]rootWin)
+}
+
+// FromTrieShared is FromTrie folding into a shared space: the DAG's
+// sub-trie index and leaf table are the space's own maps, so identical
+// subtrees across member DAGs coalesce, and interior ids draw from the
+// space-wide counter so cons keys never collide across members. The
+// caller must hold the space lock.
+func FromTrieShared(sp *Space, t *trie.Trie, lambda int) (*DAG, error) {
+	if lambda < 0 || lambda > fib.W {
+		return nil, fmt.Errorf("pdag: barrier λ=%d out of range [0,%d]", lambda, fib.W)
+	}
+	d := &DAG{
+		Width:   fib.W,
+		Lambda:  lambda,
+		control: t.Clone(),
+		sub:     sp.sub,
+		leaves:  sp.leaves,
+		space:   sp,
+	}
+	d.root = d.buildUp(d.control.Root, 0)
+	return d, nil
+}
+
+// Release drops every folded reference the DAG's plain region holds,
+// returning its share of the space's nodes — the teardown a shared
+// Reload or tenant removal needs so replaced tables do not pin their
+// subtrees in the space forever. The DAG is unusable afterwards.
+// Called under the space lock; harmless (and unnecessary) for a
+// private DAG.
+func (d *DAG) Release() {
+	d.releaseTree(d.root)
+	d.root = nil
+}
+
+// releaseTree walks the plain region recycling up nodes and dropping
+// one reference per folded attachment point.
+func (d *DAG) releaseTree(n *Node) {
+	if n == nil {
+		return
+	}
+	if n.kind != kindUp {
+		d.release(n)
+		return
+	}
+	l, r := n.Left, n.Right
+	d.recycleNode(n)
+	d.releaseTree(l)
+	d.releaseTree(r)
+}
+
+// SerializeShared freezes the DAG's shard window into a blob whose
+// Root and Nodes alias the space's arenas. shardIdx/shardBits name the
+// window: of the full 2^λ root array only entries
+// [shardIdx<<(λ-k), (shardIdx+1)<<(λ-k)) are live in a sharded engine,
+// so only that window is published (Blob.RootBase records its offset).
+// Folded nodes already stamped into the arena by any member DAG — an
+// earlier publish of this tenant or another tenant sharing the subtree
+// — are reused by index; only nodes the arena has never seen append
+// words. A blob of a near-duplicate tenant therefore costs a few
+// delta nodes and, when even the root window is bit-identical to one
+// already published, no new arena bytes at all.
+//
+// The caller must hold the space lock and must not run concurrently
+// with Set/Delete on any member DAG. On error the arenas are
+// unchanged except for possibly-appended (now unreachable) words, and
+// b must not be published.
+func (d *DAG) SerializeShared(b *Blob, shardIdx, shardBits int) (*Blob, error) {
+	sp := d.space
+	if sp == nil {
+		return nil, fmt.Errorf("pdag: SerializeShared on a DAG without a shared space")
+	}
+	lambda := d.Lambda
+	if lambda > d.Width {
+		lambda = d.Width
+	}
+	if lambda > maxSerialLambda {
+		return nil, fmt.Errorf("pdag: cannot serialize with barrier λ=%d > %d", d.Lambda, maxSerialLambda)
+	}
+	if shardBits < 0 || shardBits > lambda {
+		return nil, fmt.Errorf("pdag: shard bits %d outside [0,λ=%d]", shardBits, lambda)
+	}
+	if b == nil {
+		b = &Blob{}
+	}
+	rootLen := 1 << uint(lambda)
+	if cap(sp.scratchRoot) >= rootLen {
+		sp.scratchRoot = sp.scratchRoot[:rootLen]
+	} else {
+		sp.scratchRoot = make([]uint32, rootLen)
+	}
+
+	sp.newList = sp.newList[:0]
+	if err := d.fillRoot(sp.scratchRoot, lambda, d.root, 0, 0, fib.NoLabel, d.assignShared); err != nil {
+		return nil, err
+	}
+	// Append the words of the newly stamped nodes; children are
+	// stamped (this emission or an earlier one under the same
+	// generation), so each word is a read of the child's stamp.
+	for _, n := range sp.newList {
+		sp.words = append(sp.words, wordFor(n.Left), wordFor(n.Right))
+	}
+
+	per := rootLen >> uint(shardBits)
+	lo := shardIdx * per
+	win := sp.scratchRoot[lo : lo+per]
+	b.Lambda, b.Width = lambda, d.Width
+	b.Root = sp.internRootWindow(win)
+	b.RootBase = lo
+	b.Nodes = sp.words[:len(sp.words):len(sp.words)]
+	return b, nil
+}
+
+// assignShared is the space-arena twin of assign: folded subtrees take
+// dense arena indices, stamped persistently under the generation epoch
+// so every later emission — by any member DAG — reuses them.
+func (d *DAG) assignShared(root *Node) (uint32, error) {
+	sp := d.space
+	epoch := sp.stampEpoch()
+	if root.serialEpoch == epoch {
+		return root.serialIdx, nil
+	}
+	if err := sp.stampShared(root, epoch); err != nil {
+		return 0, err
+	}
+	stack := append(sp.stack[:0], root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Stamp both children at the parent, left first, so siblings
+		// take consecutive indices; push right below left so the left
+		// subtree is walked first (the locality trick of §4.2).
+		l, r := n.Left, n.Right
+		pushL := l.kind == kindInt && l.serialEpoch != epoch
+		pushR := r.kind == kindInt && r.serialEpoch != epoch
+		if pushL {
+			if err := sp.stampShared(l, epoch); err != nil {
+				sp.stack = stack
+				return 0, err
+			}
+		}
+		if pushR {
+			// l == r was stamped above; recheck keeps the scan
+			// single-visit.
+			if r.serialEpoch == epoch {
+				pushR = false
+			} else if err := sp.stampShared(r, epoch); err != nil {
+				sp.stack = stack
+				return 0, err
+			}
+		}
+		if pushR {
+			stack = append(stack, r)
+		}
+		if pushL {
+			stack = append(stack, l)
+		}
+	}
+	sp.stack = stack
+	return root.serialIdx, nil
+}
+
+// stampShared assigns n the next arena index under the generation
+// epoch.
+func (sp *Space) stampShared(n *Node, epoch uint64) error {
+	idx := uint32(len(sp.words)/2 + len(sp.newList))
+	if idx > maxBlobIdx {
+		return fmt.Errorf("pdag: shared arena full (%d folded nodes); compact the space", idx)
+	}
+	n.serialEpoch, n.serialIdx = epoch, idx
+	sp.newList = append(sp.newList, n)
+	return nil
+}
+
+// internRootWindow returns an arena slice whose contents equal win,
+// appending it only when no published window already matches — the
+// content-hash dedup that makes bit-identical tenant shards share
+// their root windows too.
+func (sp *Space) internRootWindow(win []uint32) []uint32 {
+	h := hashWords(win)
+	for _, w := range sp.rootIdx[h] {
+		if int(w.n) == len(win) && wordsEqual(sp.rootArena[w.off:int(w.off)+len(win)], win) {
+			return sp.rootArena[w.off : int(w.off)+len(win) : int(w.off)+len(win)]
+		}
+	}
+	off := len(sp.rootArena)
+	sp.rootArena = append(sp.rootArena, win...)
+	sp.rootIdx[h] = append(sp.rootIdx[h], rootWin{off: int32(off), n: int32(len(win))})
+	return sp.rootArena[off : off+len(win) : off+len(win)]
+}
+
+// hashWords is FNV-1a over the window's words.
+func hashWords(s []uint32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range s {
+		h ^= uint64(w)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func wordsEqual(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

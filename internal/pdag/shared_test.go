@@ -1,0 +1,287 @@
+package pdag
+
+import (
+	"math/rand"
+	"testing"
+
+	"fibcomp/internal/trie"
+)
+
+// tenantTrie builds a base table of shared routes plus delta
+// tenant-specific routes derived from the tenant id, modelling the
+// near-identical VRF tables the shared space exists for.
+func tenantTrie(t *testing.T, tenant, base, delta int) *trie.Trie {
+	t.Helper()
+	tr := trie.New()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < base; i++ {
+		plen := 8 + rng.Intn(17)
+		addr := rng.Uint32() &^ (1<<uint(32-plen) - 1)
+		tr.Insert(addr, plen, uint32(1+rng.Intn(200)))
+	}
+	drng := rand.New(rand.NewSource(int64(1000 + tenant)))
+	for i := 0; i < delta; i++ {
+		plen := 16 + drng.Intn(9)
+		addr := drng.Uint32() &^ (1<<uint(32-plen) - 1)
+		tr.Insert(addr, plen, uint32(1+drng.Intn(200)))
+	}
+	return tr
+}
+
+func sweepAddrs(n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	addrs := make([]uint32, n)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	return addrs
+}
+
+// TestSharedSerializeEquivalence checks that shared-arena blobs answer
+// exactly like private blobs of the same tables, across several
+// tenants folded into one space — and that the window/RootBase
+// mechanics hold for a sharded emission.
+func TestSharedSerializeEquivalence(t *testing.T) {
+	const lambda, tenants = 12, 4
+	sp := NewSpace()
+	addrs := sweepAddrs(4096, 7)
+	sp.Lock()
+	defer sp.Unlock()
+	for tn := 0; tn < tenants; tn++ {
+		tr := tenantTrie(t, tn, 300, 10)
+		d, err := FromTrieShared(sp, tr, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := FromTrie(tr, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBlob, err := ref.SerializeInto(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full-window emission.
+		blob, err := d.SerializeShared(nil, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blob.RootBase != 0 || len(blob.Root) != 1<<lambda {
+			t.Fatalf("tenant %d: full window got base=%d len=%d", tn, blob.RootBase, len(blob.Root))
+		}
+		for _, a := range addrs {
+			if got, want := blob.Lookup(a), refBlob.Lookup(a); got != want {
+				t.Fatalf("tenant %d addr %08x: shared=%d private=%d", tn, a, got, want)
+			}
+		}
+		// Batch path must agree through the RootBase-aware fallback.
+		got := blob.LookupBatch(addrs)
+		want := refBlob.LookupBatch(addrs)
+		for i := range addrs {
+			if got[i] != want[i] {
+				t.Fatalf("tenant %d batch addr %08x: shared=%d private=%d", tn, addrs[i], got[i], want[i])
+			}
+		}
+		// Sharded windows: each of 2^k windows must agree on the
+		// addresses it owns.
+		const k = 2
+		for s := 0; s < 1<<k; s++ {
+			wb, err := d.SerializeShared(nil, s, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wb.RootBase != s<<(lambda-k) {
+				t.Fatalf("tenant %d shard %d: RootBase=%d", tn, s, wb.RootBase)
+			}
+			for _, a := range addrs {
+				if int(a>>uint(32-k)) != s {
+					continue
+				}
+				if got, want := wb.Lookup(a), refBlob.Lookup(a); got != want {
+					t.Fatalf("tenant %d shard %d addr %08x: %d != %d", tn, s, a, got, want)
+				}
+			}
+		}
+		// A private serialization of a shared-space DAG must also be
+		// self-consistent (the space-wide epoch counter keeps its
+		// stamps from colliding with other members').
+		pb, err := d.SerializeInto(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range addrs {
+			if got, want := pb.Lookup(a), refBlob.Lookup(a); got != want {
+				t.Fatalf("tenant %d private-on-shared addr %08x: %d != %d", tn, a, got, want)
+			}
+		}
+	}
+}
+
+// TestSharedArenaDedup checks the headline economics: an identical
+// second tenant adds zero arena bytes, and near-identical tenants add
+// only their delta.
+func TestSharedArenaDedup(t *testing.T) {
+	const lambda = 12
+	sp := NewSpace()
+	sp.Lock()
+	defer sp.Unlock()
+
+	tr := tenantTrie(t, 0, 400, 0)
+	d0, err := FromTrieShared(sp, tr, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d0.SerializeShared(nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	after1 := sp.SharedBytes()
+	if after1 == 0 {
+		t.Fatal("empty arena after first publish")
+	}
+
+	// Bit-identical tenant: same routes, so every folded node and the
+	// root window itself are already in the arenas.
+	d1, err := FromTrieShared(sp, tenantTrie(t, 0, 400, 0), lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := d1.SerializeShared(nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.SharedBytes(); got != after1 {
+		t.Fatalf("identical tenant grew arena: %d -> %d bytes", after1, got)
+	}
+	if b1.Lookup(0x0a000001) != d0.Lookup(0x0a000001) {
+		t.Fatal("identical tenants disagree")
+	}
+
+	// Near-identical tenant: growth must be well under a second full
+	// table.
+	d2, err := FromTrieShared(sp, tenantTrie(t, 2, 400, 8), lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.SerializeShared(nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	growth := sp.SharedBytes() - after1
+	if growth >= after1 {
+		t.Fatalf("near-identical tenant grew arena by %d bytes (full table is %d)", growth, after1)
+	}
+}
+
+// TestSharedInterleavedUpdates interleaves updates and republishes
+// across tenants of one space — the access pattern that a per-DAG
+// epoch counter corrupts via stamp collisions on shared nodes.
+func TestSharedInterleavedUpdates(t *testing.T) {
+	const lambda, tenants, rounds = 11, 3, 6
+	sp := NewSpace()
+	sp.Lock()
+	defer sp.Unlock()
+	addrs := sweepAddrs(2048, 99)
+
+	dags := make([]*DAG, tenants)
+	refs := make([]*trie.Trie, tenants)
+	for tn := range dags {
+		refs[tn] = tenantTrie(t, tn, 250, 5)
+		d, err := FromTrieShared(sp, refs[tn], lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dags[tn] = d
+	}
+	rng := rand.New(rand.NewSource(5))
+	for r := 0; r < rounds; r++ {
+		for tn, d := range dags {
+			plen := 12 + rng.Intn(13)
+			addr := rng.Uint32() &^ (1<<uint(32-plen) - 1)
+			label := uint32(1 + rng.Intn(200))
+			if err := d.Set(addr, plen, label); err != nil {
+				t.Fatal(err)
+			}
+			refs[tn].Insert(addr, plen, label)
+			blob, err := d.SerializeShared(nil, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := FromTrie(refs[tn], lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := ref.SerializeInto(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range addrs {
+				if got, want := blob.Lookup(a), rb.Lookup(a); got != want {
+					t.Fatalf("round %d tenant %d addr %08x: %d != %d", r, tn, a, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedReleaseAndCompact checks that releasing one tenant leaves
+// the others intact, and that Compact + republish serves correctly
+// while blobs published before the compaction keep answering from the
+// retired arenas.
+func TestSharedReleaseAndCompact(t *testing.T) {
+	const lambda = 12
+	sp := NewSpace()
+	sp.Lock()
+	defer sp.Unlock()
+	addrs := sweepAddrs(2048, 3)
+
+	trA := tenantTrie(t, 0, 300, 6)
+	trB := tenantTrie(t, 1, 300, 6)
+	dA, err := FromTrieShared(sp, trA, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dB, err := FromTrieShared(sp, trB, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldBlob, err := dA.SerializeShared(nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dB.SerializeShared(nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	oldWant := make([]uint32, len(addrs))
+	for i, a := range addrs {
+		oldWant[i] = oldBlob.Lookup(a)
+	}
+
+	dB.Release()
+	if err := dA.Set(0x0a000000, 8, 7); err != nil {
+		t.Fatal(err)
+	}
+	trA.Insert(0x0a000000, 8, 7)
+
+	sp.Compact()
+	newBlob, err := dA.SerializeShared(nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FromTrie(trA, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ref.SerializeInto(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range addrs {
+		if got, want := newBlob.Lookup(a), rb.Lookup(a); got != want {
+			t.Fatalf("post-compact addr %08x: %d != %d", a, got, want)
+		}
+		// The pre-compact blob must still answer from the retired
+		// arena exactly as it did before.
+		if got := oldBlob.Lookup(a); got != oldWant[i] {
+			t.Fatalf("retired blob changed under compaction at %08x: %d != %d", a, got, oldWant[i])
+		}
+	}
+}

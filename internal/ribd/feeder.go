@@ -70,6 +70,13 @@ type FeederOptions struct {
 	WriteTimeout time.Duration
 	// Seed seeds the backoff jitter (deterministic tests).
 	Seed int64
+	// VRFSet scopes every session to one tenant table: each hello is
+	// sent as "hello <peer> vrf <VRF>", so the whole feed lands in that
+	// VRF's plane on a multi-tenant server. Off (the default), the feed
+	// goes to the server's default plane. A separate flag rather than a
+	// sentinel id keeps tenant 0 reachable.
+	VRFSet bool
+	VRF    uint16
 }
 
 // Feeder defaults.
@@ -204,6 +211,9 @@ func (f *Feeder) attempt(us []gen.Update) (accepted uint64, err error) {
 	br := bufio.NewReader(conn)
 
 	hello := "hello " + f.opts.Peer
+	if f.opts.VRFSet {
+		hello += fmt.Sprintf(" vrf %d", f.opts.VRF)
+	}
 	if !f.opts.Resume {
 		hello += " restart"
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,7 +17,7 @@ import (
 // The session wire protocol is the gen feed text format, line by
 // line, plus three control verbs:
 //
-//	hello <name> [restart]
+//	hello <name> [vrf <id>] [restart]
 //	announce 10.1.0.0/16 3
 //	withdraw 10.1.0.0/16
 //	sync <token>
@@ -25,7 +26,20 @@ import (
 // "hello" names the peer, enabling graceful restart (see peer.go):
 // the server answers
 //
-//	hello <name> seq=<accepted-lifetime> restart_time=<dur>
+//	hello <name> seq=<accepted-lifetime> restart_time=<dur> [vrf=<id>]
+//
+// The optional "vrf <id>" clause scopes the whole session to one
+// tenant table: every subsequent announce/withdraw lands in that VRF's
+// plane, the sync barrier waits on that plane, and the peer name is
+// owned per VRF — tenant 3's "rrc00" and tenant 7's "rrc00" are
+// different graceful-restart identities that never take each other
+// over. The reply echoes the binding as a trailing vrf=<id> field
+// (appended last, so VRF-unaware feeders parsing the fixed prefix keep
+// working). A vrf clause on a server with no VRF resolver, or naming a
+// tenant the resolver does not know, is answered with an error line
+// and a session close — tenant scoping is part of the session
+// identity, and a misdelivered feed must never land in another
+// tenant's table.
 //
 // so a reconnecting feeder knows exactly how many of its updates the
 // plane has accepted across all prior sessions — the resume point —
@@ -68,6 +82,11 @@ type ServerOptions struct {
 	// Bounds per-session memory against a peer that streams bytes
 	// with no newline. Default DefaultMaxLine.
 	MaxLine int
+	// VRF resolves a "hello <name> vrf <id>" clause to the tenant's
+	// plane. Nil (the default) rejects every vrf clause; returning nil
+	// rejects that tenant id. Sessions without the clause always feed
+	// the server's default plane.
+	VRF func(id uint16) *Plane
 }
 
 // Session-hardening defaults.
@@ -237,12 +256,14 @@ func (s *Server) session(c net.Conn) {
 		c.Close()
 	}()
 
+	pl := s.p                   // default plane until a hello vrf clause rebinds
+	key := ""                   // takeover key: the peer name, scoped per VRF
 	var ps *peerState           // non-nil once the peer said hello
 	done := make(chan struct{}) // takeover handle; closed after the tail drains
 	bp := sessionPool.Get().(*[]gen.Update)
 	flush := func() {
 		if len(*bp) > 0 {
-			s.p.enqueuePooled(bp, ps)
+			pl.enqueuePooled(bp, ps)
 			bp = sessionPool.Get().(*[]gen.Update)
 		}
 	}
@@ -250,8 +271,8 @@ func (s *Server) session(c net.Conn) {
 		flush()
 		sessionPool.Put(bp)
 		if ps != nil {
-			s.p.peerDown(ps)
-			s.release(ps.name, c)
+			pl.peerDown(ps)
+			s.release(key, c)
 		}
 		close(done)
 	}()
@@ -308,24 +329,39 @@ func (s *Server) session(c net.Conn) {
 				token = fields[1]
 			}
 			flush()
-			s.p.syncPeer(ps)
-			st := s.p.Stats()
+			pl.syncPeer(ps)
+			st := pl.Stats()
 			n := seq
 			if ps != nil {
 				n = ps.seq.Load()
 			}
 			fmt.Fprintf(c, "synced %s seq=%d applied=%d coalesced=%d staleness_bound=%s\n",
-				token, n, st.Applied, st.Coalesced, s.p.MaxStaleness())
+				token, n, st.Applied, st.Coalesced, pl.MaxStaleness())
 		case text == "hello" || strings.HasPrefix(text, "hello ") || strings.HasPrefix(text, "hello\t"):
 			fields := strings.Fields(text)
-			restart := false
+			restart, hasVRF := false, false
+			var vrfID uint16
+			rest := fields[2:]
+			if len(fields) < 2 {
+				rest = nil
+			}
+			if len(rest) >= 2 && rest[0] == "vrf" {
+				id, perr := strconv.ParseUint(rest[1], 10, 16)
+				if perr != nil {
+					s.sessionErrors.Add(1)
+					fmt.Fprintf(c, "error line %d: %q: bad vrf id %q\n", line, text, rest[1])
+					return
+				}
+				hasVRF, vrfID = true, uint16(id)
+				rest = rest[2:]
+			}
 			switch {
-			case len(fields) == 3 && fields[2] == "restart":
+			case len(fields) >= 2 && len(rest) == 1 && rest[0] == "restart":
 				restart = true
-			case len(fields) == 2:
+			case len(fields) >= 2 && len(rest) == 0:
 			default:
 				s.sessionErrors.Add(1)
-				fmt.Fprintf(c, "error line %d: %q: want \"hello <name> [restart]\"\n", line, text)
+				fmt.Fprintf(c, "error line %d: %q: want \"hello <name> [vrf <id>] [restart]\"\n", line, text)
 				return
 			}
 			if ps != nil {
@@ -335,10 +371,30 @@ func (s *Server) session(c net.Conn) {
 				return
 			}
 			flush() // anything fed anonymously stays anonymous
-			s.takeover(fields[1], c, done)
-			ps = s.p.peerUp(fields[1], restart)
-			fmt.Fprintf(c, "hello %s seq=%d restart_time=%s\n",
-				ps.name, ps.seq.Load(), s.p.opts.RestartTime)
+			key = fields[1]
+			suffix := ""
+			if hasVRF {
+				if s.opts.VRF == nil {
+					s.sessionErrors.Add(1)
+					fmt.Fprintf(c, "error line %d: %q: no vrf tables on this server\n", line, text)
+					return
+				}
+				vp := s.opts.VRF(vrfID)
+				if vp == nil {
+					s.sessionErrors.Add(1)
+					fmt.Fprintf(c, "error line %d: %q: unknown vrf %d\n", line, text, vrfID)
+					return
+				}
+				pl = vp
+				// Scope the takeover identity per tenant: the same peer
+				// name in two VRFs is two independent sessions.
+				key = fmt.Sprintf("vrf%d/%s", vrfID, fields[1])
+				suffix = fmt.Sprintf(" vrf=%d", vrfID)
+			}
+			s.takeover(key, c, done)
+			ps = pl.peerUp(fields[1], restart)
+			fmt.Fprintf(c, "hello %s seq=%d restart_time=%s%s\n",
+				ps.name, ps.seq.Load(), pl.opts.RestartTime, suffix)
 		default:
 			u, perr := gen.ParseUpdate(text)
 			if perr != nil {
@@ -349,7 +405,7 @@ func (s *Server) session(c net.Conn) {
 				fmt.Fprintf(c, "error line %d: %q: %v\n", line, text, perr)
 				return
 			}
-			if ps != nil && ps.backlog.Load() >= int64(s.p.opts.PeerBudget) {
+			if ps != nil && ps.backlog.Load() >= int64(pl.opts.PeerBudget) {
 				// The ingest queue's blocking send is the ordinary
 				// backpressure; the budget is the hard stop behind it
 				// for a peer whose accepted-but-unpublished volume
@@ -357,10 +413,10 @@ func (s *Server) session(c net.Conn) {
 				// engine can publish). Shed the session; the update
 				// on this line is not accepted (not seq-counted), so
 				// a resuming feeder replays from exactly here.
-				s.p.shed.Add(1)
+				pl.shed.Add(1)
 				ps.resets.Add(1)
 				fmt.Fprintf(c, "error overload: peer %s backlog %d exceeds budget %d\n",
-					ps.name, ps.backlog.Load(), s.p.opts.PeerBudget)
+					ps.name, ps.backlog.Load(), pl.opts.PeerBudget)
 				return
 			}
 			seq++

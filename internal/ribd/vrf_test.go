@@ -1,0 +1,232 @@
+package ribd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"fibcomp/internal/fib"
+	"fibcomp/internal/gen"
+	"fibcomp/internal/shardfib"
+)
+
+// vrfPlane builds one tenant's plane over a fresh engine seeded with a
+// default route.
+func vrfPlane(t *testing.T) (*Plane, *shardfib.FIB) {
+	t.Helper()
+	tb := fib.New()
+	tb.Add(0, 0, 1)
+	eng, err := shardfib.Build(tb, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(eng, Options{MaxStaleness: 5 * time.Millisecond})
+	t.Cleanup(func() { p.Close() })
+	return p, eng
+}
+
+// TestVRFSessionScoping: a session's vrf clause routes its whole feed
+// into that tenant's plane and nowhere else, the hello reply echoes
+// the binding after the fields VRF-unaware feeders parse, and per-
+// tenant stats conservation holds.
+func TestVRFSessionScoping(t *testing.T) {
+	p0, e0 := vrfPlane(t)
+	p1, e1 := vrfPlane(t)
+	p2, e2 := vrfPlane(t)
+	planes := map[uint16]*Plane{1: p1, 2: p2}
+	s, err := ServeOptions(p0, "127.0.0.1:0", ServerOptions{
+		VRF: func(id uint16) *Plane { return planes[id] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	// Three feeds with one distinguishing route each.
+	feed := func(addr uint32, label uint32) []gen.Update {
+		return []gen.Update{{Addr: addr, Len: 16, NextHop: label}}
+	}
+	run := func(peer string, vrf int, us []gen.Update) {
+		t.Helper()
+		opts := FeederOptions{Peer: peer, Resume: true}
+		if vrf >= 0 {
+			opts.VRFSet, opts.VRF = true, uint16(vrf)
+		}
+		f, err := NewFeeder(s.Addr().String(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Run(us); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run("default-peer", -1, feed(0x0A010000, 10))
+	run("tenant-one", 1, feed(0x0A020000, 20))
+	run("tenant-two", 2, feed(0x0A030000, 30))
+
+	// Each plane holds exactly its own route; the probe addresses land
+	// on the seeded default everywhere else.
+	checks := []struct {
+		eng  *shardfib.FIB
+		addr uint32
+		want uint32
+	}{
+		{e0, 0x0A010001, 10}, {e0, 0x0A020001, 1}, {e0, 0x0A030001, 1},
+		{e1, 0x0A020001, 20}, {e1, 0x0A010001, 1}, {e1, 0x0A030001, 1},
+		{e2, 0x0A030001, 30}, {e2, 0x0A010001, 1}, {e2, 0x0A020001, 1},
+	}
+	for _, c := range checks {
+		if got := c.eng.Lookup(c.addr); got != c.want {
+			t.Fatalf("engine lookup %08x = %d, want %d (cross-tenant leak)", c.addr, got, c.want)
+		}
+	}
+	// Per-tenant conservation: each plane received exactly its feed.
+	for i, p := range []*Plane{p0, p1, p2} {
+		st := p.Stats()
+		if st.Received != 1 || st.Applied+st.Coalesced != st.Received {
+			t.Fatalf("plane %d stats conservation: %+v", i, st)
+		}
+	}
+}
+
+// helloLine opens a raw session, sends one hello line and returns the
+// reply line.
+func helloLine(t *testing.T, addr, line string) string {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := fmt.Fprintf(c, "%s\n", line); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	reply, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(reply)
+}
+
+// TestVRFHelloReplies pins the hello wire shape: the vrf binding is
+// echoed as a trailing field, unknown tenants and servers without VRF
+// tables answer an error line, and malformed vrf clauses are rejected.
+func TestVRFHelloReplies(t *testing.T) {
+	p0, _ := vrfPlane(t)
+	p1, _ := vrfPlane(t)
+	s, err := ServeOptions(p0, "127.0.0.1:0", ServerOptions{
+		VRF: func(id uint16) *Plane {
+			if id == 1 {
+				return p1
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	reply := helloLine(t, s.Addr().String(), "hello alpha vrf 1")
+	if !strings.HasPrefix(reply, "hello alpha seq=0 restart_time=") || !strings.HasSuffix(reply, " vrf=1") {
+		t.Fatalf("vrf hello reply %q", reply)
+	}
+	// VRF-unaware parsing sees the fixed prefix untouched.
+	if _, err := parseHello(reply, "alpha"); err != nil {
+		t.Fatalf("vrf hello reply breaks the legacy parser: %v", err)
+	}
+	reply = helloLine(t, s.Addr().String(), "hello beta")
+	if strings.Contains(reply, "vrf=") {
+		t.Fatalf("unscoped hello reply mentions a vrf: %q", reply)
+	}
+	for _, bad := range []string{
+		"hello gamma vrf 9",     // unknown tenant
+		"hello gamma vrf x",     // unparsable id
+		"hello gamma vrf 70000", // out of uint16 range
+		"hello gamma vrf",       // clause without id
+	} {
+		if reply := helloLine(t, s.Addr().String(), bad); !strings.HasPrefix(reply, "error") {
+			t.Fatalf("%q answered %q, want an error line", bad, reply)
+		}
+	}
+
+	// A server with no resolver rejects every vrf clause.
+	pn, _ := vrfPlane(t)
+	sn, err := Serve(pn, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sn.Close() })
+	if reply := helloLine(t, sn.Addr().String(), "hello alpha vrf 1"); !strings.HasPrefix(reply, "error") {
+		t.Fatalf("vrf hello on a VRF-less server answered %q", reply)
+	}
+}
+
+// TestVRFTakeoverScoping: one peer name in two VRFs is two independent
+// graceful-restart identities — the second session must not take the
+// first one over.
+func TestVRFTakeoverScoping(t *testing.T) {
+	p0, _ := vrfPlane(t)
+	p1, e1 := vrfPlane(t)
+	p2, e2 := vrfPlane(t)
+	planes := map[uint16]*Plane{1: p1, 2: p2}
+	s, err := ServeOptions(p0, "127.0.0.1:0", ServerOptions{
+		VRF: func(id uint16) *Plane { return planes[id] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	open := func(vrf int) (net.Conn, *bufio.Reader) {
+		t.Helper()
+		c, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		if _, err := fmt.Fprintf(c, "hello shared vrf %d\n", vrf); err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(c)
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		reply, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(reply, "hello shared ") {
+			t.Fatalf("hello reply %q", reply)
+		}
+		return c, br
+	}
+	c1, br1 := open(1)
+	c2, br2 := open(2)
+	// Both sessions stay live: each can feed and sync. If the takeover
+	// were keyed by name alone, opening c2 would have closed c1.
+	for i, sess := range []struct {
+		c  net.Conn
+		br *bufio.Reader
+	}{{c1, br1}, {c2, br2}} {
+		if _, err := fmt.Fprintf(sess.c, "announce 10.%d.0.0/16 %d\nsync t\n", 40+i, 40+i); err != nil {
+			t.Fatalf("session %d write: %v", i, err)
+		}
+		sess.c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		reply, err := sess.br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("session %d sync: %v", i, err)
+		}
+		if !strings.HasPrefix(reply, "synced t seq=1") {
+			t.Fatalf("session %d sync reply %q", i, reply)
+		}
+	}
+	if got := e1.Lookup(0x0A280001); got != 40 {
+		t.Fatalf("vrf 1 route = %d, want 40", got)
+	}
+	if got := e2.Lookup(0x0A290001); got != 41 {
+		t.Fatalf("vrf 2 route = %d, want 41", got)
+	}
+}

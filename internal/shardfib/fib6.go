@@ -35,6 +35,13 @@ type FIB6 struct {
 	format    Format
 	shards    []shard6
 
+	// space is non-nil for a FIB6 built with Build6Shared: the shards'
+	// DAGs fold into a shared IPv6 hash-cons universe, deduplicating
+	// isomorphic folded subtrees across tenant tables on the writer
+	// side (v6 blobs stay per-tenant; see ip6.Space6). Write paths take
+	// the space lock first, mirroring the IPv4 engine's lock order.
+	space *ip6.Space6
+
 	comb atomic.Pointer[combined6] // the published merged view
 
 	// combMu guards the merged view's double buffer, same protocol
@@ -202,6 +209,49 @@ func Build6Format(t *ip6.Table, lambda, shards int, format Format) (*FIB6, error
 	f.combMu.Unlock()
 	return f, nil
 }
+
+// Build6Shared builds a FIB6 whose shard DAGs fold into sp, the
+// multi-tenant IPv6 form: every FIB6 built into the same space
+// deduplicates isomorphic folded subtrees with every other member on
+// the writer side. Published blobs remain per-tenant (the v6
+// serializers' incremental group geometry is per-DAG), so the sharing
+// shows up in model bytes, not blob bytes. Serves v1 snapshots; the
+// barrier must satisfy k ≤ λ ≤ 16 so shards serve through the merged
+// root.
+func Build6Shared(sp *ip6.Space6, t *ip6.Table, lambda, shards int) (*FIB6, error) {
+	if shards < 1 || shards > MaxShards || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("shardfib: shard count %d not a power of two in [1,%d]", shards, MaxShards)
+	}
+	f := &FIB6{
+		shardBits: bits.TrailingZeros(uint(shards)),
+		lambda:    lambda,
+		format:    FormatV1,
+		shards:    make([]shard6, shards),
+		space:     sp,
+	}
+	if lambda < f.shardBits || lambda > mergedRootMaxLambda {
+		return nil, fmt.Errorf("shardfib: shared mode needs k=%d ≤ λ=%d ≤ %d", f.shardBits, lambda, mergedRootMaxLambda)
+	}
+	f.shift = uint(64 - f.shardBits)
+	sp.Lock()
+	defer sp.Unlock()
+	for i, tr := range f.partition(t) {
+		d, err := ip6.FromTrieShared(sp, tr, lambda)
+		if err != nil {
+			return nil, err
+		}
+		f.shards[i].dag = d
+		f.shards[i].publish(lambda, FormatV1)
+	}
+	f.combMu.Lock()
+	f.rebuildCombined()
+	f.combMu.Unlock()
+	return f, nil
+}
+
+// Shared reports whether the FIB6 folds into a shared hash-cons
+// space.
+func (f *FIB6) Shared() bool { return f.space != nil }
 
 // partition routes every table entry into the trie of each shard it
 // covers. Later duplicates win, matching ip6.FromTable.
@@ -398,6 +448,10 @@ func (f *FIB6) Set(addr ip6.Addr, plen int, label uint32) error {
 		return fmt.Errorf("shardfib: label %d out of range [1,%d]", label, ip6.MaxLabel)
 	}
 	addr = ip6.Canonical(addr, plen)
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
+	}
 	lo, hi := f.covering(addr, plen)
 	for s := lo; s <= hi; s++ {
 		sh := &f.shards[s]
@@ -421,6 +475,10 @@ func (f *FIB6) Delete(addr ip6.Addr, plen int) bool {
 		return false
 	}
 	addr = ip6.Canonical(addr, plen)
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
+	}
 	lo, hi := f.covering(addr, plen)
 	present := false
 	for s := lo; s <= hi; s++ {
@@ -460,6 +518,10 @@ func (f *FIB6) ApplyBatch(ops []Op6) (int, error) {
 	}
 	if len(ops) == 0 {
 		return 0, nil
+	}
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
 	}
 	f.applyMu.Lock()
 	defer f.applyMu.Unlock()
@@ -560,16 +622,30 @@ func (f *FIB6) Reload(t *ip6.Table) error {
 	if ins != nil {
 		start = time.Now()
 	}
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
+	}
 	for i, tr := range f.partition(t) {
-		d, err := ip6.FromTrie(tr, f.lambda)
+		var d *ip6.DAG
+		var err error
+		if f.space != nil {
+			d, err = ip6.FromTrieShared(f.space, tr, f.lambda)
+		} else {
+			d, err = ip6.FromTrie(tr, f.lambda)
+		}
 		if err != nil {
 			return err
 		}
 		sh := &f.shards[i]
 		sh.mu.Lock()
+		old := sh.dag
 		sh.dag = d
 		f.publishShard(sh)
 		sh.mu.Unlock()
+		if f.space != nil {
+			old.Release()
+		}
 	}
 	if ins != nil {
 		d := time.Since(start)
@@ -588,8 +664,13 @@ func (f *FIB6) Reload(t *ip6.Table) error {
 	return nil
 }
 
-// ModelBytes reports the summed §4.2 model size of the shard DAGs.
+// ModelBytes reports the summed §4.2 model size of the shard DAGs (in
+// shared mode the folded region spans the whole space).
 func (f *FIB6) ModelBytes() int {
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
+	}
 	total := 0
 	for i := range f.shards {
 		sh := &f.shards[i]

@@ -92,6 +92,7 @@ const mergedRootMaxLambda = 16
 // republishing is double-buffered and allocation-free.
 type shard struct {
 	mu    sync.Mutex
+	idx   int // this shard's index — names its root window in shared mode
 	dag   *pdag.DAG
 	spare *snapshot
 	cur   atomic.Pointer[snapshot]
@@ -139,6 +140,16 @@ func (s *snapshot) rootArray() []uint32 {
 	return nil
 }
 
+// rootBase reports the logical offset of rootArray()[0] within the
+// full 2^λ root: 0 for private blobs (whole array), the shard window's
+// offset for shared-arena blobs.
+func (s *snapshot) rootBase() int {
+	if s.blob != nil {
+		return s.blob.RootBase
+	}
+	return 0
+}
+
 // pin loads the shard's current snapshot and registers as a holder of
 // it. The increment-then-validate dance closes the recycle race: if
 // the snapshot was retired (and possibly already being overwritten)
@@ -175,7 +186,7 @@ func (s *snapshot) unpin() { s.readers.Add(-1) }
 // recycled, so under steady churn the spare is always free and the
 // republish allocates nothing); a pinned spare is simply dropped to
 // the garbage collector and a fresh buffer allocated.
-func (sh *shard) publish(lambda int, format Format) {
+func (sh *shard) publish(f *FIB) {
 	next := sh.spare
 	var buf *pdag.Blob
 	var buf2 *pdag.BlobV2
@@ -185,7 +196,16 @@ func (sh *shard) publish(lambda int, format Format) {
 	} else {
 		next = &snapshot{}
 	}
-	if format == FormatV2 {
+	if f.space != nil {
+		// Shared mode (BuildShared): emit into the space's arenas,
+		// publishing only this shard's root window. The caller holds
+		// the space lock.
+		if blob, err := sh.dag.SerializeShared(buf, sh.idx, f.shardBits); err == nil {
+			next.blob, next.blob2 = blob, nil
+			sh.spare = sh.cur.Swap(next)
+			return
+		}
+	} else if f.format == FormatV2 {
 		if blob2, err := sh.dag.SerializeV2Into(buf2); err == nil {
 			next.blob, next.blob2 = nil, blob2
 			sh.spare = sh.cur.Swap(next)
@@ -196,7 +216,7 @@ func (sh *shard) publish(lambda int, format Format) {
 		sh.spare = sh.cur.Swap(next)
 		return
 	}
-	if d, err := pdag.FromTrie(sh.dag.Control(), lambda); err == nil {
+	if d, err := pdag.FromTrie(sh.dag.Control(), f.lambda); err == nil {
 		next.blob, next.blob2, next.dag = nil, nil, d
 		sh.spare = sh.cur.Swap(next)
 	}
@@ -241,6 +261,13 @@ type FIB struct {
 	lambda    int
 	format    Format
 	shards    []shard
+
+	// space is non-nil for a FIB built with BuildShared: the shards'
+	// DAGs fold into this shared hash-cons universe and their blobs
+	// alias its arenas, so near-identical tenant FIBs sharing one space
+	// cost little more than one. Every write path takes the space lock
+	// first (lock order: space → applyMu → shard.mu → combMu).
+	space *pdag.Space
 
 	comb atomic.Pointer[combined] // the published merged view
 
@@ -295,14 +322,61 @@ func BuildFormat(t *fib.Table, lambda, shards int, format Format) (*FIB, error) 
 		if err != nil {
 			return nil, err
 		}
+		f.shards[i].idx = i
 		f.shards[i].dag = d
-		f.shards[i].publish(lambda, format)
+		f.shards[i].publish(f)
 	}
 	f.combMu.Lock()
 	f.rebuildCombined()
 	f.combMu.Unlock()
 	return f, nil
 }
+
+// BuildShared builds a FIB whose shard DAGs fold into sp — the
+// multi-tenant form: every FIB built into the same space deduplicates
+// isomorphic folded subtrees with every other member on both the
+// writer side (one hash-cons universe) and the serving side (blobs
+// alias the space's shared arenas, and bit-identical root windows are
+// interned). Shared FIBs always publish v1 snapshots, and the barrier
+// must satisfy k ≤ λ ≤ 16 so every shard serves through the merged
+// root. Lookups are exactly as in a private FIB; writes additionally
+// take the space lock, serializing control-plane churn across tenants
+// (data-plane reads are never blocked).
+func BuildShared(sp *pdag.Space, t *fib.Table, lambda, shards int) (*FIB, error) {
+	if shards < 1 || shards > MaxShards || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("shardfib: shard count %d not a power of two in [1,%d]", shards, MaxShards)
+	}
+	f := &FIB{
+		shardBits: bits.TrailingZeros(uint(shards)),
+		lambda:    lambda,
+		format:    FormatV1,
+		shards:    make([]shard, shards),
+		space:     sp,
+	}
+	if lambda < f.shardBits || lambda > mergedRootMaxLambda {
+		return nil, fmt.Errorf("shardfib: shared mode needs k=%d ≤ λ=%d ≤ %d", f.shardBits, lambda, mergedRootMaxLambda)
+	}
+	f.shift = uint(fib.W - f.shardBits)
+	sp.Lock()
+	defer sp.Unlock()
+	for i, tr := range f.partition(t) {
+		d, err := pdag.FromTrieShared(sp, tr, lambda)
+		if err != nil {
+			return nil, err
+		}
+		f.shards[i].idx = i
+		f.shards[i].dag = d
+		f.shards[i].publish(f)
+	}
+	f.combMu.Lock()
+	f.rebuildCombined()
+	f.combMu.Unlock()
+	return f, nil
+}
+
+// Shared reports whether the FIB serves out of a shared hash-cons
+// space.
+func (f *FIB) Shared() bool { return f.space != nil }
 
 // partition routes every table entry into the trie of each shard it
 // covers. Later duplicates win, matching trie.FromTable.
@@ -389,7 +463,7 @@ func (f *FIB) publishShard(sh *shard) {
 	f.combMu.Lock()
 	f.reclaimCombined()
 	f.combMu.Unlock()
-	sh.publish(f.lambda, f.format)
+	sh.publish(f)
 	f.combMu.Lock()
 	f.rebuildCombined()
 	f.combMu.Unlock()
@@ -465,7 +539,8 @@ func (f *FIB) rebuildCombined() {
 		per := rootLen >> uint(f.shardBits)
 		for s := range f.shards {
 			lo := s * per
-			copy(c.root[lo:lo+per], c.snaps[s].rootArray()[lo:lo+per])
+			ra, base := c.snaps[s].rootArray(), c.snaps[s].rootBase()
+			copy(c.root[lo:lo+per], ra[lo-base:lo-base+per])
 		}
 	}
 	old := f.comb.Swap(c)
@@ -532,6 +607,10 @@ func (f *FIB) Set(addr uint32, plen int, label uint32) error {
 		return fmt.Errorf("shardfib: label %d out of range [1,%d]", label, fib.MaxLabel)
 	}
 	addr &= fib.Mask(plen)
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
+	}
 	lo, hi := f.covering(addr, plen)
 	for s := lo; s <= hi; s++ {
 		sh := &f.shards[s]
@@ -555,6 +634,10 @@ func (f *FIB) Delete(addr uint32, plen int) bool {
 		return false
 	}
 	addr &= fib.Mask(plen)
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
+	}
 	lo, hi := f.covering(addr, plen)
 	present := false
 	for s := lo; s <= hi; s++ {
@@ -612,6 +695,10 @@ func (f *FIB) ApplyBatch(ops []Op) (int, error) {
 	}
 	if len(ops) == 0 {
 		return 0, nil
+	}
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
 	}
 	f.applyMu.Lock()
 	defer f.applyMu.Unlock()
@@ -680,7 +767,7 @@ func (f *FIB) ApplyBatch(ops []Op) (int, error) {
 			}
 		}
 		if changed {
-			sh.publish(f.lambda, f.format)
+			sh.publish(f)
 			published = true
 			npub++
 			if ins != nil {
@@ -724,16 +811,32 @@ func (f *FIB) Reload(t *fib.Table) error {
 	if ins != nil {
 		start = time.Now()
 	}
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
+	}
 	for i, tr := range f.partition(t) {
-		d, err := pdag.FromTrie(tr, f.lambda)
+		var d *pdag.DAG
+		var err error
+		if f.space != nil {
+			d, err = pdag.FromTrieShared(f.space, tr, f.lambda)
+		} else {
+			d, err = pdag.FromTrie(tr, f.lambda)
+		}
 		if err != nil {
 			return err
 		}
 		sh := &f.shards[i]
 		sh.mu.Lock()
+		old := sh.dag
 		sh.dag = d
 		f.publishShard(sh)
 		sh.mu.Unlock()
+		if f.space != nil {
+			// Return the replaced DAG's folded references to the space
+			// so the old table does not pin its subtrees forever.
+			old.Release()
+		}
 	}
 	if ins != nil {
 		d := time.Since(start)
@@ -752,10 +855,33 @@ func (f *FIB) Reload(t *fib.Table) error {
 	return nil
 }
 
+// RepublishAll re-freezes and republishes every shard from its writer
+// DAG without changing any route — the step each member FIB of a
+// compacted space runs so its snapshots move off the retired arenas
+// (see pdag.Space.Compact). Harmless on a private FIB.
+func (f *FIB) RepublishAll() {
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
+	}
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		f.publishShard(sh)
+		sh.mu.Unlock()
+	}
+}
+
 // ModelBytes reports the summed §4.2 model size of the shard DAGs.
 // Replicated short prefixes and per-shard leaf tables make this
 // slightly larger than the flat DAG's — the memory cost of sharding.
+// In shared mode the folded region is the whole space's (the maps are
+// shared), so this is the model cost of all co-tenants together.
 func (f *FIB) ModelBytes() int {
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
+	}
 	total := 0
 	for i := range f.shards {
 		sh := &f.shards[i]
@@ -776,6 +902,11 @@ func (f *FIB) SizeBytes() int {
 	for i := range f.shards {
 		s := f.shards[i].pin()
 		switch {
+		case s.blob != nil && f.space != nil:
+			// Shared blobs alias the space's arenas; the per-tenant
+			// attributable bytes are just the published root windows.
+			// The arena itself is counted once, by Space.SharedBytes.
+			total += 4 * len(s.blob.Root)
 		case s.blob != nil:
 			total += s.blob.SizeBytes()
 		case s.blob2 != nil:
@@ -788,8 +919,13 @@ func (f *FIB) SizeBytes() int {
 	return total
 }
 
-// Nodes reports the summed node count across the writer DAGs.
+// Nodes reports the summed node count across the writer DAGs (in
+// shared mode the folded counts span the whole space).
 func (f *FIB) Nodes() int {
+	if f.space != nil {
+		f.space.Lock()
+		defer f.space.Unlock()
+	}
 	total := 0
 	for i := range f.shards {
 		sh := &f.shards[i]
